@@ -1,0 +1,35 @@
+// Figure 11: speedup over Megatron-LM under different training batch sizes
+// when STRONGHOLD's multi-stream optimization is enabled (Section IV-A).
+#include <cstdarg>
+#include <cstdio>
+
+#include "baselines/megatron.hpp"
+#include "baselines/stronghold_strategy.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sh;
+  using namespace sh::baselines;
+  const auto machine = sim::v100_server();
+  MegatronStrategy megatron;
+  StrongholdStrategy multi;                          // multi-stream on
+  StrongholdStrategy single({.multi_stream = false});
+
+  bench::header("Figure 11: multi-stream speedup over Megatron-LM (1.7B)");
+  std::printf("%6s %8s %14s %16s %12s\n", "batch", "streams", "Megatron s/s",
+              "STRONGHOLD s/s", "speedup");
+  for (double bs : {2.0, 4.0, 8.0, 16.0}) {
+    const auto w = bench::common_1p7b(bs);
+    const double mega = megatron.iteration(w, machine, nullptr).throughput;
+    const double sh = multi.iteration(w, machine, nullptr).throughput;
+    std::printf("%6.0f %8d %14.4f %16.4f %11.2fx\n", bs,
+                multi.stream_count(w, machine), mega, sh, sh / mega);
+  }
+  const auto w = bench::common_1p7b(8.0);
+  std::printf("\nwithout multi-stream: %.2fx over Megatron (overlap only)\n",
+              single.iteration(w, machine, nullptr).throughput /
+                  megatron.iteration(w, machine, nullptr).throughput);
+  std::printf("Paper: at least 1.7x and up to 2.1x speedup; the reduced "
+              "memory footprint (~60%%) is what frees the stream buffers.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 12: distributed training on the 8-node A10 cluster using the
+// largest model ZeRO-2 supports (~3B) at batch size 1: ZeRO-2 and ZeRO-3
+// shard states across servers; STRONGHOLD converts the setup to pure data
+// parallelism (whole model per node via offloading).
+#include <cstdarg>
+#include <cstdio>
+
+#include "baselines/cluster.hpp"
+#include "bench_util.hpp"
+#include "dist/comm_volume.hpp"
+
+int main() {
+  using namespace sh;
+  using namespace sh::baselines;
+  const auto cluster = sim::a10_cluster();
+  ZeroDpStrategy z2(ZeroDpStrategy::Stage::Two, cluster);
+  ZeroDpStrategy z3(ZeroDpStrategy::Stage::Three, cluster);
+
+  // Largest ZeRO-2 model on a 24 GB A10 at batch 1.
+  const double z2_max =
+      largest_trainable_billions(z2, cluster.node, 2560, 1, 1.0);
+  std::int64_t layers = 1;
+  while (sim::params_billions(sim::table1_model(layers + 1, 2560)) <= z2_max) {
+    ++layers;
+  }
+  const auto w = bench::make_workload(layers, 2560, 1.0);
+
+  bench::header("Figure 12: 8-node A10 cluster, largest ZeRO-2 model, bs=1");
+  std::printf("largest ZeRO-2 model: %.1fB (paper: 3B)\n\n", z2_max);
+  const double z2_thr = z2.iteration(w, cluster.node, nullptr).throughput;
+  const double z3_thr = z3.iteration(w, cluster.node, nullptr).throughput;
+  const auto sh_rep = stronghold_dp_iteration(w, cluster);
+  std::printf("%-12s %14s %12s\n", "scheme", "samples/s/GPU", "vs ZeRO-2");
+  std::printf("%-12s %14.4f %11.2fx\n", "ZeRO-2", z2_thr, 1.0);
+  std::printf("%-12s %14.4f %11.2fx\n", "ZeRO-3", z3_thr, z3_thr / z2_thr);
+  std::printf("%-12s %14.4f %11.2fx\n", "STRONGHOLD", sh_rep.throughput,
+              sh_rep.throughput / z2_thr);
+
+  // Section III-F: communication-volume reduction of MP -> DP conversion.
+  dist::VolumeParams vp{.w = 8, .layers = 50, .hidden = 4096, .vocab = 30000,
+                        .batch = 16, .seq = 1024};
+  std::printf("\nSection III-F volume model (20B, n=50, hd=4K, bs=16): "
+              "V_mp/V_dp = %.2f\n", dist::mp_over_dp(vp));
+  std::printf("Paper: STRONGHOLD delivers over 2.6x throughput vs "
+              "ZeRO-2/3 by eliminating cross-server state partitioning.\n");
+  return 0;
+}

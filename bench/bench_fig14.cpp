@@ -1,0 +1,48 @@
+// Figure 14: contribution of each STRONGHOLD optimization, toggled
+// individually on top of an unoptimized offloading scheme, training the 4B
+// model with NVMe enabled.
+#include <cstdarg>
+#include <cstdio>
+
+#include "baselines/stronghold_strategy.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sh;
+  using namespace sh::baselines;
+  const auto machine = sim::v100_server();
+  const auto w = bench::make_workload(50, 2560, 4.0);  // the 4B model
+
+  const StrongholdOptions none{.concurrent_update = false,
+                               .user_level_memory = false,
+                               .multi_stream = false,
+                               .use_nvme = true};
+  const double base =
+      StrongholdStrategy(none).iteration(w, machine, nullptr).throughput;
+
+  auto run = [&](const char* label, auto mutate, const char* paper) {
+    StrongholdOptions o = none;
+    mutate(o);
+    const double thr =
+        StrongholdStrategy(o).iteration(w, machine, nullptr).throughput;
+    std::printf("%-34s %12.4f %10.2fx %10s\n", label, thr, thr / base, paper);
+  };
+
+  bench::header("Figure 14: optimization breakdown (4B model, NVMe enabled)");
+  std::printf("%-34s %12s %10s %10s\n", "configuration", "samples/s",
+              "speedup", "paper");
+  std::printf("%-34s %12.4f %10s %10s\n", "baseline (no optimizations)", base,
+              "1.00x", "1.0x");
+  run("+ concurrent parameter update",
+      [](StrongholdOptions& o) { o.concurrent_update = true; }, "1.5x");
+  run("+ user-level memory management",
+      [](StrongholdOptions& o) { o.user_level_memory = true; }, "2.2x");
+  run("+ multi-streamed execution",
+      [](StrongholdOptions& o) { o.multi_stream = true; }, "2.0x");
+  run("all optimizations",
+      [](StrongholdOptions& o) {
+        o.concurrent_update = o.user_level_memory = o.multi_stream = true;
+      },
+      "-");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6b: largest trainable model size on the 8-node A10 cluster with
+// 8-way model parallelism.
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "baselines/cluster.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sh;
+  const auto cluster = sim::a10_cluster();
+  const auto lineup = baselines::single_gpu_lineup();
+  const char* paper[] = {"~6-7", "limited", "limited", "56.9", "82.1"};
+
+  bench::header(
+      "Figure 6b: largest trainable size, 8x A10 cluster (8-way MP)");
+  std::printf("%-14s %10s %10s %14s\n", "scheme", "min (B)", "max (B)",
+              "paper (B)");
+  int idx = 0;
+  for (const auto& s : lineup) {
+    double mn = 1e18, mx = 0.0;
+    for (std::int64_t hd : {5120, 8192}) {
+      const double b = baselines::largest_trainable_billions_cluster(
+          *s, cluster, hd, 4.0);
+      mn = std::min(mn, b);
+      mx = std::max(mx, b);
+    }
+    std::printf("%-14s %10.1f %10.1f %14s\n", s->name().c_str(), mn, mx,
+                paper[idx++]);
+  }
+  std::printf("\nPaper: ZeRO-Infinity and STRONGHOLD scale to 56.9B and "
+              "82.1B; L2L/ZeRO-Offload give limited improvement.\n");
+  return 0;
+}

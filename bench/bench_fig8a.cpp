@@ -1,0 +1,30 @@
+// Figure 8a: throughput of every strategy on the common 1.7B model (the
+// largest Megatron-LM supports on a 32 GB V100), normalised to Megatron-LM.
+#include <cstdarg>
+#include <cstdio>
+
+#include "baselines/strategy.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sh;
+  const auto machine = sim::v100_server();
+  const auto lineup = baselines::single_gpu_lineup();
+  const auto w = bench::common_1p7b();
+  const char* paper[] = {"1.00", "0.22", "<0.57", "<0.57", ">1"};
+
+  const double mega =
+      lineup.front()->iteration(w, machine, nullptr).throughput;
+  bench::header("Figure 8a: throughput on the common 1.7B model (V100)");
+  std::printf("%-14s %12s %14s %12s\n", "scheme", "samples/s", "vs Megatron",
+              "paper");
+  int idx = 0;
+  for (const auto& s : lineup) {
+    const auto rep = s->iteration(w, machine, nullptr);
+    std::printf("%-14s %12.4f %13.2fx %12s\n", s->name().c_str(),
+                rep.throughput, rep.throughput / mega, paper[idx++]);
+  }
+  std::printf("\nPaper: STRONGHOLD is the only offloading solution that "
+              "improves over Megatron-LM.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 8b: STRONGHOLD's per-iteration time scales nearly linearly with
+// model size on a single V100 (lower is better), using 1.7B as the origin of
+// the perfect-scaling projection.
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/stronghold_strategy.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace sh;
+  const auto machine = sim::v100_server();
+  baselines::StrongholdStrategy sh_strategy;
+
+  bench::header("Figure 8b: iteration time vs model size (STRONGHOLD, V100)");
+  std::printf("%8s %9s %12s %14s %10s\n", "#layers", "size(B)", "iter (s)",
+              "linear proj", "ratio");
+  const std::vector<std::int64_t> layer_counts = {20, 50, 75, 120, 180,
+                                                  260, 380, 500};
+  double base_seconds = 0.0;
+  double base_billions = 0.0;
+  for (std::int64_t layers : layer_counts) {
+    const auto w = bench::make_workload(layers, 2560, 4.0);
+    const auto rep = sh_strategy.iteration(w, machine, nullptr);
+    const double b = sim::params_billions(w.model);
+    if (base_seconds == 0.0) {
+      base_seconds = rep.seconds;
+      base_billions = b;
+    }
+    const double projected = base_seconds * b / base_billions;
+    std::printf("%8lld %9.1f %12.3f %14.3f %10.3f\n",
+                static_cast<long long>(layers), b, rep.seconds, projected,
+                rep.seconds / projected);
+  }
+  std::printf("\nPaper: performance on par with a perfect linear scaling "
+              "projection (ratio ~= 1).\n");
+  return 0;
+}

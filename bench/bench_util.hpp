@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches: fixed-width table
+// printing and common workload construction. Every bench runs with no
+// arguments, uses the virtual-clock simulator, and prints the rows/series of
+// the corresponding paper figure.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+
+namespace sh::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline baselines::Workload make_workload(std::int64_t layers,
+                                         std::int64_t hidden, double batch,
+                                         int mp = 1) {
+  baselines::Workload w;
+  w.model = sim::table1_model(layers, hidden, mp);
+  w.batch = batch;
+  return w;
+}
+
+/// The paper's common 1.7B reference model (20 layers, hidden 2560).
+inline baselines::Workload common_1p7b(double batch = 4.0) {
+  return make_workload(20, 2560, batch);
+}
+
+inline double gib(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+}  // namespace sh::bench

@@ -1,0 +1,72 @@
+// Ablation: uniform slots vs the fixed-size byte-budget window buffer for
+// heterogeneous layer stacks (DESIGN.md / Section III-D, final paragraph).
+// Uniform slots must be sized for the largest layer; the byte budget packs
+// actual layer sizes, fitting more of the model per byte of GPU memory.
+#include <cstdarg>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/cost_model.hpp"
+
+namespace {
+
+// A heterogeneous stack: every 4th layer is a 4-expert MoE block (about
+// 3.1x the parameters of a dense block at the same hidden size).
+struct Stack {
+  std::int64_t dense_params;
+  std::int64_t moe_params;
+  std::int64_t layers;
+  std::int64_t moe_every = 4;
+
+  std::int64_t params_of(std::int64_t i) const {
+    return (i % moe_every == moe_every - 1) ? moe_params : dense_params;
+  }
+  std::int64_t max_params() const { return std::max(dense_params, moe_params); }
+};
+
+// Resident bytes of a window of `m` layers starting at layer `s` under each
+// policy (2 floats of window state per parameter: params + grads).
+double uniform_bytes(const Stack& st, std::int64_t m) {
+  return 2.0 * 4.0 * static_cast<double>((m + 1) * st.max_params());
+}
+
+double budget_bytes(const Stack& st, std::int64_t s, std::int64_t m) {
+  std::int64_t total = 0;
+  for (std::int64_t i = s; i < s + m + 1 && i < st.layers; ++i) {
+    total += st.params_of(i);
+  }
+  return 2.0 * 4.0 * static_cast<double>(total);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sh;
+  const double hd = 2560;
+  Stack st;
+  st.dense_params = static_cast<std::int64_t>(12 * hd * hd);
+  st.moe_params = static_cast<std::int64_t>(37 * hd * hd);  // 4-expert MoE
+  st.layers = 48;
+
+  bench::header("Window allocation for a heterogeneous (MoE) stack");
+  std::printf("dense block: %.0fM params, MoE block: %.0fM params\n\n",
+              st.dense_params / 1e6, st.moe_params / 1e6);
+  std::printf("%8s %18s %22s %10s\n", "window", "uniform (GiB)",
+              "byte budget worst (GiB)", "saving");
+  for (std::int64_t m : {2, 4, 8, 12}) {
+    double worst = 0.0;
+    for (std::int64_t s = 0; s + m <= st.layers; ++s) {
+      worst = std::max(worst, budget_bytes(st, s, m));
+    }
+    const double uni = uniform_bytes(st, m);
+    std::printf("%8lld %18.2f %22.2f %9.1f%%\n", static_cast<long long>(m),
+                bench::gib(uni), bench::gib(worst),
+                100.0 * (1.0 - worst / uni));
+  }
+  std::printf(
+      "\nThe byte-budget mode reserves one fixed buffer and lets the number\n"
+      "of resident layers vary (Section III-D); on this stack it needs up to\n"
+      "~40%% less GPU memory for the same window depth. The numeric engine's\n"
+      "equivalence tests cover both modes (tests/test_byte_budget_pool.cpp).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Capacity planner: the simulator as a library. Given model geometries, it
+// answers the two questions the paper's evaluation asks — does the model fit
+// under each training scheme, and what throughput to expect — on the
+// paper's V100 server and A10 cluster.
+#include <cstdio>
+
+#include "baselines/cluster.hpp"
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+
+int main() {
+  using namespace sh;
+  const auto v100 = sim::v100_server();
+  const auto lineup = baselines::single_gpu_lineup();
+
+  struct Probe {
+    std::int64_t layers;
+    std::int64_t hidden;
+    double batch;
+  };
+  const Probe probes[] = {{20, 2560, 4}, {75, 2560, 4}, {260, 2560, 4},
+                          {500, 2560, 4}, {31, 5120, 4}};
+
+  std::printf("capacity & throughput on the 32GB V100 server\n");
+  std::printf("%9s |", "size (B)");
+  for (const auto& s : lineup) std::printf(" %-16s", s->name().c_str());
+  std::printf("\n");
+  for (const auto& p : probes) {
+    baselines::Workload w;
+    w.model = sim::table1_model(p.layers, p.hidden);
+    w.batch = p.batch;
+    std::printf("%9.1f |", sim::params_billions(w.model));
+    for (const auto& s : lineup) {
+      const auto cap = s->capacity(w, v100);
+      if (!cap.fits) {
+        std::printf(" %-16s", ("OOM(" + cap.limiter + ")").c_str());
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f smp/s",
+                      s->iteration(w, v100, nullptr).throughput);
+        std::printf(" %-16s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Window recommendation for a chosen deployment.
+  baselines::Workload w;
+  w.model = sim::table1_model(260, 2560);
+  w.batch = 8;
+  baselines::StrongholdStrategy sh_strategy;
+  const auto d = sh_strategy.window_decision(w, v100);
+  const auto cap = sh_strategy.capacity(w, v100);
+  std::printf(
+      "\nSTRONGHOLD plan for the 20.5B model at batch 8:\n"
+      "  window m = %zu (feasible=%d, memory allows up to %zu)\n"
+      "  GPU footprint %.1f GiB of 32, CPU pinned %.1f GiB\n"
+      "  concurrent streams: %d\n",
+      d.m, static_cast<int>(d.feasible), d.max_m_by_memory,
+      cap.gpu_bytes / (1024.0 * 1024 * 1024),
+      cap.cpu_bytes / (1024.0 * 1024 * 1024),
+      sh_strategy.stream_count(w, v100));
+  return 0;
+}

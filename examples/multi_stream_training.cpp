@@ -1,0 +1,76 @@
+// Intra-GPU data parallelism with multiple executors (Section IV-A).
+//
+// The batch is split into micro-batches processed by concurrent executors
+// that share ONE copy of the model parameters in the working window;
+// gradients are all-reduced before the update, so the result matches
+// single-executor training.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+struct RunResult {
+  std::vector<float> losses;
+  std::vector<float> params;
+  double seconds;
+};
+
+RunResult run(std::size_t executors, int steps) {
+  sh::nn::GptConfig cfg;
+  cfg.vocab = 64;
+  cfg.max_seq = 16;
+  cfg.hidden = 32;
+  cfg.heads = 4;
+  cfg.layers = 4;
+  sh::nn::GptModel model(cfg);
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 2;
+  ecfg.num_executors = executors;
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(77);
+  sh::data::SyntheticCorpus corpus(cfg.vocab, 9);
+  RunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    r.losses.push_back(engine.train_step(corpus.next_batch(8, cfg.max_seq)));
+  }
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  engine.snapshot_params(r.params);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int steps = 10;
+  std::printf("training the same model/batches with 1, 2 and 4 executors...\n");
+  const auto one = run(1, steps);
+  const auto two = run(2, steps);
+  const auto four = run(4, steps);
+
+  std::printf("\n%6s %14s %12s\n", "execs", "final loss", "wall (s)");
+  std::printf("%6d %14.5f %12.3f\n", 1, one.losses.back(), one.seconds);
+  std::printf("%6d %14.5f %12.3f\n", 2, two.losses.back(), two.seconds);
+  std::printf("%6d %14.5f %12.3f\n", 4, four.losses.back(), four.seconds);
+
+  const float d2 = sh::tensor::max_abs_diff(
+      one.params.data(), two.params.data(),
+      static_cast<std::int64_t>(one.params.size()));
+  const float d4 = sh::tensor::max_abs_diff(
+      one.params.data(), four.params.data(),
+      static_cast<std::int64_t>(one.params.size()));
+  std::printf(
+      "\nmax |param diff| vs single executor: 2 execs %.2e, 4 execs %.2e\n"
+      "(micro-batch all-reduce reorders float sums; differences stay at\n"
+      " rounding level — the model is consistent, as Section IV-A claims)\n",
+      d2, d4);
+  return (d2 < 1e-4f && d4 < 1e-4f) ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Command-line experiment driver mirroring the paper artifact's
+// examples/run.sh interface:
+//
+//   run_experiment [-m METHOD] [-l NUM_LAYERS] [-h HIDDEN_SIZE]
+//                  [-b BATCH_SIZE] [-w WINDOW_SIZE] [-s SEQ_LEN]
+//
+// METHOD is one of: megatron-lm, l2l, zero-offload, zero-infinity,
+// stronghold, all (default). Prints capacity verdicts and simulated
+// throughput on the paper's V100 server for the requested configuration.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+
+namespace {
+
+struct Args {
+  std::string method = "all";
+  std::int64_t layers = 16;
+  std::int64_t hidden = 2048;
+  std::int64_t seq = 1024;
+  double batch = 4.0;
+  std::size_t window = 0;  // 0 = analytical model
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const char* val = argv[i + 1];
+    if (flag == "-m") {
+      a.method = val;
+    } else if (flag == "-l") {
+      a.layers = std::atoll(val);
+    } else if (flag == "-h") {
+      a.hidden = std::atoll(val);
+    } else if (flag == "-b") {
+      a.batch = std::atof(val);
+    } else if (flag == "-w") {
+      a.window = static_cast<std::size_t>(std::atoll(val));
+    } else if (flag == "-s") {
+      a.seq = std::atoll(val);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+std::string method_key(const std::string& name) {
+  std::string k;
+  for (char c : name) k.push_back(c == '_' ? '-' : static_cast<char>(std::tolower(c)));
+  return k;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sh;
+  const Args args = parse(argc, argv);
+  const auto machine = sim::v100_server();
+
+  baselines::Workload w;
+  w.model = sim::table1_model(args.layers, args.hidden);
+  w.model.seq = args.seq;
+  w.batch = args.batch;
+  std::printf("model: %lld layers, hidden %lld, seq %lld -> %.2fB params; "
+              "batch %.0f\n\n",
+              static_cast<long long>(args.layers),
+              static_cast<long long>(args.hidden),
+              static_cast<long long>(args.seq), sim::params_billions(w.model),
+              w.batch);
+  std::printf("%-14s %8s %12s %10s %12s %8s\n", "method", "fits", "GPU (GiB)",
+              "samples/s", "TFLOPS", "window");
+
+  auto report = [&](const baselines::Strategy& s) {
+    const auto cap = s.capacity(w, machine);
+    if (!cap.fits) {
+      std::printf("%-14s %8s %12.1f %10s %12s %8s\n", s.name().c_str(),
+                  ("OOM:" + cap.limiter).c_str(),
+                  cap.gpu_bytes / (1024.0 * 1024 * 1024), "-", "-", "-");
+      return;
+    }
+    const auto rep = s.iteration(w, machine, nullptr);
+    char win[16] = "-";
+    if (rep.window != 0) std::snprintf(win, sizeof win, "%zu", rep.window);
+    std::printf("%-14s %8s %12.1f %10.4f %12.2f %8s\n", s.name().c_str(),
+                "yes", cap.gpu_bytes / (1024.0 * 1024 * 1024), rep.throughput,
+                rep.achieved_flops / 1e12, win);
+  };
+
+  const auto lineup = baselines::single_gpu_lineup();
+  bool matched = false;
+  for (const auto& s : lineup) {
+    const std::string key = method_key(s->name());
+    if (args.method != "all" && key.find(args.method) == std::string::npos) {
+      continue;
+    }
+    matched = true;
+    if (s->name() == "STRONGHOLD" && args.window != 0) {
+      baselines::StrongholdStrategy fixed({.fixed_window = args.window});
+      report(fixed);
+    } else {
+      report(*s);
+    }
+  }
+  if (!matched) {
+    std::fprintf(stderr,
+                 "no method matched '%s' (use megatron-lm, l2l, "
+                 "zero-offload, zero-infinity, stronghold, all)\n",
+                 args.method.c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Calibration constants for the strategy simulators.
+//
+// The *mechanics* of every strategy (which tensors live where, what moves
+// over which link, what can overlap) follow the papers. The constants below
+// cover behaviour the papers report but do not derive — mostly software
+// efficiency of the respective implementations. Each is documented with the
+// observation it is calibrated against; everything else in the simulator
+// falls out of the residency rules and the shared hardware model.
+#pragma once
+
+namespace sh::baselines::calib {
+
+/// L2L executes one encoder layer at a time with synchronous transfers and
+/// per-layer CPU<->GPU synchronisation, destroying kernel pipelining. Fig. 8a
+/// reports 22.2% of Megatron-LM throughput on the 1.7B model; the transfers
+/// alone do not explain that, so the residual is modelled as a GPU-efficiency
+/// factor of its serialized execution.
+inline constexpr double kL2lGpuEfficiency = 0.24;
+
+/// L2L keeps optimizer state on the GPU in half precision (4 B/param for
+/// Adam m+v); calibrated so its 32 GB-V100 capacity lands near the paper's
+/// ~6B (Fig. 6a min-max 5.9-6.6B).
+inline constexpr double kL2lGpuOptBytesPerParam = 4.0;
+
+/// ZeRO-Offload/-Infinity run a single CPU optimizer process. The paper
+/// attributes their <57% relative throughput mostly to it ("their CPU
+/// optimizer implementation"); 1.5e8 params/s reproduces the Fig. 8a ratio
+/// (equivalent to ~2.4 GB/s of state traffic on one socket).
+inline constexpr double kZeroCpuAdamParamsPerS = 1.5e8;
+
+/// Fraction of ZeRO-Offload's gradient d2h traffic hidden under backward
+/// compute (it overlaps transfers per-bucket but synchronises per step).
+inline constexpr double kZeroOffloadOverlap = 0.5;
+
+/// ZeRO-Infinity gathers partitioned parameters layer-by-layer with limited
+/// prefetch depth; only a small fraction of the traffic hides under compute.
+inline constexpr double kZeroInfinityOverlap = 0.3;
+
+/// ZeRO-Infinity's runtime model refactoring keeps an extra copy of gathered
+/// parameters on the GPU and pads its CPU partitions (pinned buckets,
+/// alignment). Factor over the raw 16 B/param, calibrated to the paper's
+/// 20.6B CPU-only capacity on 755 GB RAM (Fig. 6a).
+inline constexpr double kZeroInfinityCpuOverhead = 2.2;
+
+/// Effective NVMe bandwidth ZeRO-Infinity achieves (bytes/s). Its per-tensor
+/// synchronous small-block I/O collapses far below the device's ~5 GB/s
+/// sequential rate — the paper measures a >800x throughput drop on a 1.7B
+/// model (Fig. 1b). 100 MB/s keeps the model physically plausible while
+/// reproducing the orders-of-magnitude collapse; EXPERIMENTS.md records the
+/// residual gap to the paper's exact factor.
+inline constexpr double kZeroInfinityNvmeBytesPerS = 100e6;
+
+/// STRONGHOLD reaches ~80% of the theoretical PCIe/NVMe peak with pinned
+/// buffers and bulk asynchronous requests (Section VI-A reports 80% of peak
+/// link bandwidth at ~100% GPU utilisation).
+inline constexpr double kStrongholdLinkEfficiency = 0.8;
+
+/// Fixed software cost of one collective operation (launch + sync). Makes
+/// per-layer collectives expensive at small batch sizes, which is what
+/// Fig. 12 measures for ZeRO-2/3 at batch size 1.
+inline constexpr double kCollectiveLatencyS = 8e-3;
+
+/// GPU-side Adam throughput (params/s): HBM-bandwidth-bound at
+/// ~900 GB/s / 48 B per param.
+inline constexpr double kGpuAdamParamsPerS = 1.9e10;
+
+/// Effective cross-server bandwidth the ZeRO runtimes achieve for their
+/// fine-grained per-layer collectives (small buckets, synchronous launches)
+/// — far below the 800 Gbps fabric peak. Calibrated against Fig. 12's
+/// >=2.6x STRONGHOLD advantage on the 3B/batch-1 workload.
+inline constexpr double kZeroCollectiveBytesPerS = 2.5e9;
+
+}  // namespace sh::baselines::calib

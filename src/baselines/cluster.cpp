@@ -1,0 +1,150 @@
+#include "baselines/cluster.hpp"
+
+#include <algorithm>
+
+#include "baselines/calibration.hpp"
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+namespace {
+
+/// Ring all-reduce seconds for `bytes` per rank across `w` ranks, at the
+/// ZeRO-family's fine-grained-bucket effective rate.
+double collective_seconds(double bytes, int w, double latency) {
+  const double wire = 2.0 * (w - 1) / static_cast<double>(w) * bytes /
+                      calib::kZeroCollectiveBytesPerS;
+  return wire + latency;
+}
+
+/// Tensor-parallel activation all-reduce volume per layer: 2 in FP + 2 in BP
+/// of [batch, seq, hidden] activations.
+double mp_comm_seconds_per_layer(const Workload& w,
+                                 const sim::ClusterSpec& cluster) {
+  const double act_bytes = sim::kF32 * w.batch *
+                           static_cast<double>(w.model.seq) *
+                           static_cast<double>(w.model.hidden);
+  const double one = 2.0 * (cluster.num_nodes - 1) /
+                         static_cast<double>(cluster.num_nodes) * act_bytes /
+                         cluster.net_bytes_per_s +
+                     calib::kCollectiveLatencyS;
+  return 4.0 * one;
+}
+
+}  // namespace
+
+CapacityReport cluster_capacity_mp(const Strategy& strategy, const Workload& w,
+                                   const sim::ClusterSpec& cluster) {
+  return strategy.capacity(w, cluster.node);
+}
+
+IterationReport cluster_iteration_mp(const Strategy& strategy,
+                                     const Workload& w,
+                                     const sim::ClusterSpec& cluster,
+                                     bool overlaps_collectives) {
+  IterationReport node = strategy.iteration(w, cluster.node, nullptr);
+  double comm = static_cast<double>(w.model.layers) *
+                mp_comm_seconds_per_layer(w, cluster);
+  // STRONGHOLD's concurrent heterogeneous collectives hide most of the
+  // tensor-parallel traffic under GPU compute (Section III-E2).
+  if (overlaps_collectives) comm *= 0.3;
+  const double total = node.seconds + comm;
+  auto r = detail::make_report(w, total, node.window);
+  return r;
+}
+
+double largest_trainable_billions_cluster(const Strategy& strategy,
+                                          const sim::ClusterSpec& cluster,
+                                          std::int64_t hidden, double batch,
+                                          std::int64_t max_layers) {
+  auto fits = [&](std::int64_t layers) {
+    Workload w;
+    w.model = sim::table1_model(layers, hidden, cluster.num_nodes);
+    w.batch = batch;
+    return strategy.capacity(w, cluster.node).fits;
+  };
+  if (!fits(1)) return 0.0;
+  std::int64_t lo = 1, hi = 2;
+  while (hi <= max_layers && fits(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, max_layers + 1);
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (fits(mid) ? lo : hi) = mid;
+  }
+  return sim::params_billions(
+      sim::table1_model(lo, hidden, cluster.num_nodes));
+}
+
+CapacityReport ZeroDpStrategy::capacity(const Workload& w,
+                                        const sim::MachineSpec& node) const {
+  CapacityReport r;
+  const double params = sim::total_params(w.model);
+  const double ranks = cluster_.num_nodes;
+  const double act =
+      w.checkpoint_activations
+          ? sim::activation_bytes_checkpointed(w.model, w.batch)
+          : sim::activation_bytes_full(w.model, w.batch);
+  if (stage_ == Stage::Two) {
+    // Params replicated; gradients + optimizer states sharded across ranks.
+    r.gpu_bytes = sim::kF32 * params + 12.0 * params / ranks + act +
+                  node.gpu.runtime_reserved_bytes;
+  } else {
+    // Everything sharded; two gathered layers of working memory.
+    r.gpu_bytes = sim::kStateBytesPerParam * params / ranks +
+                  2.0 * sim::block_window_bytes(w.model) + act +
+                  node.gpu.runtime_reserved_bytes;
+  }
+  r.fits = r.gpu_bytes <= node.gpu.mem_bytes;
+  if (!r.fits) r.limiter = "gpu";
+  return r;
+}
+
+IterationReport ZeroDpStrategy::iteration(const Workload& w,
+                                          const sim::MachineSpec& node,
+                                          sim::Trace* trace) const {
+  const double params = sim::total_params(w.model);
+  const double param_bytes = sim::kF32 * params;
+  const double compute = detail::t_compute_iteration(w, node.gpu);
+  const int ranks = cluster_.num_nodes;
+
+  double comm = 0.0;
+  if (stage_ == Stage::Two) {
+    // Reduce-scatter gradients + all-gather updated parameters, bucketed
+    // per layer (one collective latency each).
+    comm = collective_seconds(param_bytes, ranks,
+                              2.0 * w.model.layers * calib::kCollectiveLatencyS) *
+           2.0;
+  } else {
+    // ZeRO-3 additionally all-gathers parameters for FP and again for BP.
+    comm = collective_seconds(param_bytes, ranks,
+                              3.0 * w.model.layers * calib::kCollectiveLatencyS) *
+           3.0;
+  }
+  const double opt = params / ranks / calib::kGpuAdamParamsPerS;
+  const double total = compute + comm + opt;
+  if (trace != nullptr) {
+    trace->record("gpu", "c", {0.0, compute});
+    trace->record("net", "a", {compute, compute + comm});
+  }
+  return detail::make_report(w, total);
+}
+
+IterationReport stronghold_dp_iteration(const Workload& w,
+                                        const sim::ClusterSpec& cluster) {
+  StrongholdStrategy sh;
+  IterationReport node = sh.iteration(w, cluster.node, nullptr);
+  // One bucketed gradient all-reduce over the fast fabric, issued during BP
+  // through the heterogeneous collective channels; only a tail is exposed.
+  const double param_bytes = sim::kF32 * sim::total_params(w.model);
+  const double wire = 2.0 * (cluster.num_nodes - 1) /
+                          static_cast<double>(cluster.num_nodes) * param_bytes /
+                      (cluster.net_bytes_per_s * calib::kStrongholdLinkEfficiency);
+  const double exposed = 0.2 * wire + calib::kCollectiveLatencyS;
+  return detail::make_report(w, node.seconds + exposed, node.window);
+}
+
+}  // namespace sh::baselines

@@ -1,0 +1,65 @@
+// Distributed placements on the A10 cluster (Sections VI-A2, VI-B, VI-D2).
+//
+// Two modes are evaluated by the paper:
+//  * 8-way model parallelism (Figs. 6b, 7b): every strategy shards each
+//    layer across the nodes and pays per-layer activation all-reduces.
+//  * Data parallelism (Fig. 12): ZeRO-2/3 shard states across DP ranks and
+//    pay gradient/parameter collectives; STRONGHOLD instead fits the whole
+//    model per node via offloading and pays one overlapped gradient
+//    all-reduce (Section III-F).
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+/// Memory plan of `strategy` under cluster-wide model parallelism. The
+/// Workload's ModelSpec must carry model_parallel == cluster.num_nodes.
+CapacityReport cluster_capacity_mp(const Strategy& strategy, const Workload& w,
+                                   const sim::ClusterSpec& cluster);
+
+/// One iteration under cluster-wide model parallelism: the node-local
+/// schedule plus per-layer tensor-parallel activation all-reduces.
+/// STRONGHOLD's heterogeneous collectives overlap most of that traffic
+/// (Section III-E2); the other strategies pay it serially.
+IterationReport cluster_iteration_mp(const Strategy& strategy,
+                                     const Workload& w,
+                                     const sim::ClusterSpec& cluster,
+                                     bool overlaps_collectives);
+
+/// Largest trainable size (billions) under cluster-wide MP, sweeping layers.
+double largest_trainable_billions_cluster(const Strategy& strategy,
+                                          const sim::ClusterSpec& cluster,
+                                          std::int64_t hidden, double batch,
+                                          std::int64_t max_layers = 8192);
+
+/// ZeRO-2 / ZeRO-3 [9] data-parallel sharding across the cluster.
+class ZeroDpStrategy final : public Strategy {
+ public:
+  enum class Stage { Two, Three };
+
+  ZeroDpStrategy(Stage stage, const sim::ClusterSpec& cluster)
+      : stage_(stage), cluster_(cluster) {}
+
+  std::string name() const override {
+    return stage_ == Stage::Two ? "ZeRO-2" : "ZeRO-3";
+  }
+  /// Per-node memory plan with states sharded across num_nodes DP ranks.
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& node) const override;
+  /// Per-iteration time including the cross-server collectives.
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& node,
+                            sim::Trace* trace) const override;
+
+ private:
+  Stage stage_;
+  sim::ClusterSpec cluster_;
+};
+
+/// STRONGHOLD running data parallelism across the cluster: the full model
+/// fits on every node through offloading; gradients are all-reduced once,
+/// overlapped with the backward pass.
+IterationReport stronghold_dp_iteration(const Workload& w,
+                                        const sim::ClusterSpec& cluster);
+
+}  // namespace sh::baselines

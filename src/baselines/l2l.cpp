@@ -1,0 +1,60 @@
+#include "baselines/l2l.hpp"
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+CapacityReport L2lStrategy::capacity(const Workload& w,
+                                     const sim::MachineSpec& machine) const {
+  CapacityReport r;
+  const double params =
+      sim::total_params(w.model) / w.model.model_parallel;
+  // Optimizer states stay on the GPU (half precision, see calibration.hpp);
+  // only a couple of layers' parameters are resident at a time.
+  r.gpu_bytes = calib::kL2lGpuOptBytesPerParam * params +
+                2.0 * sim::block_window_bytes(w.model) +
+                sim::checkpoint_bytes(w.model, w.batch) *
+                    static_cast<double>(w.model.layers) +
+                sim::working_activation_bytes(w.model, w.batch) +
+                machine.gpu.runtime_reserved_bytes;
+  r.cpu_bytes = sim::kF32 * params;  // offloaded parameters
+  if (r.gpu_bytes > machine.gpu.mem_bytes) {
+    r.limiter = "gpu";
+  } else if (r.cpu_bytes > machine.cpu.ram_bytes) {
+    r.limiter = "cpu";
+  } else {
+    r.fits = true;
+  }
+  return r;
+}
+
+IterationReport L2lStrategy::iteration(const Workload& w,
+                                       const sim::MachineSpec& machine,
+                                       sim::Trace* trace) const {
+  // Strictly serialized: fetch a layer, compute it, fetch the next...
+  // Twice per iteration (FP then BP); the serialized execution also costs
+  // kernel efficiency (see calibration.hpp).
+  const double t_fetch =
+      sim::block_param_bytes(w.model) / machine.pcie_bytes_per_s +
+      machine.pcie_latency_s;
+  const double per_layer_compute =
+      (detail::t_fwd_block(w, machine.gpu) + detail::t_bwd_block(w, machine.gpu)) *
+      detail::bubble_multiplier(machine.gpu) / calib::kL2lGpuEfficiency;
+  const double n = static_cast<double>(w.model.layers);
+  const double compute_total =
+      n * per_layer_compute +
+      detail::t_head_total(w, machine.gpu) / calib::kL2lGpuEfficiency;
+  const double transfer_total = 2.0 * n * t_fetch;  // FP and BP passes
+  const double opt = sim::total_params(w.model) / w.model.model_parallel /
+                     calib::kGpuAdamParamsPerS;
+  const double total = compute_total + transfer_total + opt;
+  if (trace != nullptr) {
+    double t = 0.0;
+    trace->record("pcie", "t", {t, t + transfer_total / 2.0});
+    trace->record("gpu", "c", {t + transfer_total / 2.0, total});
+  }
+  return detail::make_report(w, total);
+}
+
+}  // namespace sh::baselines

@@ -1,0 +1,19 @@
+// L2L [18]: keeps one Transformer block in GPU memory at a time, moving
+// parameters synchronously between CPU and GPU; optimizer states remain on
+// the GPU, which caps its trainable size at roughly GPU_mem / opt_bytes.
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+class L2lStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "L2L"; }
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+};
+
+}  // namespace sh::baselines

@@ -1,0 +1,36 @@
+#include "baselines/megatron.hpp"
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+CapacityReport MegatronStrategy::capacity(const Workload& w,
+                                          const sim::MachineSpec& machine) const {
+  CapacityReport r;
+  const double act =
+      w.checkpoint_activations
+          ? sim::activation_bytes_checkpointed(w.model, w.batch)
+          : sim::activation_bytes_full(w.model, w.batch);
+  r.gpu_bytes = sim::total_state_bytes(w.model) + act +
+                machine.gpu.runtime_reserved_bytes;
+  r.fits = r.gpu_bytes <= machine.gpu.mem_bytes;
+  if (!r.fits) r.limiter = "gpu";
+  return r;
+}
+
+IterationReport MegatronStrategy::iteration(const Workload& w,
+                                            const sim::MachineSpec& machine,
+                                            sim::Trace* trace) const {
+  const double compute = detail::t_compute_iteration(w, machine.gpu);
+  const double opt = sim::total_params(w.model) / w.model.model_parallel /
+                     calib::kGpuAdamParamsPerS;
+  const double total = compute + opt;
+  if (trace != nullptr) {
+    trace->record("gpu", "c", {0.0, compute});
+    trace->record("gpu", "o", {compute, total});
+  }
+  return detail::make_report(w, total);
+}
+
+}  // namespace sh::baselines

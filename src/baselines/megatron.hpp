@@ -1,0 +1,19 @@
+// Megatron-LM [37]: NVIDIA's optimized Transformer training library. All
+// model states live in GPU memory; no offloading. The throughput reference
+// and capacity floor of the paper's evaluation.
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+class MegatronStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "Megatron-LM"; }
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+};
+
+}  // namespace sh::baselines

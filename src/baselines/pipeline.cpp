@@ -1,0 +1,69 @@
+#include "baselines/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+CapacityReport PipelineStrategy::capacity(const Workload& w,
+                                          const sim::MachineSpec& machine) const {
+  if (stages_ < 1 || micro_batches_ < 1) {
+    throw std::invalid_argument("PipelineStrategy: stages/micro_batches >= 1");
+  }
+  CapacityReport r;
+  // A stage owns 1/stages of the layers (full state, no sharding within the
+  // stage) and stashes the stage-input activations of every in-flight
+  // micro-batch (GPipe re-materialises the rest).
+  const double micro = w.batch / micro_batches_;
+  const double stage_state = sim::total_state_bytes(w.model) / stages_;
+  const double stash = static_cast<double>(micro_batches_) *
+                       sim::checkpoint_bytes(w.model, micro);
+  const double act = sim::working_activation_bytes(w.model, micro) +
+                     sim::activation_bytes_checkpointed(w.model, micro) /
+                         stages_;
+  r.gpu_bytes =
+      stage_state + stash + act + machine.gpu.runtime_reserved_bytes;
+  r.fits = r.gpu_bytes <= machine.gpu.mem_bytes;
+  if (!r.fits) r.limiter = "gpu";
+  return r;
+}
+
+IterationReport PipelineStrategy::iteration(const Workload& w,
+                                            const sim::MachineSpec& machine,
+                                            sim::Trace* trace) const {
+  const double micro = w.batch / micro_batches_;
+  // Per-stage compute for one micro-batch (layers split evenly).
+  Workload stage_w = w;
+  stage_w.batch = micro;
+  const double stage_compute =
+      detail::t_compute_iteration(stage_w, machine.gpu) / stages_ +
+      detail::t_head_total(stage_w, machine.gpu) *
+          detail::bubble_multiplier(machine.gpu) * 0.0;  // head in last stage
+  // Inter-stage activation transfer per micro-batch boundary.
+  const double act_bytes = sim::kF32 * micro *
+                           static_cast<double>(w.model.seq) *
+                           static_cast<double>(w.model.hidden);
+  const double hop = act_bytes / machine.pcie_bytes_per_s;
+
+  // GPipe schedule: m micro-batches through p stages; makespan =
+  // (m + p - 1) * (stage time + hop) for FP+BP combined (already folded into
+  // stage_compute), plus the optimizer.
+  const double slot = stage_compute + hop;
+  const double makespan =
+      static_cast<double>(micro_batches_ + stages_ - 1) * slot;
+  const double opt = sim::total_params(w.model) / stages_ /
+                     calib::kGpuAdamParamsPerS;
+  const double total = makespan + opt;
+  if (trace != nullptr) {
+    for (int s = 0; s < stages_; ++s) {
+      const double start = s * slot;
+      trace->record("stage" + std::to_string(s), "c",
+                    {start, start + micro_batches_ * slot});
+    }
+  }
+  return detail::make_report(w, total);
+}
+
+}  // namespace sh::baselines

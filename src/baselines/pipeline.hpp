@@ -1,0 +1,44 @@
+// GPipe-style pipeline parallelism [7] — the third classic multi-GPU
+// strategy the paper positions against (Section II-A / VII). Layers are
+// split into sequential stages across devices; each batch is divided into
+// micro-batches flowing through the pipeline, with the classic (p-1)/m
+// bubble overhead and per-stage activation stashing.
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+class PipelineStrategy final : public Strategy {
+ public:
+  /// `stages` devices in the pipeline, `micro_batches` per global batch.
+  PipelineStrategy(int stages, int micro_batches)
+      : stages_(stages), micro_batches_(micro_batches) {}
+
+  std::string name() const override { return "Pipeline(GPipe)"; }
+
+  /// Per-device memory plan: a stage holds layers/stages of the model plus
+  /// activation stashes for every in-flight micro-batch.
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+
+  /// One iteration: per-stage compute with the pipeline-fill bubble and
+  /// inter-stage activation transfers.
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+
+  int stages() const noexcept { return stages_; }
+  int micro_batches() const noexcept { return micro_batches_; }
+
+  /// Classic GPipe bubble fraction: (p - 1) / (m + p - 1).
+  double bubble_fraction() const noexcept {
+    return static_cast<double>(stages_ - 1) /
+           static_cast<double>(micro_batches_ + stages_ - 1);
+  }
+
+ private:
+  int stages_;
+  int micro_batches_;
+};
+
+}  // namespace sh::baselines

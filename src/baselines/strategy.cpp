@@ -1,0 +1,47 @@
+#include "baselines/strategy.hpp"
+
+#include "baselines/l2l.hpp"
+#include "baselines/megatron.hpp"
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/zero_infinity.hpp"
+#include "baselines/zero_offload.hpp"
+
+namespace sh::baselines {
+
+double largest_trainable_billions(const Strategy& strategy,
+                                  const sim::MachineSpec& machine,
+                                  std::int64_t hidden, int model_parallel,
+                                  double batch, std::int64_t max_layers) {
+  auto fits = [&](std::int64_t layers) {
+    Workload w;
+    w.model = sim::table1_model(layers, hidden, model_parallel);
+    w.batch = batch;
+    return strategy.capacity(w, machine).fits;
+  };
+  if (!fits(1)) return 0.0;
+  // Exponential probe then binary search on the layer count.
+  std::int64_t lo = 1;
+  std::int64_t hi = 2;
+  while (hi <= max_layers && fits(hi)) {
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, max_layers + 1);
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (fits(mid) ? lo : hi) = mid;
+  }
+  return sim::params_billions(sim::table1_model(lo, hidden, model_parallel));
+}
+
+std::vector<std::unique_ptr<Strategy>> single_gpu_lineup() {
+  std::vector<std::unique_ptr<Strategy>> v;
+  v.push_back(std::make_unique<MegatronStrategy>());
+  v.push_back(std::make_unique<L2lStrategy>());
+  v.push_back(std::make_unique<ZeroOffloadStrategy>());
+  v.push_back(std::make_unique<ZeroInfinityStrategy>());
+  v.push_back(std::make_unique<StrongholdStrategy>());
+  return v;
+}
+
+}  // namespace sh::baselines

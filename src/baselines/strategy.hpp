@@ -1,0 +1,71 @@
+// Common interface of the training-strategy simulators.
+//
+// Each strategy answers two questions for a (model, batch) workload on a
+// machine: does it fit (memory plan), and how long is one training iteration
+// (schedule built on sim::Timeline resources). These are exactly the two
+// metrics of the paper's evaluation — largest trainable size and throughput.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+#include "sim/trace.hpp"
+
+namespace sh::baselines {
+
+struct Workload {
+  sim::ModelSpec model;
+  double batch = 4.0;  // per-GPU batch size
+  bool checkpoint_activations = true;
+};
+
+/// Memory plan verdict.
+struct CapacityReport {
+  bool fits = false;
+  double gpu_bytes = 0.0;
+  double cpu_bytes = 0.0;
+  double nvme_bytes = 0.0;
+  std::string limiter;  // which budget failed (empty when fits)
+};
+
+/// One simulated training iteration.
+struct IterationReport {
+  double seconds = 0.0;
+  double throughput = 0.0;      // samples / second
+  double achieved_flops = 0.0;  // useful FLOPs / second
+  std::size_t window = 0;       // STRONGHOLD window (0 for others)
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Memory plan for the workload on one machine (model_parallel shards are
+  /// already reflected in the ModelSpec).
+  virtual CapacityReport capacity(const Workload& w,
+                                  const sim::MachineSpec& machine) const = 0;
+
+  /// Simulates one training iteration. A non-null `trace` receives the
+  /// schedule spans (Figure 4 style).
+  virtual IterationReport iteration(const Workload& w,
+                                    const sim::MachineSpec& machine,
+                                    sim::Trace* trace = nullptr) const = 0;
+};
+
+/// Sweeps the layer count at fixed hidden size to find the largest trainable
+/// parameter count (in billions) on the machine — the Fig. 6 methodology
+/// (grow the model until OOM).
+double largest_trainable_billions(const Strategy& strategy,
+                                  const sim::MachineSpec& machine,
+                                  std::int64_t hidden, int model_parallel,
+                                  double batch, std::int64_t max_layers = 4096);
+
+/// All strategies of the single-GPU comparison, in paper order.
+std::vector<std::unique_ptr<Strategy>> single_gpu_lineup();
+
+}  // namespace sh::baselines

@@ -1,0 +1,308 @@
+#include "baselines/stronghold_strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+namespace {
+
+/// Per-iteration GPU-memory cost of one additional concurrent stream:
+/// its own gradient staging in the window plus working activations for a
+/// micro-batch (checkpoints are shared; parameters are shared by design).
+double stream_overhead_bytes(const Workload& w, double micro_batch) {
+  return sim::block_window_bytes(w.model) +
+         sim::working_activation_bytes(w.model, micro_batch);
+}
+
+/// Bytes STRONGHOLD keeps pinned on the GPU for the first/last layer.
+double pinned_bytes(const Workload& w) {
+  return 2.0 * sim::kF32 * sim::embedding_params(w.model) /
+         w.model.model_parallel;
+}
+
+/// Per-layer slot footprint: parameters + gradients + the layer's saved
+/// input (activation checkpoint). STRONGHOLD's working window carries the
+/// "layer-specific inputs" with the layer (Section III-C), so checkpoints of
+/// out-of-window layers live in CPU RAM, not GPU memory.
+double slot_bytes(const Workload& w) {
+  return sim::block_window_bytes(w.model) +
+         sim::checkpoint_bytes(w.model, w.batch);
+}
+
+}  // namespace
+
+CapacityReport StrongholdStrategy::capacity(
+    const Workload& w, const sim::MachineSpec& machine) const {
+  CapacityReport r;
+  // Minimum viable window: two slots (one computing, one prefetching), plus
+  // transient working activations of the layer being computed.
+  r.gpu_bytes = pinned_bytes(w) + 2.0 * slot_bytes(w) +
+                sim::working_activation_bytes(w.model, w.batch) +
+                machine.gpu.runtime_reserved_bytes;
+  const double state = sim::total_state_bytes(w.model);
+  // Offloaded activation checkpoints ride along with the layer states.
+  const double ckpt = static_cast<double>(w.model.layers) *
+                      sim::checkpoint_bytes(w.model, w.batch);
+  if (options_.use_nvme) {
+    // The paper reports half a trillion trainable parameters on a 2 TB NVMe
+    // device (Fig. 10), which implies ~4 B/param on the tier (FP16 params +
+    // FP16 moments); the FP32 masters of in-flight layers stage in CPU RAM.
+    r.nvme_bytes = 4.0 * sim::total_params(w.model) / w.model.model_parallel;
+    r.cpu_bytes = 32.0 * sim::block_state_bytes(w.model) + ckpt;
+  } else {
+    r.cpu_bytes = state + ckpt;
+  }
+  if (r.gpu_bytes > machine.gpu.mem_bytes) {
+    r.limiter = "gpu";
+  } else if (!options_.use_nvme &&
+             r.cpu_bytes > machine.cpu.pinned_limit_bytes) {
+    r.limiter = "cpu-pinned";
+  } else if (options_.use_nvme && r.nvme_bytes > machine.nvme_bytes) {
+    r.limiter = "nvme";
+  } else if (options_.use_nvme && r.cpu_bytes > machine.cpu.ram_bytes) {
+    r.limiter = "cpu";
+  } else {
+    r.fits = true;
+  }
+  return r;
+}
+
+int StrongholdStrategy::stream_count(const Workload& w,
+                                     const sim::MachineSpec& machine) const {
+  if (!options_.multi_stream) return 1;
+  const auto cap = capacity(w, machine);
+  if (!cap.fits) return 1;
+  double free_bytes = machine.gpu.mem_bytes - cap.gpu_bytes;
+  int streams = 1;
+  while (streams < machine.gpu.max_streams &&
+         static_cast<double>(streams + 1) <= w.batch) {
+    const double need = stream_overhead_bytes(w, w.batch / (streams + 1.0));
+    if (free_bytes < need) break;
+    free_bytes -= need;
+    ++streams;
+  }
+  return streams;
+}
+
+core::WindowModelInput StrongholdStrategy::build_model_input(
+    const Workload& w, const sim::MachineSpec& machine, int streams) const {
+  const double link =
+      machine.pcie_bytes_per_s * calib::kStrongholdLinkEfficiency;
+  // With the NVMe tier the fetch path is NVMe -> CPU -> GPU; the slower hop
+  // bounds the per-layer rate (bulk sequential requests keep STRONGHOLD near
+  // the device's sequential bandwidth, Section III-G).
+  const double nvme =
+      machine.nvme_bytes_per_s * calib::kStrongholdLinkEfficiency;
+  const double in_rate = options_.use_nvme ? std::min(link, nvme) : link;
+  const double out_rate = in_rate;
+  // A layer moves with its parameters plus its saved input checkpoint.
+  const double move_bytes =
+      sim::block_param_bytes(w.model) + sim::checkpoint_bytes(w.model, w.batch);
+
+  const double bubble = detail::bubble_multiplier(machine.gpu, streams);
+  core::LayerProfile p;
+  p.t_fp = detail::t_fwd_block(w, machine.gpu) * bubble;
+  p.t_bp = detail::t_bwd_block(w, machine.gpu) * bubble;
+  p.t_c2g = move_bytes / in_rate + machine.pcie_latency_s;
+  p.t_g2c = move_bytes / out_rate + machine.pcie_latency_s;
+  p.s_fp = slot_bytes(w);
+  p.s_bp = slot_bytes(w);
+  p.t_opt_gpu = sim::block_params(w.model) / w.model.model_parallel /
+                calib::kGpuAdamParamsPerS;
+  const double cpu_rate =
+      options_.concurrent_update
+          ? machine.cpu.adam_params_per_core_s *
+                static_cast<double>(machine.cpu.cores)
+          : calib::kZeroCpuAdamParamsPerS;
+  p.t_opt_cpu = sim::block_params(w.model) / w.model.model_parallel / cpu_rate;
+
+  core::WindowModelInput input;
+  input.layers.assign(static_cast<std::size_t>(w.model.layers), p);
+  input.s_avail = machine.gpu.mem_bytes - pinned_bytes(w) -
+                  sim::working_activation_bytes(w.model, w.batch) -
+                  machine.gpu.runtime_reserved_bytes;
+  input.t_async = machine.async_call_overhead_s;
+  return input;
+}
+
+core::WindowDecision StrongholdStrategy::window_decision(
+    const Workload& w, const sim::MachineSpec& machine) const {
+  const int streams = stream_count(w, machine);
+  auto input = build_model_input(w, machine, streams);
+  auto d = core::solve_window(input);
+  if (options_.fixed_window != 0) {
+    d.m = std::min<std::size_t>(options_.fixed_window,
+                                static_cast<std::size_t>(w.model.layers));
+  }
+  return d;
+}
+
+IterationReport StrongholdStrategy::iteration(const Workload& w,
+                                              const sim::MachineSpec& machine,
+                                              sim::Trace* trace) const {
+  const int streams = stream_count(w, machine);
+  const auto input = build_model_input(w, machine, streams);
+  auto decision = core::solve_window(input);
+  const std::size_t m =
+      options_.fixed_window != 0
+          ? std::min<std::size_t>(options_.fixed_window,
+                                  static_cast<std::size_t>(w.model.layers))
+          : std::max<std::size_t>(decision.m, 1);
+
+  // Build the pipelined schedule: the GPU stream computes layer after layer;
+  // the h2d link prefetches layer i+m while layer i computes; the d2h link
+  // drains gradients; CPU lanes run the concurrent optimizer actors.
+  sim::Timeline gpu("gpu");
+  const double link_bw =
+      machine.pcie_bytes_per_s * calib::kStrongholdLinkEfficiency;
+  sim::BandwidthLink h2d("h2d", link_bw, machine.pcie_latency_s);
+  sim::BandwidthLink d2h("d2h", link_bw, machine.pcie_latency_s);
+  // Separate read/write queues: STRONGHOLD prioritises prefetch reads over
+  // state write-backs, so a lagging write never blocks the fetch pipeline
+  // (each direction modelled at ~70% of the device's sequential bandwidth).
+  sim::BandwidthLink nvme("nvme-read", machine.nvme_bytes_per_s * 0.7, 50e-6);
+  sim::BandwidthLink nvme_wr("nvme-write", machine.nvme_bytes_per_s * 0.7,
+                             50e-6);
+  const std::size_t opt_lanes =
+      options_.concurrent_update
+          ? static_cast<std::size_t>(std::max(machine.cpu.cores / 2, 1))
+          : 1;
+  sim::LanePool cpu("cpu-opt", opt_lanes);
+
+  const auto n = static_cast<std::size_t>(w.model.layers);
+  const double move_bytes =
+      sim::block_param_bytes(w.model) + sim::checkpoint_bytes(w.model, w.batch);
+  // Without user-level memory management (Section III-E3) buffers cannot be
+  // pinned and reused: every move pays per-tensor CUDA (de)allocations with
+  // implicit synchronisation, and the copies are effectively synchronous
+  // (no compute/transfer overlap).
+  const bool pinned_io = options_.user_level_memory;
+  const double alloc_penalty = pinned_io ? 0.0 : 12.0 * 1.0e-3;
+
+  const auto& prof = input.layers.front();
+
+  // With multiple streams, one stream's synchronous stalls overlap another
+  // stream's compute, so non-overlapped costs amortise across streams.
+  const double div = static_cast<double>(std::max(streams, 1));
+  sim::Time t = 0.0;
+  std::vector<sim::Time> compute_start(n, 0.0);
+  // FP: layers 1..m are resident from the previous iteration (III-E1); the
+  // fetch of layer i is issued by the pre-forward hook of layer i-m
+  // (Fig. 3b), which is what bounds the achievable lookahead at small m.
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Time fetched_at = 0.0;
+    double work = prof.t_fp;
+    if (i >= m) {
+      if (pinned_io) {
+        const sim::Time issue = compute_start[i - m];
+        sim::Interval host = options_.use_nvme
+                                 ? nvme.transfer(issue, move_bytes)
+                                 : sim::Interval{issue, issue};
+        if (trace != nullptr && options_.use_nvme) {
+          trace->record("nvme", "r", host);
+        }
+        const auto xfer = h2d.transfer(host.end, move_bytes);
+        if (trace != nullptr) trace->record("h2d", "p", xfer);
+        fetched_at = xfer.end;
+      } else {
+        work += prof.t_c2g / div;  // synchronous fetch
+      }
+    }
+    if (!pinned_io) work += alloc_penalty / div;
+    const auto iv = gpu.acquire(std::max(t, fetched_at), work);
+    compute_start[i] = iv.start;
+    if (trace != nullptr) trace->record("gpu", "f", iv);
+    t = iv.end;
+  }
+  // Head compute.
+  {
+    const auto iv =
+        gpu.acquire(t, detail::t_head_total(w, machine.gpu) *
+                           detail::bubble_multiplier(machine.gpu, streams));
+    if (trace != nullptr) trace->record("gpu", "h", iv);
+    t = iv.end;
+  }
+  // BP: walk layers in reverse; refetch those evicted during FP (all except
+  // the last m, which are still resident), drain gradients, update on CPU.
+  sim::Time bp_start = t;
+  const double nvme_write_s =
+      options_.use_nvme ? nvme_wr.seconds_for(move_bytes * 4.0) : 0.0;
+  std::vector<sim::Time> bp_compute_start(n, bp_start);
+  for (std::size_t k = 0; k < n; ++k) {
+    sim::Time ready = bp_start;
+    double work = prof.t_bp;
+    if (!pinned_io) work += alloc_penalty / div;
+    if (k >= m) {  // the layer was evicted during FP and needs a refetch,
+                   // issued by the pre-backward hook m layers ahead (Fig. 3c)
+      if (pinned_io) {
+        const sim::Time issue = bp_compute_start[k - m];
+        sim::Interval host = options_.use_nvme
+                                 ? nvme.transfer(issue, move_bytes)
+                                 : sim::Interval{issue, issue};
+        if (trace != nullptr && options_.use_nvme) {
+          trace->record("nvme", "r", host);
+        }
+        const auto xfer = h2d.transfer(host.end, move_bytes);
+        if (trace != nullptr) trace->record("h2d", "p", xfer);
+        ready = xfer.end;
+      } else {
+        work += prof.t_c2g / div;  // synchronous fetch
+      }
+    }
+    const auto iv = gpu.acquire(std::max(t, ready), work);
+    bp_compute_start[k] = iv.start;
+    if (trace != nullptr) trace->record("gpu", "b", iv);
+    t = iv.end;
+    // Gradient offload + optimizer + NVMe write-back.
+    if (pinned_io) {
+      const auto giv = d2h.transfer(iv.end, move_bytes);
+      if (trace != nullptr) trace->record("d2h", "g", giv);
+      const auto oiv = cpu.acquire(giv.end, prof.t_opt_cpu);
+      if (trace != nullptr) trace->record("cpu", "o", oiv);
+      if (options_.use_nvme) {
+        const auto wiv =
+            nvme_wr.transfer(oiv.end, move_bytes * 4.0);  // p+m+v+g
+        if (trace != nullptr) trace->record("nvme", "w", wiv);
+      }
+    } else {
+      // Unpinned buffers: the gradient drain is synchronous on the GPU.
+      const auto giv = gpu.acquire(t, prof.t_g2c / div);
+      if (trace != nullptr) trace->record("gpu", "g", giv);
+      t = giv.end;
+      if (options_.concurrent_update) {
+        // Actors still take the update (and tier write-back) off the
+        // critical path even when the transfers are synchronous.
+        const auto oiv = cpu.acquire(giv.end, prof.t_opt_cpu);
+        if (trace != nullptr) trace->record("cpu", "o", oiv);
+        if (options_.use_nvme) nvme_wr.transfer(oiv.end, move_bytes * 4.0);
+      } else {
+        // Single optimizer fully serialized with the step.
+        const auto oiv = gpu.acquire(t, prof.t_opt_cpu + nvme_write_s);
+        if (trace != nullptr) trace->record("cpu", "o", oiv);
+        t = oiv.end;
+      }
+    }
+  }
+  // The iteration ends when the GPU finishes and the updates for the layers
+  // needed at the start of the next FP are visible; with the first window
+  // updated in place on the GPU, the GPU timeline dominates unless the CPU
+  // actors or the tier lag behind (Eq. 3).
+  double end = gpu.busy_until();
+  end = std::max(end, cpu.busy_until() - prof.t_fp * static_cast<double>(m));
+  if (options_.use_nvme) {
+    const double tier_end =
+        std::max(nvme.timeline().busy_until(), nvme_wr.timeline().busy_until());
+    end = std::max(end, tier_end - prof.t_fp * static_cast<double>(m));
+  }
+  // Async hook overhead: 5 asynchronous calls per layer per iteration
+  // (2 in FP, 3 in BP; Section III-D).
+  end += 5.0 * static_cast<double>(n) * machine.async_call_overhead_s;
+
+  return detail::make_report(w, end, m);
+}
+
+}  // namespace sh::baselines

@@ -1,0 +1,53 @@
+// STRONGHOLD's strategy adapter for the performance simulator.
+//
+// Uses the same analytical window model (core::solve_window) as the numeric
+// engine, fed with simulated per-layer compute and transfer times, then
+// builds the overlapped schedule on Timeline resources. Option toggles
+// reproduce the Figure 14 ablation (concurrent update, user-level memory
+// management, multi-streamed execution) and the NVMe tier (Section III-G).
+#pragma once
+
+#include "baselines/strategy.hpp"
+#include "core/window_model.hpp"
+
+namespace sh::baselines {
+
+struct StrongholdOptions {
+  bool concurrent_update = true;   // Section III-E1 (+ heterogeneous comms)
+  bool user_level_memory = true;   // Section III-E3
+  bool multi_stream = true;        // Section IV-A
+  bool use_nvme = false;           // Section III-G
+  std::size_t fixed_window = 0;    // 0 = analytical model (Section III-D)
+};
+
+class StrongholdStrategy final : public Strategy {
+ public:
+  explicit StrongholdStrategy(StrongholdOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.use_nvme ? "STRONGHOLD(NVMe)" : "STRONGHOLD";
+  }
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+
+  /// The window the analytical model selects for this workload/machine.
+  core::WindowDecision window_decision(const Workload& w,
+                                       const sim::MachineSpec& machine) const;
+
+  /// Concurrent streams the runtime can afford (Section IV-A warm-up check).
+  int stream_count(const Workload& w, const sim::MachineSpec& machine) const;
+
+  const StrongholdOptions& options() const noexcept { return options_; }
+
+ private:
+  core::WindowModelInput build_model_input(const Workload& w,
+                                           const sim::MachineSpec& machine,
+                                           int streams) const;
+
+  StrongholdOptions options_;
+};
+
+}  // namespace sh::baselines

@@ -1,0 +1,57 @@
+// Shared timing helpers for the strategy simulators.
+#pragma once
+
+#include "baselines/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+
+namespace sh::baselines::detail {
+
+/// Kernel-level forward seconds of one block shard on a single stream.
+inline double t_fwd_block(const Workload& w, const sim::GpuSpec& gpu) {
+  return sim::block_fwd_flops(w.model, w.batch) / gpu.effective_flops(w.batch);
+}
+
+/// Kernel-level backward seconds (incl. recompute when checkpointing).
+inline double t_bwd_block(const Workload& w, const sim::GpuSpec& gpu) {
+  return sim::block_bwd_flops(w.model, w.batch, w.checkpoint_activations) /
+         gpu.effective_flops(w.batch);
+}
+
+/// Kernel-level head (embedding projection) seconds for a full iteration
+/// (forward + backward, ~3x forward FLOPs).
+inline double t_head_total(const Workload& w, const sim::GpuSpec& gpu) {
+  return 3.0 * sim::head_fwd_flops(w.model, w.batch) /
+         gpu.effective_flops(w.batch);
+}
+
+/// End-to-end multiplier of per-kernel bubbles (launch gaps, dependency
+/// stalls). `streams` concurrent CUDA streams fill each other's bubbles.
+inline double bubble_multiplier(const sim::GpuSpec& gpu, int streams = 1) {
+  return 1.0 + gpu.bubble_ratio / static_cast<double>(streams);
+}
+
+/// Pure GPU compute seconds of one iteration on `streams` streams.
+inline double t_compute_iteration(const Workload& w, const sim::GpuSpec& gpu,
+                                  int streams = 1) {
+  const double kernels =
+      static_cast<double>(w.model.layers) *
+          (t_fwd_block(w, gpu) + t_bwd_block(w, gpu)) +
+      t_head_total(w, gpu);
+  return kernels * bubble_multiplier(gpu, streams);
+}
+
+/// Fills the throughput/TFLOPS fields from an iteration time.
+inline IterationReport make_report(const Workload& w, double seconds,
+                                   std::size_t window = 0) {
+  IterationReport r;
+  r.seconds = seconds;
+  r.throughput = w.batch / seconds;
+  r.achieved_flops =
+      sim::iteration_flops(w.model, w.batch, w.checkpoint_activations) /
+      seconds;
+  r.window = window;
+  return r;
+}
+
+}  // namespace sh::baselines::detail

@@ -1,0 +1,69 @@
+#include "baselines/zero_infinity.hpp"
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+CapacityReport ZeroInfinityStrategy::capacity(
+    const Workload& w, const sim::MachineSpec& machine) const {
+  CapacityReport r;
+  const double params = sim::total_params(w.model) / w.model.model_parallel;
+  const double act =
+      w.checkpoint_activations
+          ? sim::activation_bytes_checkpointed(w.model, w.batch)
+          : sim::activation_bytes_full(w.model, w.batch);
+  // GPU: two gathered layers plus the refactoring copy of each, activations.
+  r.gpu_bytes = 4.0 * sim::block_window_bytes(w.model) + act +
+                machine.gpu.runtime_reserved_bytes;
+  const double state = sim::kStateBytesPerParam * params *
+                       calib::kZeroInfinityCpuOverhead;
+  if (tier_ == Tier::Cpu) {
+    r.cpu_bytes = state;
+  } else {
+    r.nvme_bytes = state;
+    r.cpu_bytes = 0.1 * state;  // staging buckets
+  }
+  if (r.gpu_bytes > machine.gpu.mem_bytes) {
+    r.limiter = "gpu";
+  } else if (r.cpu_bytes > machine.cpu.offload_ram_limit_bytes) {
+    r.limiter = "cpu";
+  } else if (r.nvme_bytes > machine.nvme_bytes) {
+    r.limiter = "nvme";
+  } else {
+    r.fits = true;
+  }
+  return r;
+}
+
+IterationReport ZeroInfinityStrategy::iteration(const Workload& w,
+                                                const sim::MachineSpec& machine,
+                                                sim::Trace* trace) const {
+  const double params = sim::total_params(w.model) / w.model.model_parallel;
+  const double compute = detail::t_compute_iteration(w, machine.gpu);
+  const double cpu_adam = params / calib::kZeroCpuAdamParamsPerS;
+
+  double transfer;
+  if (tier_ == Tier::Cpu) {
+    // Parameters gathered for FP and again for BP, gradients offloaded:
+    // 12 B/param over PCIe, with shallow prefetch hiding only a fraction.
+    const double traffic = 12.0 * params;
+    transfer = (1.0 - calib::kZeroInfinityOverlap) * traffic /
+               machine.pcie_bytes_per_s;
+  } else {
+    // NVMe tier: parameters read twice, gradients written, optimizer state
+    // read + written (28 B/param) at the collapsed small-block rate.
+    const double traffic = 28.0 * params;
+    transfer = traffic / calib::kZeroInfinityNvmeBytesPerS;
+  }
+  const double total = compute + transfer + cpu_adam;
+  if (trace != nullptr) {
+    trace->record("gpu", "c", {0.0, compute});
+    trace->record(tier_ == Tier::Cpu ? "pcie" : "nvme", "t",
+                  {compute, compute + transfer});
+    trace->record("cpu", "o", {compute + transfer, total});
+  }
+  return detail::make_report(w, total);
+}
+
+}  // namespace sh::baselines

@@ -1,0 +1,31 @@
+// ZeRO-Infinity [19]: fine-grained parameter partitioning across the memory
+// hierarchy (GPU / CPU RAM / optionally NVMe). Layers are gathered on demand
+// with limited prefetch depth; runtime model refactoring keeps an extra GPU
+// copy of gathered parameters.
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+class ZeroInfinityStrategy final : public Strategy {
+ public:
+  enum class Tier { Cpu, Nvme };
+
+  explicit ZeroInfinityStrategy(Tier tier = Tier::Cpu) : tier_(tier) {}
+
+  std::string name() const override {
+    return tier_ == Tier::Cpu ? "ZeRO-Infinity" : "ZeRO-Infinity(NVMe)";
+  }
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+
+  Tier tier() const noexcept { return tier_; }
+
+ private:
+  Tier tier_;
+};
+
+}  // namespace sh::baselines

@@ -1,0 +1,55 @@
+#include "baselines/zero_offload.hpp"
+
+#include <algorithm>
+
+#include "baselines/calibration.hpp"
+#include "baselines/timing.hpp"
+
+namespace sh::baselines {
+
+CapacityReport ZeroOffloadStrategy::capacity(
+    const Workload& w, const sim::MachineSpec& machine) const {
+  CapacityReport r;
+  const double params = sim::total_params(w.model) / w.model.model_parallel;
+  const double act =
+      w.checkpoint_activations
+          ? sim::activation_bytes_checkpointed(w.model, w.batch)
+          : sim::activation_bytes_full(w.model, w.batch);
+  r.gpu_bytes = sim::kF32 * params + act + machine.gpu.runtime_reserved_bytes;
+  // Gradients (4 B) + Adam moments (8 B) per parameter on the host.
+  r.cpu_bytes = 12.0 * params;
+  if (r.gpu_bytes > machine.gpu.mem_bytes) {
+    r.limiter = "gpu";
+  } else if (r.cpu_bytes > machine.cpu.offload_ram_limit_bytes) {
+    r.limiter = "cpu";
+  } else {
+    r.fits = true;
+  }
+  return r;
+}
+
+IterationReport ZeroOffloadStrategy::iteration(const Workload& w,
+                                               const sim::MachineSpec& machine,
+                                               sim::Trace* trace) const {
+  const double params = sim::total_params(w.model) / w.model.model_parallel;
+  const double compute = detail::t_compute_iteration(w, machine.gpu);
+  // Gradients stream to the CPU during BP, partially overlapped.
+  const double grads_d2h = sim::kF32 * params / machine.pcie_bytes_per_s;
+  const double exposed_d2h = (1.0 - calib::kZeroOffloadOverlap) * grads_d2h;
+  // Single CPU optimizer process on the critical path (the paper's main
+  // explanation for the <57% relative throughput).
+  const double cpu_adam = params / calib::kZeroCpuAdamParamsPerS;
+  // Updated parameters return to the GPU before the next iteration.
+  const double params_c2g = sim::kF32 * params / machine.pcie_bytes_per_s;
+  const double total = compute + exposed_d2h + cpu_adam + params_c2g;
+  if (trace != nullptr) {
+    trace->record("gpu", "c", {0.0, compute});
+    trace->record("pcie", "g", {compute * 0.5, compute * 0.5 + grads_d2h});
+    trace->record("cpu", "o", {compute + exposed_d2h,
+                               compute + exposed_d2h + cpu_adam});
+    trace->record("pcie", "p", {total - params_c2g, total});
+  }
+  return detail::make_report(w, total);
+}
+
+}  // namespace sh::baselines

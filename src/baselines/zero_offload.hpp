@@ -1,0 +1,20 @@
+// ZeRO-Offload [11]: parameters stay in GPU memory; gradients and optimizer
+// states are offloaded to CPU RAM where a single CPU-optimizer process
+// performs the update. Trainable size is limited by the GPU holding all
+// parameters.
+#pragma once
+
+#include "baselines/strategy.hpp"
+
+namespace sh::baselines {
+
+class ZeroOffloadStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "ZeRO-Offload"; }
+  CapacityReport capacity(const Workload& w,
+                          const sim::MachineSpec& machine) const override;
+  IterationReport iteration(const Workload& w, const sim::MachineSpec& machine,
+                            sim::Trace* trace) const override;
+};
+
+}  // namespace sh::baselines

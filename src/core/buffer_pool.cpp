@@ -1,0 +1,116 @@
+#include "core/buffer_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sh::core {
+
+BufferPool::BufferPool(hw::MemoryPool& gpu, std::size_t slot_floats,
+                       std::size_t num_slots)
+    : gpu_(gpu), slot_floats_(slot_floats) {
+  if (slot_floats == 0 || num_slots == 0) {
+    throw std::invalid_argument("BufferPool: slots must be non-empty");
+  }
+  slots_.reserve(num_slots);
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    float* s = gpu_.allocate_floats(slot_floats_);
+    slots_.push_back(s);
+    free_queue_.push_back(s);
+  }
+}
+
+BufferPool::~BufferPool() { release_all_to_gpu(); }
+
+void BufferPool::release_all_to_gpu() {
+  for (float* s : slots_) gpu_.deallocate(s);
+  slots_.clear();
+  free_queue_.clear();
+}
+
+float* BufferPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !free_queue_.empty(); });
+  float* s = free_queue_.front();
+  free_queue_.pop_front();
+  ++acquisitions_;
+  return s;
+}
+
+float* BufferPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_queue_.empty()) return nullptr;
+  float* s = free_queue_.front();
+  free_queue_.pop_front();
+  ++acquisitions_;
+  return s;
+}
+
+void BufferPool::release(float* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(slots_.begin(), slots_.end(), slot) == slots_.end()) {
+    throw std::logic_error("BufferPool: releasing a foreign pointer");
+  }
+  if (std::find(free_queue_.begin(), free_queue_.end(), slot) !=
+      free_queue_.end()) {
+    throw std::logic_error("BufferPool: double release");
+  }
+  // Poison so stale layer views read NaN instead of old parameters.
+  std::fill_n(slot, slot_floats_, std::numeric_limits<float>::quiet_NaN());
+  free_queue_.push_back(slot);
+  cv_.notify_one();
+}
+
+void BufferPool::grow(std::size_t slot_floats, std::size_t num_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot_floats > slot_floats_) {
+    if (free_queue_.size() != slots_.size()) {
+      throw std::logic_error("BufferPool: cannot resize slots while in use");
+    }
+    for (float*& s : slots_) gpu_.deallocate(s);
+    slots_.clear();
+    free_queue_.clear();
+    slot_floats_ = slot_floats;
+    const std::size_t count = std::max(num_slots, std::size_t{1});
+    for (std::size_t i = 0; i < count; ++i) {
+      float* s = gpu_.allocate_floats(slot_floats_);
+      slots_.push_back(s);
+      free_queue_.push_back(s);
+    }
+    cv_.notify_all();
+    return;
+  }
+  while (slots_.size() < num_slots) {
+    float* s = gpu_.allocate_floats(slot_floats_);
+    slots_.push_back(s);
+    free_queue_.push_back(s);
+    cv_.notify_one();
+  }
+}
+
+std::size_t BufferPool::slot_floats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot_floats_;
+}
+
+std::size_t BufferPool::num_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::size_t BufferPool::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_queue_.size();
+}
+
+std::size_t BufferPool::total_acquisitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquisitions_;
+}
+
+bool BufferPool::owns(const float* ptr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(slots_.begin(), slots_.end(), ptr) != slots_.end();
+}
+
+}  // namespace sh::core

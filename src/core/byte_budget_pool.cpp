@@ -1,0 +1,121 @@
+#include "core/byte_budget_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace sh::core {
+
+ByteBudgetPool::ByteBudgetPool(hw::MemoryPool& gpu, std::size_t budget_floats)
+    : gpu_(gpu), budget_(budget_floats) {
+  if (budget_floats == 0) {
+    throw std::invalid_argument("ByteBudgetPool: empty budget");
+  }
+  base_ = gpu_.allocate_floats(budget_);
+  free_[0] = budget_;
+}
+
+ByteBudgetPool::~ByteBudgetPool() { gpu_.deallocate(base_); }
+
+float* ByteBudgetPool::take_first_fit_locked(std::size_t floats) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < floats) continue;
+    const std::size_t offset = it->first;
+    const std::size_t remaining = it->second - floats;
+    free_.erase(it);
+    if (remaining > 0) free_[offset + floats] = remaining;
+    allocated_[offset] = floats;
+    in_use_ += floats;
+    peak_ = std::max(peak_, in_use_);
+    ++acquisitions_;
+    return base_ + offset;
+  }
+  return nullptr;
+}
+
+float* ByteBudgetPool::acquire(std::size_t floats) {
+  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
+  if (floats > budget_) {
+    throw hw::OomError("window-budget", floats * sizeof(float),
+                       budget_ * sizeof(float));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (float* p = take_first_fit_locked(floats)) return p;
+    cv_.wait(lock);
+  }
+}
+
+float* ByteBudgetPool::try_acquire(std::size_t floats) {
+  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
+  if (floats > budget_) {
+    throw hw::OomError("window-budget", floats * sizeof(float),
+                       budget_ * sizeof(float));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_first_fit_locked(floats);
+}
+
+void ByteBudgetPool::release(float* ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto offset = static_cast<std::size_t>(ptr - base_);
+  auto it = allocated_.find(offset);
+  if (ptr < base_ || it == allocated_.end()) {
+    throw std::logic_error("ByteBudgetPool: releasing unknown region");
+  }
+  const std::size_t size = it->second;
+  std::fill_n(ptr, size, std::numeric_limits<float>::quiet_NaN());
+  allocated_.erase(it);
+  in_use_ -= size;
+
+  // Insert and coalesce with neighbours.
+  auto inserted = free_.emplace(offset, size).first;
+  if (inserted != free_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != free_.end() &&
+      inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_.erase(next);
+  }
+  cv_.notify_all();
+}
+
+std::size_t ByteBudgetPool::floats_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+std::size_t ByteBudgetPool::peak_floats_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::size_t ByteBudgetPool::live_regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_.size();
+}
+
+std::size_t ByteBudgetPool::total_acquisitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquisitions_;
+}
+
+std::size_t ByteBudgetPool::largest_free_locked() const {
+  std::size_t best = 0;
+  for (const auto& [off, size] : free_) best = std::max(best, size);
+  return best;
+}
+
+std::size_t ByteBudgetPool::largest_free_region() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return largest_free_locked();
+}
+
+}  // namespace sh::core

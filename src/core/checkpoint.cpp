@@ -1,0 +1,77 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace sh::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x5348434bu;  // "SHCK"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+}  // namespace
+
+void write_checkpoint(const std::string& path, const LayerStore& store) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("checkpoint: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(store.size()));
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const LayerState& st = store.state(i);
+    write_pod(os, static_cast<std::uint64_t>(st.params));
+    write_pod(os, static_cast<std::uint64_t>(st.cpu_opt.size()));
+    write_pod(os, static_cast<std::int64_t>(st.step));
+    os.write(reinterpret_cast<const char*>(st.cpu_params.data()),
+             static_cast<std::streamsize>(st.cpu_params.size() * sizeof(float)));
+    os.write(reinterpret_cast<const char*>(st.cpu_opt.data()),
+             static_cast<std::streamsize>(st.cpu_opt.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
+}
+
+void read_checkpoint(const std::string& path, LayerStore& store) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (read_pod<std::uint32_t>(is) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  if (read_pod<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version in " + path);
+  }
+  if (read_pod<std::uint64_t>(is) != store.size()) {
+    throw std::invalid_argument("checkpoint: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    LayerState& st = store.state(i);
+    if (read_pod<std::uint64_t>(is) != static_cast<std::uint64_t>(st.params)) {
+      throw std::invalid_argument("checkpoint: param count mismatch at layer " +
+                                  std::to_string(i));
+    }
+    if (read_pod<std::uint64_t>(is) != st.cpu_opt.size()) {
+      throw std::invalid_argument(
+          "checkpoint: optimizer state mismatch at layer " + std::to_string(i));
+    }
+    st.step = read_pod<std::int64_t>(is);
+    is.read(reinterpret_cast<char*>(st.cpu_params.data()),
+            static_cast<std::streamsize>(st.cpu_params.size() * sizeof(float)));
+    is.read(reinterpret_cast<char*>(st.cpu_opt.data()),
+            static_cast<std::streamsize>(st.cpu_opt.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("checkpoint: truncated layer data");
+  }
+}
+
+}  // namespace sh::core

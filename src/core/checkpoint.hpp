@@ -1,0 +1,22 @@
+// Training-state checkpointing: serialises every layer's parameters,
+// optimizer planes and step counter so a run can stop and resume exactly.
+// (This is model checkpointing; *activation* checkpointing lives in nn/.)
+#pragma once
+
+#include <string>
+
+#include "core/layer_store.hpp"
+
+namespace sh::core {
+
+/// Writes the store's master state to `path`. The caller must have quiesced
+/// pending updates and synchronised the CPU masters first (the engine's
+/// save_checkpoint does both).
+void write_checkpoint(const std::string& path, const LayerStore& store);
+
+/// Reads a checkpoint into the store. Throws std::runtime_error on I/O or
+/// format errors and std::invalid_argument if the model geometry (layer
+/// count or per-layer parameter counts) does not match.
+void read_checkpoint(const std::string& path, LayerStore& store);
+
+}  // namespace sh::core

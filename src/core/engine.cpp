@@ -1,0 +1,946 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "tensor/half.hpp"
+
+#include "dist/process_group.hpp"
+#include "tensor/ops.hpp"
+
+namespace sh::core {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void throttle_sleep(double bytes, double bytes_per_s) {
+  if (bytes_per_s > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(bytes / bytes_per_s));
+  }
+}
+
+std::unique_ptr<storage::SwapFile> make_swap(const EngineConfig& cfg) {
+  if (cfg.cpu_capacity_bytes == 0) return nullptr;
+  if (cfg.swap_path.empty()) {
+    throw std::invalid_argument(
+        "EngineConfig: cpu_capacity_bytes requires swap_path");
+  }
+  return std::make_unique<storage::SwapFile>(cfg.swap_path);
+}
+
+}  // namespace
+
+StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
+    : model_(model),
+      cfg_(std::move(config)),
+      swap_(make_swap(cfg_)),
+      store_(model, /*opt_state_per_param=*/2, cfg_.cpu_capacity_bytes,
+             swap_.get()),
+      gpu_pool_("gpu", cfg_.gpu_memory_bytes),
+      h2d_("h2d"),
+      d2h_("d2h"),
+      adam_proto_(cfg_.adam),
+      opts_(adam_proto_, cfg_.optimizer_workers),
+      scaler_(cfg_.loss_scaler) {
+  if (cfg_.num_executors == 0) {
+    throw std::invalid_argument("num_executors must be >= 1");
+  }
+  if (store_.size() < 3) {
+    throw std::invalid_argument("model must have at least one block");
+  }
+  setup_pinned_layers();
+
+  const std::size_t blocks = num_blocks();
+  std::int64_t max_block_params = 0;
+  for (std::size_t b = 1; b <= blocks; ++b) {
+    max_block_params = std::max(max_block_params, store_.state(b).params);
+  }
+  const std::size_t slot_floats = 2 * static_cast<std::size_t>(max_block_params);
+  const std::size_t slot_bytes = slot_floats * sizeof(float);
+  const std::size_t fit = gpu_pool_.free_bytes() / slot_bytes;
+
+  if (cfg_.window != 0) {
+    window_ = std::min<std::size_t>(cfg_.window, blocks);
+    window_frozen_ = true;
+  } else {
+    // Warm-up window: the largest that provably fits, per Section III-B.
+    if (fit < 2 && blocks > 1) {
+      throw hw::OomError("gpu", 2 * slot_bytes, gpu_pool_.free_bytes());
+    }
+    window_ = std::min<std::size_t>(blocks, fit > 0 ? fit - 1 : 0);
+    window_ = std::max<std::size_t>(window_, 1);
+  }
+  const std::size_t slots =
+      window_ < blocks ? window_ + 1 : blocks;  // +1 prefetch stage slot
+  slot_floats_ = slot_floats;
+  // Throws hw::OomError when the requested window cannot be reserved.
+  if (cfg_.window_mode == WindowMode::UniformSlots) {
+    pool_ = std::make_unique<UniformSlotAllocator>(gpu_pool_, slot_floats,
+                                                   slots);
+  } else {
+    const std::size_t budget = cfg_.window_budget_floats != 0
+                                   ? cfg_.window_budget_floats
+                                   : slots * slot_floats;
+    pool_ = std::make_unique<BudgetSlotAllocator>(gpu_pool_, budget);
+  }
+
+  profiles_.assign(blocks, LayerProfile{});
+  for (auto& p : profiles_) {
+    p.s_fp = static_cast<double>(slot_bytes);
+    p.s_bp = static_cast<double>(slot_bytes);
+  }
+
+  for (std::size_t e = 1; e < cfg_.num_executors; ++e) {
+    replicas_.push_back(std::make_unique<nn::GptModel>(model_.config()));
+  }
+  std::int64_t max_any = store_.max_layer_params();
+  exec_grads_.assign(cfg_.num_executors,
+                     std::vector<float>(static_cast<std::size_t>(max_any)));
+
+  stats_.swap_backed_layers = store_.swap_backed_count();
+
+  trace_epoch_ = now_seconds();
+  if (cfg_.record_trace) {
+    opts_.set_update_observer(
+        [this](double t0, double t1) { trace_span("cpu-opt", "o", t0, t1); });
+  }
+}
+
+void StrongholdEngine::trace_span(const char* resource, const char* label,
+                                  double t0, double t1) {
+  if (!cfg_.record_trace) return;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  trace_.record(resource, label, {t0 - trace_epoch_, t1 - trace_epoch_});
+}
+
+sim::Trace StrongholdEngine::trace_snapshot() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_;
+}
+
+StrongholdEngine::~StrongholdEngine() {
+  opts_.wait_all();
+  h2d_.wait_all();
+  d2h_.wait_all();
+  // Return pinned buffers; BufferPool returns its slots on destruction.
+  pool_.reset();
+  gpu_pool_.deallocate(pinned_emb_);
+  gpu_pool_.deallocate(pinned_head_);
+}
+
+void StrongholdEngine::setup_pinned_layers() {
+  LayerState& emb = store_.state(0);
+  LayerState& head = store_.state(head_index());
+  pinned_emb_ =
+      gpu_pool_.allocate_floats(2 * static_cast<std::size_t>(emb.params));
+  pinned_head_ =
+      gpu_pool_.allocate_floats(2 * static_cast<std::size_t>(head.params));
+  emb.gpu_slot = pinned_emb_;
+  head.gpu_slot = pinned_head_;
+}
+
+void StrongholdEngine::init_params(std::uint64_t seed) {
+  store_.init_params(seed);
+  LayerState& emb = store_.state(0);
+  LayerState& head = store_.state(head_index());
+  std::memcpy(pinned_emb_, emb.cpu_params.data(),
+              sizeof(float) * static_cast<std::size_t>(emb.params));
+  std::fill_n(pinned_emb_ + emb.params, emb.params, 0.0f);
+  std::memcpy(pinned_head_, head.cpu_params.data(),
+              sizeof(float) * static_cast<std::size_t>(head.params));
+  std::fill_n(pinned_head_ + head.params, head.params, 0.0f);
+  if (cfg_.fp16) {
+    // Device-resident parameters are FP16; masters stay FP32.
+    tensor::quantize_fp16_inplace(pinned_emb_,
+                                  static_cast<std::size_t>(emb.params));
+    tensor::quantize_fp16_inplace(pinned_head_,
+                                  static_cast<std::size_t>(head.params));
+  }
+}
+
+void StrongholdEngine::normalize_residency() {
+  const std::size_t blocks = num_blocks();
+  const std::size_t w = std::min(window_, blocks);
+  // Free out-of-window residents first (e.g. the FP tail left behind by an
+  // inference pass) so the head-window prefetches cannot exhaust the slots.
+  for (std::size_t b = w + 1; b <= blocks; ++b) {
+    LayerState& st = block(b);
+    if (st.gpu_slot != nullptr) {
+      wait_ready(st);
+      evict_after_forward(st);
+    }
+  }
+  for (std::size_t b = 1; b <= w; ++b) prefetch(b);
+}
+
+void StrongholdEngine::prefetch(std::size_t index) {
+  LayerState& st = store_.state(index);
+  if (st.gpu_slot != nullptr) return;  // already resident or in flight
+  const std::size_t need = 2 * static_cast<std::size_t>(st.params);
+  float* slot;
+  if (pool_->blocking_prefetch_safe()) {
+    slot = pool_->acquire(need);
+  } else {
+    // Byte-budget mode: a blocking hook-time fetch could wait on space that
+    // only this thread's further progress can free. Defer instead — the
+    // paper's "delay the layer movement" fallback; wait_ready() performs the
+    // on-demand fetch when the layer is actually needed.
+    slot = pool_->try_acquire(need);
+    if (slot == nullptr) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.deferred_prefetches;
+      return;
+    }
+  }
+  issue_fetch(st, slot);
+}
+
+void StrongholdEngine::issue_fetch(LayerState& st, float* slot) {
+  st.gpu_slot = slot;
+  auto update_done = st.update_done;  // wait for a pending optimizer step
+  const auto params = static_cast<std::size_t>(st.params);
+  const double rate = cfg_.h2d_bytes_per_s;
+  LayerProfile* prof = (st.index >= 1 && st.index <= num_blocks())
+                           ? &profiles_[st.index - 1]
+                           : nullptr;
+  st.ready =
+      h2d_.run_async([this, &st, slot, params, update_done, rate, prof] {
+        if (update_done.valid()) update_done.wait();
+        // Fault the master in from the NVMe tier if needed (Section III-G).
+        store_.fault_in(st.index).wait();
+        const double t0 = now_seconds();
+        std::memcpy(slot, st.cpu_params.data(), params * sizeof(float));
+        std::fill_n(slot + params, params, 0.0f);  // fresh gradient buffer
+        if (cfg_.fp16) {
+          // The wire format is FP16: the copy lands rounded, at half the
+          // bytes.
+          tensor::quantize_fp16_inplace(slot, params);
+        }
+        throttle_sleep(
+            static_cast<double>(params) * sizeof(float) / (cfg_.fp16 ? 2 : 1),
+            rate);
+        if (prof != nullptr) prof->t_c2g = now_seconds() - t0;
+        trace_span("h2d", "p", t0, now_seconds());
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.h2d_transfers;
+        // Wire bytes: FP16 halves the transfer volume.
+        stats_.h2d_bytes += params * sizeof(float) / (cfg_.fp16 ? 2 : 1);
+      });
+}
+
+void StrongholdEngine::wait_ready(LayerState& st) {
+  if (st.gpu_slot == nullptr) {
+    // Deferred (or never-issued) fetch: bring the layer in on demand. By
+    // now every previously computed layer's eviction is queued, so the
+    // blocking acquire makes progress.
+    const double t0 = now_seconds();
+    float* slot = pool_->acquire(2 * static_cast<std::size_t>(st.params));
+    issue_fetch(st, slot);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.demand_fetches;
+    stats_.stall_seconds += now_seconds() - t0;
+  }
+  if (!st.ready.valid()) return;
+  if (st.ready.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    const double t0 = now_seconds();
+    st.ready.wait();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.prefetch_stalls;
+    stats_.stall_seconds += now_seconds() - t0;
+  }
+}
+
+void StrongholdEngine::evict_after_forward(LayerState& st) {
+  // Parameters were not modified during FP and the CPU master is coherent,
+  // so recycling the buffer needs no copy-back. Routed through the d2h queue
+  // so it is ordered after any pending master-sync of this slot.
+  float* slot = st.gpu_slot;
+  st.gpu_slot = nullptr;
+  d2h_.run_async([this, slot] { pool_->release(slot); });
+}
+
+void StrongholdEngine::evict_after_backward(LayerState& st) {
+  float* slot = st.gpu_slot;
+  st.gpu_slot = nullptr;
+  const auto params = static_cast<std::size_t>(st.params);
+  const double rate = cfg_.d2h_bytes_per_s;
+  LayerProfile* prof =
+      (st.index >= 1 && st.index <= num_blocks()) ? &profiles_[st.index - 1]
+                                                  : nullptr;
+  // One FIFO job: offload gradients, then recycle the buffer.
+  const bool clip = clipping() && accum_final_;
+  const bool overwrite = accum_first_;
+  auto copied = d2h_.run_async([this, &st, slot, params, rate, prof, clip,
+                                overwrite] {
+    const double t0 = now_seconds();
+    // FP16 wire format: the gradients cross the link rounded to half
+    // precision; overflow (inf after rounding) triggers a skipped step.
+    if (cfg_.fp16) {
+      quantize_grads_and_check(slot + params, st.params);
+    }
+    // First micro-step overwrites the CPU-side gradient accumulator;
+    // later ones accumulate (gradient accumulation cycles).
+    if (overwrite) {
+      std::memcpy(st.cpu_grads.data(), slot + params, params * sizeof(float));
+    } else {
+      tensor::axpy(1.0f, slot + params, st.cpu_grads.data(), st.params);
+    }
+    throttle_sleep(
+        static_cast<double>(params) * sizeof(float) / (cfg_.fp16 ? 2 : 1),
+        rate);
+    if (prof != nullptr) prof->t_g2c = now_seconds() - t0;
+    trace_span("d2h", "g", t0, now_seconds());
+    if (clip) {
+      grad_sumsq_[st.index] =
+          tensor::dot(st.cpu_grads.data(), st.cpu_grads.data(), st.params);
+    }
+    pool_->release(slot);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.d2h_transfers;
+    stats_.d2h_bytes += params * sizeof(float) / (cfg_.fp16 ? 2 : 1);
+  });
+  if (!accum_final_) return;  // mid-cycle: accumulate only, no update
+  // Concurrent CPU-side update (Section III-E1), then NVMe write-back. With
+  // clipping or loss scaling, the update waits behind the per-step gate
+  // (clip_ready_ resolves once every gradient has drained and the norm /
+  // overflow verdict exists).
+  auto post = [this, &st] { store_.write_back(st.index); };
+  if (update_gate_active()) {
+    // Capture THIS iteration's gate object: a late-running update must not
+    // observe the next iteration's reset scale/skip.
+    auto gate = gate_state_;
+    opts_.submit(
+        st, clip_ready_, post, current_lr_,
+        [gate] { return gate->scale.load(); },
+        [gate] { return gate->skip.load(); });
+  } else {
+    opts_.submit(st, copied, post, current_lr_);
+  }
+}
+
+void StrongholdEngine::quantize_grads_and_check(float* grads, std::int64_t n) {
+  tensor::quantize_fp16_inplace(grads, static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(grads[i])) {
+      overflow_.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void StrongholdEngine::update_resident_layer(LayerState& st) {
+  // The layer stays in the working window across the iteration boundary; the
+  // paper updates these on the GPU (t_opt_gpu). Gradients accumulate in the
+  // CPU master; on the final micro-step the GPU-resident parameter copy is
+  // updated in place and the master synced asynchronously.
+  float* slot = st.gpu_slot;
+  const auto params = static_cast<std::size_t>(st.params);
+  if (cfg_.fp16) quantize_grads_and_check(slot + params, st.params);
+  if (accum_first_) {
+    std::copy_n(slot + params, params, st.cpu_grads.data());
+  } else {
+    tensor::axpy(1.0f, slot + params, st.cpu_grads.data(), st.params);
+  }
+  if (!accum_final_) return;
+  auto body = [this, &st, slot, params] {
+    if (cfg_.fp16) {
+      // The FP32 master is authoritative; the GPU copy is refreshed as FP16.
+      opts_.update_now(st, st.cpu_params.data(), st.cpu_grads.data(),
+                       current_lr_);
+      std::memcpy(slot, st.cpu_params.data(), params * sizeof(float));
+      tensor::quantize_fp16_inplace(slot, params);
+      st.update_done =
+          d2h_.run_async([this, &st] { store_.write_back(st.index); });
+    } else {
+      opts_.update_now(st, slot, st.cpu_grads.data(), current_lr_);
+      st.update_done = d2h_.run_async([this, &st, slot, params] {
+        std::memcpy(st.cpu_params.data(), slot, params * sizeof(float));
+        store_.write_back(st.index);
+      });
+    }
+  };
+  if (update_gate_active()) {
+    if (clipping()) {
+      grad_sumsq_[st.index] =
+          tensor::dot(st.cpu_grads.data(), st.cpu_grads.data(), st.params);
+    }
+    deferred_updates_.push_back([this, &st, body, gate = gate_state_] {
+      if (gate->skip.load()) return;
+      const float s = gate->scale.load();
+      if (s != 1.0f) tensor::scale(s, st.cpu_grads.data(), st.params);
+      body();
+    });
+  } else {
+    body();
+  }
+}
+
+void StrongholdEngine::apply_pinned_update(LayerState& st, float* buffer) {
+  const auto n = static_cast<std::size_t>(st.params);
+  if (cfg_.fp16) quantize_grads_and_check(buffer + n, st.params);
+  if (accum_first_) {
+    std::copy_n(buffer + n, n, st.cpu_grads.data());
+  } else {
+    tensor::axpy(1.0f, buffer + n, st.cpu_grads.data(), st.params);
+  }
+  if (!accum_final_) return;
+  auto body = [this, &st, buffer, n] {
+    if (cfg_.fp16) {
+      opts_.update_now(st, st.cpu_params.data(), st.cpu_grads.data(),
+                       current_lr_);
+      std::memcpy(buffer, st.cpu_params.data(), n * sizeof(float));
+      tensor::quantize_fp16_inplace(buffer, n);
+    } else {
+      opts_.update_now(st, buffer, st.cpu_grads.data(), current_lr_);
+    }
+  };
+  if (update_gate_active()) {
+    if (clipping()) {
+      grad_sumsq_[st.index] =
+          tensor::dot(st.cpu_grads.data(), st.cpu_grads.data(), st.params);
+    }
+    deferred_updates_.push_back([this, &st, body, gate = gate_state_] {
+      if (gate->skip.load()) return;
+      const float s = gate->scale.load();
+      if (s != 1.0f) tensor::scale(s, st.cpu_grads.data(), st.params);
+      body();
+    });
+  } else {
+    body();
+  }
+}
+
+void StrongholdEngine::begin_iteration_lr_and_clip() {
+  std::size_t iterations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    iterations = stats_.iterations;
+  }
+  const std::size_t accum = std::max<std::size_t>(cfg_.grad_accumulation, 1);
+  micro_index_ = iterations % accum;
+  accum_first_ = micro_index_ == 0;
+  accum_final_ = micro_index_ + 1 == accum;
+  // Schedules tick per optimizer update (accumulation cycle), not per
+  // micro-step, matching large-batch training semantics.
+  current_lr_ =
+      cfg_.lr_schedule
+          ? cfg_.lr_schedule(static_cast<std::int64_t>(iterations / accum) + 1)
+          : -1.0f;
+  if (cfg_.fp16 && accum_first_) overflow_.store(false);
+  if (!update_gate_active() || !accum_final_) return;
+  grad_sumsq_.assign(store_.size(), 0.0);
+  deferred_updates_.clear();
+  gate_state_ = std::make_shared<GateState>();  // fresh per-iteration gate
+  clip_promise_ = std::promise<void>();
+  clip_ready_ = clip_promise_.get_future().share();
+}
+
+void StrongholdEngine::finalize_clipped_updates() {
+  if (!update_gate_active() || !accum_final_) return;
+  // Every evicted layer's gradient must have drained before the norm or the
+  // overflow verdict exists.
+  d2h_.wait_all();
+
+  const float loss_scale = cfg_.fp16 ? scaler_.scale() : 1.0f;
+  bool skip = false;
+  if (cfg_.fp16) {
+    skip = !scaler_.update(overflow_.load());
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.loss_scale = scaler_.scale();
+    if (skip) ++stats_.skipped_updates;
+  }
+
+  // Combined gradient multiplier: undo the loss scale, then clip against the
+  // UNSCALED norm. grads are currently scaled by loss_scale, so the norm of
+  // the true gradient is norm_scaled / loss_scale and the multiplier for a
+  // clipped step is clip / norm_scaled.
+  float combined = 1.0f / loss_scale;
+  if (!skip && clipping()) {
+    double total = 0.0;
+    for (double s : grad_sumsq_) total += s;
+    const double norm_scaled = std::sqrt(total);
+    const double norm = norm_scaled / loss_scale;
+    if (norm > cfg_.clip_grad_norm) {
+      combined = static_cast<float>(cfg_.clip_grad_norm / norm_scaled);
+    }
+  }
+  gate_state_->scale.store(combined);
+  gate_state_->skip.store(skip);
+  clip_promise_.set_value();  // releases the queued asynchronous updates
+  for (auto& update : deferred_updates_) update();
+  deferred_updates_.clear();
+}
+
+float StrongholdEngine::train_step(const data::Batch& batch) {
+  const std::int64_t seq = model_.config().max_seq;
+  const auto total_tokens = static_cast<std::int64_t>(batch.ids.size());
+  if (total_tokens % seq != 0) {
+    throw std::invalid_argument("batch tokens not divisible by seq");
+  }
+  const std::int64_t bs = total_tokens / seq;
+  const auto execs = static_cast<std::int64_t>(cfg_.num_executors);
+  if (bs % execs != 0) {
+    throw std::invalid_argument("batch size must divide num_executors");
+  }
+  const std::int64_t micro_bs = bs / execs;
+  std::int64_t global_step;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    global_step = static_cast<std::int64_t>(stats_.iterations);
+  }
+  const std::size_t blocks = num_blocks();
+
+  begin_iteration_lr_and_clip();
+  // Make sure the initial FP window is resident (first iteration, or after a
+  // window-size change or an inference pass).
+  normalize_residency();
+
+  dist::Barrier bar(static_cast<int>(cfg_.num_executors));
+  std::vector<float> losses(cfg_.num_executors, 0.0f);
+  // Micro-batch splitting across executors and gradient-accumulation cycles
+  // both average: the applied gradient is the mean over the whole effective
+  // batch. FP16 additionally multiplies by the dynamic loss scale so small
+  // gradients survive the half-precision wire format.
+  const float grad_scale =
+      (cfg_.fp16 ? scaler_.scale() : 1.0f) /
+      static_cast<float>(
+          execs * static_cast<std::int64_t>(
+                      std::max<std::size_t>(cfg_.grad_accumulation, 1)));
+  const bool profiling = !window_frozen_;
+
+  auto reduce_grads_into = [&](float* dst, std::size_t params) {
+    std::fill_n(dst, params, 0.0f);
+    for (auto& scratch : exec_grads_) {
+      tensor::axpy(1.0f, scratch.data(), dst,
+                   static_cast<std::int64_t>(params));
+    }
+  };
+
+  auto executor_fn = [&](std::size_t e) {
+    nn::GptModel& mdl = e == 0 ? model_ : *replicas_[e - 1];
+    // Per-executor batch context: the row offset keys the deterministic
+    // dropout masks so the micro-batch split draws the same masks the whole
+    // batch would.
+    const nn::BatchShape micro_shape{
+        micro_bs, seq, /*training=*/true, global_step,
+        /*row_offset=*/static_cast<std::int64_t>(e) * micro_bs};
+    float* scratch = exec_grads_[e].data();
+    const std::size_t row0 = static_cast<std::size_t>(
+        static_cast<std::int64_t>(e) * micro_bs * seq);
+    const std::size_t micro_tokens = static_cast<std::size_t>(micro_bs * seq);
+    std::vector<std::int32_t> ids(batch.ids.begin() + row0,
+                                  batch.ids.begin() + row0 + micro_tokens);
+    std::vector<std::int32_t> targets(
+        batch.targets.begin() + row0,
+        batch.targets.begin() + row0 + micro_tokens);
+
+    // ---- Forward ----
+    LayerState& emb = store_.state(0);
+    auto& emb_layer = static_cast<nn::Embedding&>(mdl.layer(0));
+    std::fill_n(scratch, static_cast<std::size_t>(emb.params), 0.0f);
+    emb_layer.bind(pinned_emb_, scratch);
+    emb_layer.set_ids(ids);
+    tensor::Tensor x = emb_layer.forward({}, micro_shape);
+    bar.arrive_and_wait();
+
+    for (std::size_t b = 1; b <= blocks; ++b) {
+      LayerState& st = block(b);
+      if (e == 0) {
+        wait_ready(st);
+        if (b + window_ <= blocks) prefetch(b + window_);
+      }
+      bar.arrive_and_wait();
+      const auto params = static_cast<std::size_t>(st.params);
+      std::fill_n(scratch, params, 0.0f);
+      mdl.layer(b).bind(st.gpu_slot, scratch);
+      const double t0 = now_seconds();
+      x = mdl.layer(b).forward(x, micro_shape);
+      if (e == 0 && profiling) {
+        profiles_[b - 1].t_fp += now_seconds() - t0;
+      }
+      if (e == 0) trace_span("gpu", "f", t0, now_seconds());
+      bar.arrive_and_wait();
+      // Per-executor FP grads are unused; nothing to reduce here. Eviction:
+      // recycle the computed layer when a future layer still needs a slot;
+      // the tail of the model stays resident so BP starts with a full window.
+      if (e == 0 && b + window_ <= blocks) {
+        evict_after_forward(st);
+      }
+      bar.arrive_and_wait();
+    }
+
+    LayerState& head = store_.state(head_index());
+    auto& head_layer = mdl.layer(head_index());
+    std::fill_n(scratch, static_cast<std::size_t>(head.params), 0.0f);
+    head_layer.bind(pinned_head_, scratch);
+    tensor::Tensor logits = head_layer.forward(x, micro_shape);
+
+    tensor::Tensor grad_logits;
+    losses[e] = nn::lm_loss(logits, targets, grad_logits);
+    tensor::scale(grad_scale, grad_logits.data(), grad_logits.numel());
+
+    // ---- Backward: head ----
+    tensor::Tensor g = head_layer.backward(grad_logits, micro_shape);
+    bar.arrive_and_wait();
+    if (e == 0) {
+      const auto hp = static_cast<std::size_t>(head.params);
+      reduce_grads_into(pinned_head_ + hp, hp);
+      if (cfg_.grad_reducer) {
+        cfg_.grad_reducer(head.index, pinned_head_ + hp,
+                          static_cast<std::int64_t>(hp));
+      }
+      apply_pinned_update(head, pinned_head_);
+    }
+    bar.arrive_and_wait();
+
+    // ---- Backward: blocks in reverse ----
+    for (std::size_t b = blocks; b >= 1; --b) {
+      LayerState& st = block(b);
+      if (e == 0) {
+        wait_ready(st);
+        if (b > window_) prefetch(b - window_);
+      }
+      bar.arrive_and_wait();
+      const auto params = static_cast<std::size_t>(st.params);
+      std::fill_n(scratch, params, 0.0f);
+      mdl.layer(b).bind(st.gpu_slot, scratch);
+      const double t0 = now_seconds();
+      g = mdl.layer(b).backward(g, micro_shape);
+      if (e == 0 && profiling) {
+        profiles_[b - 1].t_bp += now_seconds() - t0;
+      }
+      if (e == 0) trace_span("gpu", "b", t0, now_seconds());
+      bar.arrive_and_wait();
+      if (e == 0) {
+        // Gradient all-reduce across executors into the GPU buffer
+        // (Section IV-A), then offload + update, or in-place update for the
+        // layers that stay resident for the next iteration (III-E1).
+        reduce_grads_into(st.gpu_slot + params, params);
+        if (cfg_.grad_reducer) {
+          cfg_.grad_reducer(st.index, st.gpu_slot + params,
+                            static_cast<std::int64_t>(params));
+        }
+        if (b > window_) {
+          evict_after_backward(st);
+        } else {
+          update_resident_layer(st);
+        }
+      }
+      bar.arrive_and_wait();
+    }
+
+    // ---- Backward: embedding ----
+    std::fill_n(scratch, static_cast<std::size_t>(emb.params), 0.0f);
+    emb_layer.bind(pinned_emb_, scratch);
+    emb_layer.set_ids(ids);
+    (void)emb_layer.backward(g, micro_shape);
+    bar.arrive_and_wait();
+    if (e == 0) {
+      const auto ep = static_cast<std::size_t>(emb.params);
+      reduce_grads_into(pinned_emb_ + ep, ep);
+      if (cfg_.grad_reducer) {
+        cfg_.grad_reducer(emb.index, pinned_emb_ + ep,
+                          static_cast<std::int64_t>(ep));
+      }
+      apply_pinned_update(emb, pinned_emb_);
+    }
+  };
+
+  if (cfg_.num_executors == 1) {
+    executor_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t e = 1; e < cfg_.num_executors; ++e) {
+      threads.emplace_back(executor_fn, e);
+    }
+    executor_fn(0);
+    for (auto& t : threads) t.join();
+  }
+
+  finalize_clipped_updates();
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.iterations;
+    stats_.optimizer_updates = opts_.updates_completed();
+  }
+  if (profiling) ++profile_samples_;
+  maybe_update_window();
+
+  float loss = 0.0f;
+  for (float l : losses) loss += l;
+  return loss / static_cast<float>(cfg_.num_executors);
+}
+
+void StrongholdEngine::maybe_update_window() {
+  if (window_frozen_ || profile_samples_ < cfg_.warmup_iterations) return;
+  // Quiesce in-flight work so the profiles are complete, then solve.
+  opts_.wait_all();
+  h2d_.wait_all();
+  d2h_.wait_all();
+
+  WindowModelInput input;
+  input.layers = profiles_;
+  const double inv = 1.0 / static_cast<double>(profile_samples_);
+  for (auto& p : input.layers) {
+    p.t_fp *= inv;
+    p.t_bp *= inv;
+    p.t_opt_cpu = p.t_opt_gpu = 0.0;  // evaluated by the simulator benches
+  }
+  const std::size_t pinned_bytes =
+      2 * sizeof(float) *
+      static_cast<std::size_t>(store_.state(0).params +
+                               store_.state(head_index()).params);
+  input.s_avail =
+      static_cast<double>(gpu_pool_.capacity() - pinned_bytes);
+  input.t_async = cfg_.t_async;
+
+  const WindowDecision d = solve_window(input);
+  // The solver bounds d.m by its own memory model (max_m_by_memory), which
+  // was fed the true pool capacity minus the pinned layers.
+  const std::size_t new_window = std::clamp<std::size_t>(d.m, 1, num_blocks());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.decision = d;
+    stats_.window_auto_selected = true;
+  }
+  if (new_window > window_) {
+    const std::size_t blocks = num_blocks();
+    pool_->ensure_window(slot_floats_,
+                         new_window < blocks ? new_window + 1 : blocks);
+  }
+  window_ = new_window;
+  window_frozen_ = true;
+}
+
+tensor::Tensor StrongholdEngine::inference(std::span<const std::int32_t> ids,
+                                           const nn::BatchShape& shape,
+                                           const ActivationObserver& observer) {
+  const std::size_t blocks = num_blocks();
+  normalize_residency();
+
+  auto& emb_layer = static_cast<nn::Embedding&>(model_.layer(0));
+  LayerState& emb = store_.state(0);
+  std::vector<float> scratch(
+      static_cast<std::size_t>(store_.max_layer_params()), 0.0f);
+  emb_layer.bind(pinned_emb_, scratch.data());
+  emb_layer.set_ids({ids.begin(), ids.end()});
+  tensor::Tensor x = emb_layer.forward({}, shape);
+  (void)emb;
+
+  for (std::size_t b = 1; b <= blocks; ++b) {
+    LayerState& st = block(b);
+    wait_ready(st);
+    if (b + window_ <= blocks) prefetch(b + window_);
+    model_.layer(b).bind(st.gpu_slot, scratch.data());
+    x = model_.layer(b).forward(x, shape);
+    if (observer) observer(b, x);
+    if (b + window_ <= blocks) evict_after_forward(st);
+  }
+
+  LayerState& head = store_.state(head_index());
+  model_.layer(head_index()).bind(pinned_head_, scratch.data());
+  (void)head;
+  return model_.layer(head_index()).forward(x, shape);
+}
+
+void StrongholdEngine::quiesce_and_sync_masters() {
+  opts_.wait_all();
+  d2h_.wait_all();
+  h2d_.wait_all();
+  if (swap_ != nullptr) {
+    // Drain pending tier write-backs and refresh swapped masters.
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      store_.fault_in(i).wait();
+    }
+  }
+  // In FP32 mode the pinned layers are updated in place on the GPU; pull
+  // them back. In FP16 mode the FP32 masters are authoritative (the pinned
+  // buffers only hold the half-rounded compute copies).
+  if (!cfg_.fp16) {
+    for (std::size_t i : {std::size_t{0}, head_index()}) {
+      LayerState& st = store_.state(i);
+      std::memcpy(st.cpu_params.data(), st.gpu_slot,
+                  sizeof(float) * static_cast<std::size_t>(st.params));
+    }
+  }
+}
+
+StrongholdEngine::Decoder::Decoder(StrongholdEngine& engine,
+                                   std::int64_t batch, std::int64_t capacity)
+    : engine_(engine), batch_(batch), capacity_(capacity) {
+  const auto& cfg = engine.model_.config();
+  if (capacity <= 0 || capacity > cfg.max_seq) {
+    throw std::invalid_argument("Decoder capacity must be in (0, max_seq]");
+  }
+  const std::int64_t heads = cfg.heads;
+  const std::int64_t head_dim = cfg.hidden / cfg.heads;
+  caches_.resize(engine.num_blocks());
+  for (auto& c : caches_) {
+    c.k = tensor::Tensor::zeros({batch, heads, capacity, head_dim});
+    c.v = tensor::Tensor::zeros({batch, heads, capacity, head_dim});
+    c.capacity = capacity;
+    c.length = 0;
+  }
+}
+
+tensor::Tensor StrongholdEngine::Decoder::step(
+    std::span<const std::int32_t> ids, std::int64_t n_new) {
+  return engine_.decode_step(*this, ids, n_new);
+}
+
+StrongholdEngine::Decoder StrongholdEngine::make_decoder(
+    std::int64_t batch, std::int64_t capacity) {
+  return Decoder(*this, batch, capacity);
+}
+
+tensor::Tensor StrongholdEngine::decode_step(Decoder& decoder,
+                                             std::span<const std::int32_t> ids,
+                                             std::int64_t n_new) {
+  if (static_cast<std::int64_t>(ids.size()) != decoder.batch_ * n_new) {
+    throw std::invalid_argument("decode_step: ids size mismatch");
+  }
+  if (decoder.pos_ + n_new > decoder.capacity_) {
+    throw std::out_of_range("decode_step: decoder capacity exceeded");
+  }
+  const std::size_t blocks = num_blocks();
+  normalize_residency();
+  const nn::BatchShape shape{decoder.batch_, n_new, /*training=*/false,
+                             /*step=*/0, /*row_offset=*/0,
+                             /*pos_offset=*/decoder.pos_};
+
+  auto& emb_layer = static_cast<nn::Embedding&>(model_.layer(0));
+  std::vector<float> scratch(
+      static_cast<std::size_t>(store_.max_layer_params()), 0.0f);
+  emb_layer.bind(pinned_emb_, scratch.data());
+  emb_layer.set_ids({ids.begin(), ids.end()});
+  tensor::Tensor x = emb_layer.forward({}, shape);
+
+  for (std::size_t b = 1; b <= blocks; ++b) {
+    LayerState& st = block(b);
+    wait_ready(st);
+    if (b + window_ <= blocks) prefetch(b + window_);
+    model_.layer(b).bind(st.gpu_slot, scratch.data());
+    x = model_.layer(b).forward_incremental(x, shape, decoder.caches_[b - 1]);
+    if (b + window_ <= blocks) evict_after_forward(st);
+  }
+
+  model_.layer(head_index()).bind(pinned_head_, scratch.data());
+  auto logits = model_.layer(head_index()).forward(x, shape);
+  decoder.pos_ += n_new;
+  return logits;
+}
+
+std::vector<std::int32_t> StrongholdEngine::generate_incremental(
+    std::span<const std::int32_t> prompt, std::size_t new_tokens) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("generate_incremental: prompt empty");
+  }
+  const std::int64_t capacity = model_.config().max_seq;
+  if (static_cast<std::int64_t>(prompt.size() + new_tokens) > capacity) {
+    throw std::invalid_argument(
+        "generate_incremental: prompt + new tokens exceed max_seq");
+  }
+  Decoder dec = make_decoder(1, capacity);
+  std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
+  // Prefill the prompt in one pass, then decode token by token.
+  auto logits = dec.step(prompt, static_cast<std::int64_t>(prompt.size()));
+  const std::int64_t classes = logits.shape().dim(1);
+  auto pick_last = [&](const tensor::Tensor& lg, std::int64_t rows) {
+    const float* last = lg.data() + (rows - 1) * classes;
+    return static_cast<std::int32_t>(std::max_element(last, last + classes) -
+                                     last);
+  };
+  std::int32_t next = pick_last(logits, static_cast<std::int64_t>(prompt.size()));
+  for (std::size_t i = 0; i < new_tokens; ++i) {
+    tokens.push_back(next);
+    if (i + 1 == new_tokens) break;
+    const std::int32_t cur = next;
+    logits = dec.step({&cur, 1}, 1);
+    next = pick_last(logits, 1);
+  }
+  return tokens;
+}
+
+std::vector<std::int32_t> StrongholdEngine::generate(
+    std::span<const std::int32_t> prompt, std::size_t new_tokens) {
+  if (prompt.empty()) {
+    throw std::invalid_argument("generate: prompt must not be empty");
+  }
+  const std::int64_t seq = model_.config().max_seq;
+  std::vector<std::int32_t> tokens(prompt.begin(), prompt.end());
+  for (std::size_t i = 0; i < new_tokens; ++i) {
+    // Context: the last `seq` tokens, left-padded by repeating the first
+    // token when the prompt is shorter than the model context.
+    std::vector<std::int32_t> ctx(static_cast<std::size_t>(seq), tokens.front());
+    const std::size_t have = std::min<std::size_t>(tokens.size(),
+                                                   static_cast<std::size_t>(seq));
+    std::copy(tokens.end() - static_cast<std::ptrdiff_t>(have), tokens.end(),
+              ctx.end() - static_cast<std::ptrdiff_t>(have));
+    auto logits = inference(ctx, {1, seq});
+    // Greedy pick at the last position.
+    const std::int64_t classes = logits.shape().dim(1);
+    const float* last = logits.data() + (seq - 1) * classes;
+    const auto next = static_cast<std::int32_t>(
+        std::max_element(last, last + classes) - last);
+    tokens.push_back(next);
+  }
+  return tokens;
+}
+
+void StrongholdEngine::snapshot_params(std::vector<float>& out) {
+  quiesce_and_sync_masters();
+  out.clear();
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    const LayerState& st = store_.state(i);
+    out.insert(out.end(), st.cpu_params.begin(), st.cpu_params.end());
+  }
+}
+
+void StrongholdEngine::save_checkpoint(const std::string& path) {
+  quiesce_and_sync_masters();
+  write_checkpoint(path, store_);
+}
+
+void StrongholdEngine::load_checkpoint(const std::string& path) {
+  quiesce_and_sync_masters();
+  read_checkpoint(path, store_);
+  // Refresh every GPU-resident copy from the restored masters.
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    LayerState& st = store_.state(i);
+    if (st.gpu_slot == nullptr) continue;
+    const auto params = static_cast<std::size_t>(st.params);
+    std::memcpy(st.gpu_slot, st.cpu_params.data(), params * sizeof(float));
+    std::fill_n(st.gpu_slot + params, params, 0.0f);
+    if (st.swap_backed) store_.write_back(i);
+  }
+  // Swap-backed layers that are not resident also need their tier refreshed.
+  if (swap_ != nullptr) {
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      LayerState& st = store_.state(i);
+      if (st.swap_backed && st.gpu_slot == nullptr) store_.write_back(i);
+    }
+  }
+}
+
+EngineStats StrongholdEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  EngineStats s = stats_;
+  s.window = window_;
+  s.gpu_high_water_bytes = gpu_pool_.high_water();
+  return s;
+}
+
+}  // namespace sh::core

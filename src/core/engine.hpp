@@ -1,0 +1,314 @@
+// StrongholdEngine — the dynamic CPU<->GPU offloading runtime (Section III).
+//
+// The engine trains a GptModel while keeping only a working window of m
+// layers resident in a capacity-enforced "GPU" memory pool:
+//
+//  * FP (Fig. 3b): before computing layer i the engine prefetches layer i+m
+//    asynchronously; after computing, layer i's buffer is recycled (layers at
+//    the tail stay resident so BP starts with a full window).
+//  * BP (Fig. 3c): before computing layer i it prefetches layer i-m; after
+//    computing, gradients are copied to the CPU asynchronously and a
+//    concurrent optimizer actor updates the layer's master parameters. The
+//    last m layers of BP (the first m of the model) remain on the GPU and are
+//    updated in place, so the next FP starts without a stall (III-E1).
+//  * The window size is chosen by the analytical model (Section III-D) from
+//    warm-up-phase profiles, or fixed by the user.
+//  * With multiple executors (Section IV-A), the batch is split into
+//    micro-batches processed by concurrent streams sharing ONE copy of the
+//    parameters; gradients are all-reduced before the update.
+//  * With a CPU capacity limit and a swap file (Section III-G), cold layers
+//    live on secondary storage and are faulted in ahead of prefetch.
+//
+// Numerical contract: training through this engine is bit-identical to
+// monolithic training of the same model/seed (single executor), verified by
+// the equivalence tests. Asynchrony never introduces stale updates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/layer_store.hpp"
+#include "core/loss_scaler.hpp"
+#include "core/slot_allocator.hpp"
+#include "core/optimizer_pool.hpp"
+#include "core/window_model.hpp"
+#include "data/synthetic.hpp"
+#include "hw/memory_pool.hpp"
+#include "hw/transfer.hpp"
+#include "nn/gpt.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/schedule.hpp"
+#include "sim/trace.hpp"
+#include "storage/swap_file.hpp"
+
+namespace sh::core {
+
+enum class WindowMode {
+  /// m+1 reserved uniform slots, round-robin recycled (paper default).
+  UniformSlots,
+  /// One fixed-size buffer; the resident layer count varies with layer
+  /// sizes — for heterogeneous stacks such as MoE models (Section III-D).
+  ByteBudget,
+};
+
+struct EngineConfig {
+  /// Working-window size in layers; 0 selects it automatically with the
+  /// analytical model after the warm-up iterations.
+  std::size_t window = 0;
+  WindowMode window_mode = WindowMode::UniformSlots;
+  /// ByteBudget mode: size of the fixed window buffer in floats
+  /// (0 derives it from the uniform-slot requirement).
+  std::size_t window_budget_floats = 0;
+  std::size_t warmup_iterations = 2;
+  std::size_t optimizer_workers = 2;
+  /// Capacity of the simulated GPU memory pool (model-state budget).
+  std::size_t gpu_memory_bytes = std::size_t{1} << 40;
+  /// Transfer throttles in bytes/s (0 = unthrottled memcpy speed).
+  double h2d_bytes_per_s = 0.0;
+  double d2h_bytes_per_s = 0.0;
+  /// Concurrent training executors (intra-GPU data parallelism, Section IV-A).
+  std::size_t num_executors = 1;
+  optim::AdamConfig adam{};
+  /// Per-step learning rate (empty = adam.lr throughout). Evaluated once per
+  /// iteration; asynchronous actors apply the rate that was current at
+  /// submission, so schedules never race with overlapped updates.
+  optim::LrSchedule lr_schedule{};
+  /// Global gradient-norm clipping threshold (0 = off). Clipping needs the
+  /// norm over ALL layers, so parameter updates defer until the backward
+  /// pass drains — a documented cost of clipping under offloading.
+  float clip_grad_norm = 0.0f;
+  /// Gradient accumulation: every call to train_step processes one
+  /// micro-batch; gradients accumulate in the CPU masters and the optimizer
+  /// applies them every `grad_accumulation`-th call. Equivalent to training
+  /// with a grad_accumulation-times larger batch.
+  std::size_t grad_accumulation = 1;
+  /// Mixed precision: parameters and gradients move across the CPU<->GPU
+  /// link in FP16 (compute stays FP32 on FP16-rounded values); FP32 masters
+  /// and optimizer state live on the CPU; dynamic loss scaling skips
+  /// overflowed steps [12].
+  bool fp16 = false;
+  LossScalerConfig loss_scaler{};
+  /// CPU RAM budget for master state; 0 = unlimited. When exceeded, layers
+  /// are backed by the swap file at `swap_path` (Section III-G).
+  std::size_t cpu_capacity_bytes = 0;
+  std::string swap_path{};
+  /// Async-call overhead handed to the window model (t_async).
+  double t_async = 0.0;
+  /// Optional gradient hook invoked once per layer after the (executor-
+  /// reduced) gradients land in the GPU buffer and before they are offloaded
+  /// or applied. Data-parallel training installs an all-reduce here
+  /// (Sections III-E2, VI-D2). Called on the controlling executor's thread.
+  std::function<void(std::size_t layer_index, float* grads, std::int64_t n)>
+      grad_reducer{};
+  /// Records a wall-clock execution timeline (compute / h2d / d2h / cpu-opt
+  /// spans) retrievable via trace() — the runtime counterpart of the paper's
+  /// Figure 4 profiling trace.
+  bool record_trace = false;
+};
+
+struct EngineStats {
+  std::size_t window = 0;
+  bool window_auto_selected = false;
+  WindowDecision decision{};
+  std::size_t iterations = 0;
+  std::size_t prefetch_stalls = 0;  // compute waited on an unfinished fetch
+  std::size_t deferred_prefetches = 0;  // byte-budget: no space at hook time
+  std::size_t demand_fetches = 0;       // layer fetched on demand instead
+  double stall_seconds = 0.0;
+  std::size_t h2d_transfers = 0;
+  std::size_t d2h_transfers = 0;
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+  std::size_t optimizer_updates = 0;
+  std::size_t swap_backed_layers = 0;
+  std::size_t gpu_high_water_bytes = 0;
+  float loss_scale = 1.0f;          // fp16: current dynamic loss scale
+  std::size_t skipped_updates = 0;  // fp16: steps dropped due to overflow
+};
+
+class StrongholdEngine {
+ public:
+  /// The engine takes a non-owning reference to `model`; the model must
+  /// outlive the engine. Parameter storage is owned by the engine.
+  StrongholdEngine(nn::GptModel& model, EngineConfig config);
+  ~StrongholdEngine();
+
+  StrongholdEngine(const StrongholdEngine&) = delete;
+  StrongholdEngine& operator=(const StrongholdEngine&) = delete;
+
+  /// Initialises parameters (deterministic in `seed`).
+  void init_params(std::uint64_t seed);
+
+  /// Runs one training iteration; returns the mean LM loss.
+  float train_step(const data::Batch& batch);
+
+  /// FP-only pass producing logits (knowledge-distillation support,
+  /// Section VI-D3). `observer`, when set, receives each block's output.
+  using ActivationObserver =
+      std::function<void(std::size_t layer, const tensor::Tensor&)>;
+  tensor::Tensor inference(std::span<const std::int32_t> ids,
+                           const nn::BatchShape& shape,
+                           const ActivationObserver& observer = {});
+
+  /// Greedy autoregressive generation: extends `prompt` by `new_tokens`
+  /// tokens using repeated FP-only passes through the working window. The
+  /// context is the last max_seq tokens.
+  std::vector<std::int32_t> generate(std::span<const std::int32_t> prompt,
+                                     std::size_t new_tokens);
+
+  /// Incremental decoding session: per-layer KV caches stay on the "GPU"
+  /// while layer parameters stream through the working window, so each step
+  /// costs O(new tokens) attention instead of a full-context recompute.
+  class Decoder {
+   public:
+    /// Feeds `n_new` tokens per batch row (ids is [batch * n_new]) and
+    /// returns logits [batch * n_new, vocab].
+    tensor::Tensor step(std::span<const std::int32_t> ids,
+                        std::int64_t n_new);
+    std::int64_t position() const noexcept { return pos_; }
+    std::int64_t batch() const noexcept { return batch_; }
+
+   private:
+    friend class StrongholdEngine;
+    Decoder(StrongholdEngine& engine, std::int64_t batch,
+            std::int64_t capacity);
+    StrongholdEngine& engine_;
+    std::int64_t batch_;
+    std::int64_t capacity_;
+    std::int64_t pos_ = 0;
+    std::vector<nn::KvCache> caches_;  // one per block
+  };
+
+  /// Creates a decoding session. `capacity` (<= max_seq) bounds the context.
+  Decoder make_decoder(std::int64_t batch, std::int64_t capacity);
+
+  /// Greedy generation through a Decoder (KV cache; no recompute).
+  std::vector<std::int32_t> generate_incremental(
+      std::span<const std::int32_t> prompt, std::size_t new_tokens);
+
+  /// Copies every layer's authoritative parameters into `out` (layer order,
+  /// concatenated) — used by the equivalence tests. Synchronises pending
+  /// updates first.
+  void snapshot_params(std::vector<float>& out);
+
+  /// Persists the full training state (params + optimizer + step counters)
+  /// after quiescing all in-flight work.
+  void save_checkpoint(const std::string& path);
+
+  /// Restores a checkpoint saved by save_checkpoint; training resumes
+  /// exactly where it left off. GPU-resident copies are refreshed.
+  void load_checkpoint(const std::string& path);
+
+  EngineStats stats() const;
+  std::size_t window() const noexcept { return window_; }
+  const nn::GptModel& model() const noexcept { return model_; }
+
+  /// Wall-clock execution trace (only populated with record_trace). Call
+  /// after quiescing (end of a train_step is fine; spans from in-flight
+  /// background work land when it completes).
+  sim::Trace trace_snapshot() const;
+
+ private:
+  std::size_t num_blocks() const noexcept { return store_.size() - 2; }
+  std::size_t head_index() const noexcept { return store_.size() - 1; }
+  LayerState& block(std::size_t b) { return store_.state(b); }
+
+  void setup_pinned_layers();
+  /// Drains transfers/updates and pulls pinned-layer parameters back into
+  /// the CPU masters so they are authoritative.
+  void quiesce_and_sync_masters();
+  /// Evicts resident blocks outside the current head window and prefetches
+  /// blocks 1..window — the canonical pass-start state. Handles residual
+  /// residency from inference passes or window-size changes.
+  void normalize_residency();
+  tensor::Tensor decode_step(Decoder& decoder,
+                             std::span<const std::int32_t> ids,
+                             std::int64_t n_new);
+  void prefetch(std::size_t index);
+  /// Binds `slot` to the layer and enqueues the asynchronous host->device
+  /// copy (with optimizer/tier dependencies).
+  void issue_fetch(LayerState& st, float* slot);
+  void wait_ready(LayerState& st);
+  void evict_after_forward(LayerState& st);
+  void evict_after_backward(LayerState& st);
+  void update_resident_layer(LayerState& st);
+  /// Update path for the pinned embedding/head (direct, or deferred when
+  /// gradient clipping awaits the global norm).
+  void apply_pinned_update(LayerState& st, float* buffer);
+  bool clipping() const noexcept { return cfg_.clip_grad_norm > 0.0f; }
+  /// Updates defer behind a per-step gate when they depend on whole-step
+  /// information: the global norm (clipping) or the overflow verdict (fp16).
+  bool update_gate_active() const noexcept {
+    return clipping() || cfg_.fp16;
+  }
+  /// FP16: quantise a freshly reduced gradient region and record overflow.
+  void quantize_grads_and_check(float* grads, std::int64_t n);
+  void begin_iteration_lr_and_clip();
+  void finalize_clipped_updates();
+  void maybe_update_window();
+
+  nn::GptModel& model_;
+  EngineConfig cfg_;
+  std::unique_ptr<storage::SwapFile> swap_;
+  LayerStore store_;
+  hw::MemoryPool gpu_pool_;
+  hw::TransferEngine h2d_;
+  hw::TransferEngine d2h_;
+  optim::Adam adam_proto_;
+  OptimizerPool opts_;
+  std::unique_ptr<SlotAllocator> pool_;
+  std::size_t slot_floats_ = 0;
+
+  // Pinned (always-resident) buffers for the first/last layer.
+  float* pinned_emb_ = nullptr;   // params then grads
+  float* pinned_head_ = nullptr;  // params then grads
+
+  std::size_t window_ = 1;
+  bool window_frozen_ = false;
+  std::vector<LayerProfile> profiles_;
+  std::size_t profile_samples_ = 0;
+
+  // Per-iteration learning rate, accumulation, clipping and loss-scaling
+  // machinery.
+  float current_lr_ = -1.0f;
+  std::size_t micro_index_ = 0;   // position within the accumulation cycle
+  bool accum_first_ = true;       // first micro-step: overwrite accumulators
+  bool accum_final_ = true;       // last micro-step: apply the updates
+  LossScaler scaler_;
+  std::atomic<bool> overflow_{false};
+  /// Per-iteration gate verdict. Asynchronous update tasks capture the
+  /// shared_ptr of THEIR iteration, so a late-running update never observes
+  /// the next iteration's reset values.
+  struct GateState {
+    std::atomic<float> scale{1.0f};
+    std::atomic<bool> skip{false};
+  };
+  std::shared_ptr<GateState> gate_state_ = std::make_shared<GateState>();
+  std::shared_future<void> clip_ready_;
+  std::promise<void> clip_promise_;
+  std::vector<double> grad_sumsq_;           // per layer unit, layer order
+  std::vector<std::function<void()>> deferred_updates_;
+
+  // Executor replicas (index 0 reuses model_) and per-executor grad scratch.
+  std::vector<std::unique_ptr<nn::GptModel>> replicas_;
+  std::vector<std::vector<float>> exec_grads_;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  // Wall-clock tracing (record_trace).
+  void trace_span(const char* resource, const char* label, double t0,
+                  double t1);
+  mutable std::mutex trace_mu_;
+  sim::Trace trace_;
+  double trace_epoch_ = 0.0;
+};
+
+}  // namespace sh::core

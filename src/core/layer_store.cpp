@@ -1,0 +1,89 @@
+#include "core/layer_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sh::core {
+
+LayerStore::LayerStore(nn::GptModel& model, std::int64_t opt_state_per_param,
+                       std::size_t cpu_capacity_bytes, storage::SwapFile* swap)
+    : opt_state_per_param_(opt_state_per_param), swap_(swap) {
+  const std::size_t n = model.num_layers();
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto st = std::make_unique<LayerState>();
+    st->index = i;
+    st->layer = &model.layer(i);
+    st->params = st->layer->param_count();
+    st->cpu_params.resize(static_cast<std::size_t>(st->params));
+    st->cpu_grads.resize(static_cast<std::size_t>(st->params));
+    st->cpu_opt.resize(
+        static_cast<std::size_t>(st->params * opt_state_per_param_));
+    st->pinned_on_gpu = (i == 0 || i + 1 == n);
+    max_params_ = std::max(max_params_, st->params);
+
+    const std::size_t state_bytes = static_cast<std::size_t>(
+        st->params * (2 + opt_state_per_param_) * sizeof(float));
+    cumulative += state_bytes;
+    if (cpu_capacity_bytes != 0 && cumulative > cpu_capacity_bytes &&
+        !st->pinned_on_gpu) {
+      if (swap_ == nullptr) {
+        throw std::invalid_argument(
+            "LayerStore: CPU capacity exceeded and no swap tier configured");
+      }
+      st->swap_backed = true;
+      ++swap_backed_;
+    }
+    states_.push_back(std::move(st));
+  }
+}
+
+std::shared_future<void> LayerStore::ready_future() {
+  std::promise<void> p;
+  p.set_value();
+  return p.get_future().share();
+}
+
+std::int64_t LayerStore::swap_key_params(std::size_t i) const {
+  return static_cast<std::int64_t>(i) * 2;
+}
+
+std::int64_t LayerStore::swap_key_opt(std::size_t i) const {
+  return static_cast<std::int64_t>(i) * 2 + 1;
+}
+
+void LayerStore::init_params(std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  for (auto& stp : states_) {
+    LayerState& st = *stp;
+    st.layer->bind(st.cpu_params.data(), st.cpu_grads.data());
+    st.layer->init(rng);
+    std::fill(st.cpu_opt.begin(), st.cpu_opt.end(), 0.0f);
+    st.step = 0;
+    if (st.swap_backed) {
+      swap_->write(swap_key_params(st.index), st.cpu_params);
+      swap_->write(swap_key_opt(st.index), st.cpu_opt);
+    }
+  }
+}
+
+std::shared_future<void> LayerStore::fault_in(std::size_t i) {
+  LayerState& st = state(i);
+  if (!st.swap_backed) return ready_future();
+  auto f1 = swap_->read_async(swap_key_params(i), st.cpu_params);
+  auto f2 = swap_->read_async(swap_key_opt(i), st.cpu_opt);
+  // The swap worker is FIFO: f2 completing implies f1 completed.
+  (void)f1;
+  return f2;
+}
+
+std::shared_future<void> LayerStore::write_back(std::size_t i) {
+  LayerState& st = state(i);
+  if (!st.swap_backed) return ready_future();
+  auto f1 = swap_->write_async(swap_key_params(i), st.cpu_params);
+  auto f2 = swap_->write_async(swap_key_opt(i), st.cpu_opt);
+  (void)f1;
+  return f2;
+}
+
+}  // namespace sh::core

@@ -1,0 +1,85 @@
+// Per-layer CPU-side master state (Section III-E3).
+//
+// When loading the model, STRONGHOLD allocates pinned CPU memory for every
+// DNN layer: parameters, gradients and optimizer states live on the host; the
+// GPU working window holds transient copies of params (+grads during BP).
+// With a secondary-storage tier configured (Section III-G), layers beyond the
+// CPU capacity are backed by a swap file and faulted in ahead of prefetch.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "storage/swap_file.hpp"
+#include "tensor/rng.hpp"
+
+namespace sh::core {
+
+/// Training state of one layer unit.
+struct LayerState {
+  std::size_t index = 0;
+  nn::Layer* layer = nullptr;
+  std::int64_t params = 0;
+
+  // Host-side master copies ("pinned memory" in the paper).
+  std::vector<float> cpu_params;
+  std::vector<float> cpu_grads;
+  std::vector<float> cpu_opt;  // optimizer state planes
+  std::int64_t step = 0;       // optimizer step count
+
+  bool pinned_on_gpu = false;  // embedding/head stay GPU-resident
+  bool swap_backed = false;    // master params+opt live on the NVMe tier
+
+  // GPU residency (managed by the engine). Layout of the slot:
+  // [0, params) parameters, [params, 2*params) gradients.
+  float* gpu_slot = nullptr;
+  std::shared_future<void> ready;        // prefetch completion
+  std::shared_future<void> update_done;  // optimizer-step completion
+};
+
+class LayerStore {
+ public:
+  /// Builds master state for every layer of `model`. Layers whose cumulative
+  /// state exceeds `cpu_capacity_bytes` are marked swap-backed (requires
+  /// `swap`); 0 means unlimited CPU RAM. The first and last layer are never
+  /// swap-backed (they are pinned on the GPU).
+  LayerStore(nn::GptModel& model, std::int64_t opt_state_per_param,
+             std::size_t cpu_capacity_bytes = 0,
+             storage::SwapFile* swap = nullptr);
+
+  /// Binds every layer to its CPU blobs and initialises parameters.
+  /// Swap-backed layers are written out to the tier afterwards.
+  void init_params(std::uint64_t seed);
+
+  std::size_t size() const noexcept { return states_.size(); }
+  LayerState& state(std::size_t i) { return *states_[i]; }
+  const LayerState& state(std::size_t i) const { return *states_[i]; }
+
+  std::int64_t max_layer_params() const noexcept { return max_params_; }
+  std::size_t swap_backed_count() const noexcept { return swap_backed_; }
+  storage::SwapFile* swap() noexcept { return swap_; }
+
+  /// Asynchronously loads a swap-backed layer's params (+opt state) into its
+  /// CPU staging blobs. No-op future for CPU-resident layers.
+  std::shared_future<void> fault_in(std::size_t i);
+
+  /// Asynchronously writes a swap-backed layer's params (+opt state) back to
+  /// the tier after a parameter update. No-op future for resident layers.
+  std::shared_future<void> write_back(std::size_t i);
+
+ private:
+  static std::shared_future<void> ready_future();
+  std::int64_t swap_key_params(std::size_t i) const;
+  std::int64_t swap_key_opt(std::size_t i) const;
+
+  std::vector<std::unique_ptr<LayerState>> states_;
+  std::int64_t opt_state_per_param_;
+  std::int64_t max_params_ = 0;
+  std::size_t swap_backed_ = 0;
+  storage::SwapFile* swap_ = nullptr;
+};
+
+}  // namespace sh::core

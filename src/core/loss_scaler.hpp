@@ -1,0 +1,54 @@
+// Dynamic loss scaling for mixed-precision training [12].
+//
+// The loss is multiplied by a scale S before backward so small gradients
+// survive fp16; gradients are unscaled by 1/S before the optimizer. If any
+// gradient overflows fp16, the step is skipped and S halves; after
+// `growth_interval` consecutive good steps S doubles (capped).
+#pragma once
+
+#include <algorithm>
+
+namespace sh::core {
+
+struct LossScalerConfig {
+  float initial_scale = 1024.0f;
+  float growth_factor = 2.0f;
+  float backoff_factor = 0.5f;
+  int growth_interval = 200;
+  float max_scale = 65536.0f;
+  float min_scale = 1.0f;
+};
+
+class LossScaler {
+ public:
+  explicit LossScaler(const LossScalerConfig& config = {})
+      : config_(config), scale_(config.initial_scale) {}
+
+  float scale() const noexcept { return scale_; }
+
+  /// Records the outcome of a step. Returns true when the step should be
+  /// applied (no overflow), false when it must be skipped.
+  bool update(bool overflow) noexcept {
+    if (overflow) {
+      scale_ = std::max(config_.min_scale, scale_ * config_.backoff_factor);
+      good_steps_ = 0;
+      ++skipped_;
+      return false;
+    }
+    if (++good_steps_ >= config_.growth_interval) {
+      scale_ = std::min(config_.max_scale, scale_ * config_.growth_factor);
+      good_steps_ = 0;
+    }
+    return true;
+  }
+
+  int skipped_steps() const noexcept { return skipped_; }
+
+ private:
+  LossScalerConfig config_;
+  float scale_;
+  int good_steps_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace sh::core

@@ -1,0 +1,65 @@
+#include "core/optimizer_pool.hpp"
+
+#include <chrono>
+
+namespace sh::core {
+
+namespace {
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+OptimizerPool::OptimizerPool(const optim::Optimizer& prototype,
+                             std::size_t workers)
+    : pool_(workers == 0 ? 1 : workers) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  actors_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) actors_.push_back(prototype.clone());
+}
+
+std::shared_future<void> OptimizerPool::submit(LayerState& st,
+                                               std::shared_future<void> after,
+                                               std::function<void()> post_update,
+                                               float lr,
+                                               std::function<float()> grad_scale,
+                                               std::function<bool()> skip_update) {
+  const std::size_t actor =
+      next_actor_.fetch_add(1, std::memory_order_relaxed) % actors_.size();
+  optim::Optimizer* opt = actors_[actor].get();
+  auto fut = pool_.async([this, opt, &st, after, lr,
+                          post = std::move(post_update),
+                          scale = std::move(grad_scale),
+                          skip = std::move(skip_update)] {
+    if (after.valid()) after.wait();
+    if (skip && skip()) return;  // overflowed step: discard gradients
+    const double t0 = wall_seconds();
+    if (scale) {
+      const float s = scale();
+      if (s != 1.0f) {
+        for (std::int64_t i = 0; i < st.params; ++i) st.cpu_grads[i] *= s;
+      }
+    }
+    ++st.step;
+    opt->step(st.cpu_params.data(), st.cpu_grads.data(), st.cpu_opt.data(),
+              st.step, st.params, lr);
+    if (post) post();
+    if (observer_) observer_(t0, wall_seconds());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  });
+  st.update_done = fut.share();
+  return st.update_done;
+}
+
+void OptimizerPool::update_now(LayerState& st, float* params,
+                               const float* grads, float lr) {
+  ++st.step;
+  actors_[0]->step(params, grads, st.cpu_opt.data(), st.step, st.params, lr);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OptimizerPool::wait_all() { pool_.wait_idle(); }
+
+}  // namespace sh::core

@@ -1,0 +1,68 @@
+// Concurrent parameter update (Section III-E1).
+//
+// Conventional schemes (including ZeRO-Offload) drive one optimizer; the
+// STRONGHOLD runtime instead creates multiple optimizer instances at model
+// initialisation and dispatches them as asynchronous actors so several
+// layers update simultaneously on CPU cores, concurrently with the GPU's
+// backward computation. The paper uses Ray actors; we use a thread pool.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/layer_store.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace sh::core {
+
+class OptimizerPool {
+ public:
+  /// Creates `workers` optimizer actors, each holding its own clone of
+  /// `prototype`.
+  OptimizerPool(const optim::Optimizer& prototype, std::size_t workers);
+
+  /// Schedules an asynchronous parameter update for `st` using its CPU-side
+  /// grads and optimizer state. If `after` is valid, the update waits for it
+  /// first (e.g. the grad d2h copy). `post_update` runs inside the task after
+  /// the step (e.g. the NVMe tier write-back). `lr` overrides the learning
+  /// rate (schedules); `grad_scale`, when set, is evaluated inside the task
+  /// and applied to the gradients before the step (global-norm clipping —
+  /// the factor is only known once every layer's gradient has landed).
+  /// Returns the completion future and also stores it in `st.update_done`.
+  /// `skip_update`, when set and true at execution time, drops the step
+  /// entirely (dynamic loss scaling skips overflowed iterations).
+  std::shared_future<void> submit(LayerState& st,
+                                  std::shared_future<void> after = {},
+                                  std::function<void()> post_update = {},
+                                  float lr = -1.0f,
+                                  std::function<float()> grad_scale = {},
+                                  std::function<bool()> skip_update = {});
+
+  /// Runs an update synchronously on the caller's thread (used for the
+  /// GPU-pinned layers, whose update the paper performs on the GPU).
+  void update_now(LayerState& st, float* params, const float* grads,
+                  float lr = -1.0f);
+
+  void wait_all();
+  std::size_t updates_completed() const noexcept { return completed_.load(); }
+  std::size_t workers() const noexcept { return pool_.num_threads(); }
+
+  /// Observer invoked with (start, end) wall-clock seconds of every update —
+  /// used by the engine's execution tracer. Set before submitting work.
+  void set_update_observer(std::function<void(double, double)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  std::vector<std::unique_ptr<optim::Optimizer>> actors_;
+  std::atomic<std::size_t> next_actor_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::function<void(double, double)> observer_;
+  parallel::ThreadPool pool_;
+};
+
+}  // namespace sh::core

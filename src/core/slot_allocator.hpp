@@ -1,0 +1,94 @@
+// Allocation policy for the GPU working window.
+//
+// UniformSlotAllocator implements the paper's default: m+1 reserved
+// fixed-size slots recycled round-robin, sized for the largest layer — best
+// cache locality for homogeneous Transformer stacks (Section III-E3).
+// BudgetSlotAllocator implements the alternative the paper offers for
+// heterogeneous layer structures: one fixed-size buffer whose resident layer
+// count varies dynamically (Section III-D).
+#pragma once
+
+#include <memory>
+
+#include "core/buffer_pool.hpp"
+#include "core/byte_budget_pool.hpp"
+
+namespace sh::core {
+
+class SlotAllocator {
+ public:
+  virtual ~SlotAllocator() = default;
+
+  /// Obtains GPU space for a layer of `floats` floats; blocks until
+  /// available.
+  virtual float* acquire(std::size_t floats) = 0;
+
+  /// Non-blocking variant: nullptr when nothing fits right now. Used for
+  /// opportunistic prefetching in the byte-budget mode, where a blocking
+  /// fetch from the control thread could wait on space that only the
+  /// control thread's own progress can free.
+  virtual float* try_acquire(std::size_t floats) = 0;
+
+  virtual void release(float* ptr) = 0;
+
+  /// Adjusts capacity for a new window decision (grow-only semantics).
+  virtual void ensure_window(std::size_t slot_floats, std::size_t slots) = 0;
+
+  /// True when hook-time prefetches may block safely (uniform slots: the
+  /// m+1-slot invariant guarantees progress). Byte-budget mode defers
+  /// instead ("delays the layer movement", Section III-B).
+  virtual bool blocking_prefetch_safe() const = 0;
+};
+
+class UniformSlotAllocator final : public SlotAllocator {
+ public:
+  UniformSlotAllocator(hw::MemoryPool& gpu, std::size_t slot_floats,
+                       std::size_t slots)
+      : pool_(gpu, slot_floats, slots) {}
+
+  float* acquire(std::size_t floats) override {
+    if (floats > pool_.slot_floats()) {
+      throw std::logic_error("layer exceeds the uniform slot size");
+    }
+    return pool_.acquire();
+  }
+  float* try_acquire(std::size_t floats) override {
+    if (floats > pool_.slot_floats()) {
+      throw std::logic_error("layer exceeds the uniform slot size");
+    }
+    return pool_.try_acquire();
+  }
+  void release(float* ptr) override { pool_.release(ptr); }
+  void ensure_window(std::size_t slot_floats, std::size_t slots) override {
+    pool_.grow(slot_floats, slots);
+  }
+  bool blocking_prefetch_safe() const override { return true; }
+
+  BufferPool& pool() noexcept { return pool_; }
+
+ private:
+  BufferPool pool_;
+};
+
+class BudgetSlotAllocator final : public SlotAllocator {
+ public:
+  BudgetSlotAllocator(hw::MemoryPool& gpu, std::size_t budget_floats)
+      : pool_(gpu, budget_floats) {}
+
+  float* acquire(std::size_t floats) override { return pool_.acquire(floats); }
+  float* try_acquire(std::size_t floats) override {
+    return pool_.try_acquire(floats);
+  }
+  void release(float* ptr) override { pool_.release(ptr); }
+  void ensure_window(std::size_t, std::size_t) override {
+    // The buffer is fixed-size by design; the layer count adapts instead.
+  }
+  bool blocking_prefetch_safe() const override { return false; }
+
+  ByteBudgetPool& pool() noexcept { return pool_; }
+
+ private:
+  ByteBudgetPool pool_;
+};
+
+}  // namespace sh::core

@@ -1,0 +1,145 @@
+#include "core/window_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sh::core {
+
+namespace {
+
+/// Max of s_fp (FP windows also stage the incoming layer j, 1c) and plain
+/// s_bp sums (2c) for every window position of size m.
+bool memory_fits(const std::vector<LayerProfile>& ls, std::size_t m,
+                 double s_avail) {
+  const std::size_t n = ls.size();
+  if (m > n) return false;
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    double fp_sum = 0.0;
+    double bp_sum = 0.0;
+    for (std::size_t k = i; k < i + m; ++k) {
+      fp_sum += ls[k].s_fp;
+      bp_sum += ls[k].s_bp;
+    }
+    const double incoming = (i + m < n) ? ls[i + m].s_fp : 0.0;
+    if (fp_sum + incoming > s_avail) return false;
+    if (bp_sum > s_avail) return false;
+  }
+  return true;
+}
+
+/// P1 hard constraint (1b): window compute covers the next layer's fetch.
+bool fp_overlap_ok(const std::vector<LayerProfile>& ls, std::size_t m) {
+  const std::size_t n = ls.size();
+  for (std::size_t i = 0; i + m < n; ++i) {
+    double window_compute = 0.0;
+    for (std::size_t k = i; k < i + m; ++k) window_compute += ls[k].t_fp;
+    if (window_compute < ls[i + m].t_c2g) return false;
+  }
+  return true;
+}
+
+/// P2 hard constraint (2b): BP window compute covers the outgoing transfer.
+/// BP walks layers in reverse; the layer outside the window in BP direction
+/// is i - 1 for a window [i, i+m).
+bool bp_overlap_ok(const std::vector<LayerProfile>& ls, std::size_t m) {
+  const std::size_t n = ls.size();
+  if (m == 0) return false;
+  for (std::size_t i = 1; i + m <= n; ++i) {
+    double window_compute = 0.0;
+    for (std::size_t k = i; k < i + m - 1; ++k) window_compute += ls[k].t_bp;
+    // Sum over m-1 layers (2b sums to m-1); the transferred layer is the
+    // one leaving the window toward the CPU.
+    if (window_compute < ls[i - 1].t_g2c && m > 1) return false;
+    if (m == 1 && ls[i].t_bp < ls[i - 1].t_g2c) return false;
+  }
+  return true;
+}
+
+/// Soft constraint (1d)/(2d): window compute covers both transfer directions.
+bool soft_ok(const std::vector<LayerProfile>& ls, std::size_t m, bool fp) {
+  const std::size_t n = ls.size();
+  for (std::size_t i = 0; i + m <= n; ++i) {
+    double compute = 0.0;
+    double xfer = 0.0;
+    for (std::size_t k = i; k < i + m; ++k) {
+      compute += fp ? ls[k].t_fp : ls[k].t_bp;
+      xfer += ls[k].t_c2g + ls[k].t_g2c;
+    }
+    if (compute < xfer) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool window_satisfies_hard_constraints(const WindowModelInput& input,
+                                       std::size_t m) {
+  if (m == 0 || m > input.layers.size()) return false;
+  return memory_fits(input.layers, m, input.s_avail) &&
+         fp_overlap_ok(input.layers, m) && bp_overlap_ok(input.layers, m);
+}
+
+WindowDecision solve_window(const WindowModelInput& input) {
+  WindowDecision d;
+  const auto& ls = input.layers;
+  const std::size_t n = ls.size();
+  if (n == 0) return d;
+
+  for (std::size_t m = 1; m <= n; ++m) {
+    if (memory_fits(ls, m, input.s_avail)) d.max_m_by_memory = m;
+  }
+  if (d.max_m_by_memory == 0) return d;  // not even one layer fits
+
+  for (std::size_t m = 1; m <= d.max_m_by_memory && d.m_fp == 0; ++m) {
+    if (fp_overlap_ok(ls, m)) d.m_fp = m;
+  }
+  for (std::size_t m = 1; m <= d.max_m_by_memory && d.m_bp == 0; ++m) {
+    if (bp_overlap_ok(ls, m)) d.m_bp = m;
+  }
+
+  if (d.m_fp > 0 && d.m_bp > 0) {
+    d.feasible = true;
+    d.m = std::max(d.m_fp, d.m_bp);
+    // Prefer the smallest window >= the hard minimum that also satisfies the
+    // soft constraints (1d)/(2d); if no such window exists (e.g. homogeneous
+    // layers where both sides scale together), keep the hard minimum — a
+    // larger window would waste GPU memory for no overlap gain.
+    for (std::size_t m = d.m; m <= d.max_m_by_memory; ++m) {
+      if (soft_ok(ls, m, true) && soft_ok(ls, m, false)) {
+        d.m = m;
+        break;
+      }
+    }
+  } else {
+    d.feasible = false;
+    d.m = d.max_m_by_memory;  // fallback: largest memory-permitted window
+  }
+
+  d.soft_fp = soft_ok(ls, d.m, true);
+  d.soft_bp = soft_ok(ls, d.m, false);
+
+  // Eq. 3: each CPU-side update must finish within the remaining FP+BP
+  // compute plus the GPU-side updates of the window layers.
+  const double gpu_opt_window = std::accumulate(
+      ls.begin(), ls.begin() + static_cast<std::ptrdiff_t>(std::min(d.m, n)),
+      0.0, [](double acc, const LayerProfile& l) { return acc + l.t_opt_gpu; });
+  d.update_hidden = true;
+  for (std::size_t k = d.m; k < n; ++k) {
+    double budget = gpu_opt_window;
+    for (std::size_t i = 0; i <= k; ++i) budget += ls[i].t_fp + ls[i].t_bp;
+    if (ls[k].t_opt_cpu > budget) {
+      d.update_hidden = false;
+      break;
+    }
+  }
+
+  // Eq. 4: 5 n t_async <= sum_{i=m}^{n} t_opt_gpu (the GPU-side update time
+  // freed by moving updates to the CPU amortises the async-call overhead).
+  double freed = 0.0;
+  for (std::size_t i = d.m; i < n; ++i) freed += ls[i].t_opt_gpu;
+  d.async_amortized =
+      5.0 * static_cast<double>(n) * input.t_async <= freed;
+  return d;
+}
+
+}  // namespace sh::core

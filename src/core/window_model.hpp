@@ -1,0 +1,61 @@
+// Analytical model for the GPU working-window size (Section III-D).
+//
+// Given warm-up profiles of per-layer forward/backward compute times,
+// CPU<->GPU transfer times and state sizes, the solver finds the smallest
+// window m such that asynchronous prefetch never stalls the GPU:
+//
+//   P1 (FP):  min m  s.t.  sum_{i in window} t_fp^i >= t_c2g^j        (1b)
+//                          sum s_fp^i + s_fp^j     <= S_avail          (1c)
+//                  soft:   sum t_fp >= sum t_c2g + sum t_g2c           (1d)
+//   P2 (BP):  symmetric with t_bp and g2c leading                  (2b-2d)
+//
+// plus the parameter-update hiding condition (Eq. 3) and the async-call
+// amortisation condition (Eq. 4/5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sh::core {
+
+/// Warm-up profile of one layer.
+struct LayerProfile {
+  double t_fp = 0.0;   // forward compute seconds
+  double t_bp = 0.0;   // backward compute seconds (incl. recompute)
+  double t_c2g = 0.0;  // CPU -> GPU transfer seconds for the layer state
+  double t_g2c = 0.0;  // GPU -> CPU transfer seconds
+  double s_fp = 0.0;   // bytes resident during FP (params [+buffers])
+  double s_bp = 0.0;   // bytes resident during BP (params + grads)
+  double t_opt_gpu = 0.0;  // GPU-side parameter update seconds
+  double t_opt_cpu = 0.0;  // CPU-side parameter update seconds
+};
+
+struct WindowModelInput {
+  std::vector<LayerProfile> layers;  // offloadable layers, execution order
+  double s_avail = 0.0;              // GPU bytes available for the window
+  double t_async = 0.0;              // overhead of one async call
+};
+
+struct WindowDecision {
+  std::size_t m = 0;        // chosen window (max of FP and BP requirements)
+  std::size_t m_fp = 0;     // minimal m satisfying P1 hard constraints
+  std::size_t m_bp = 0;     // minimal m satisfying P2 hard constraints
+  bool feasible = false;    // hard constraints satisfiable within memory
+  bool soft_fp = false;     // (1d) satisfied at the chosen m
+  bool soft_bp = false;     // (2d) satisfied at the chosen m
+  bool update_hidden = false;  // Eq. 3 holds (CPU updates fully overlapped)
+  bool async_amortized = false;  // Eq. 4/5 holds
+  std::size_t max_m_by_memory = 0;  // largest window memory permits
+};
+
+/// Solves P1/P2 and evaluates the side conditions. If no m satisfies the
+/// hard overlap constraints within the memory budget, `feasible` is false
+/// and `m` is the largest memory-permitted window (the paper's fallback).
+WindowDecision solve_window(const WindowModelInput& input);
+
+/// Convenience: true when every sliding window of size m satisfies the P1
+/// and P2 hard constraints.
+bool window_satisfies_hard_constraints(const WindowModelInput& input,
+                                       std::size_t m);
+
+}  // namespace sh::core

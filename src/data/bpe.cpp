@@ -1,0 +1,156 @@
+#include "data/bpe.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sh::data {
+
+namespace {
+struct PairHash {
+  std::size_t operator()(const std::pair<std::int32_t, std::int32_t>& p) const
+      noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first)) << 32) |
+        static_cast<std::uint32_t>(p.second));
+  }
+};
+}  // namespace
+
+BpeTokenizer::BpeTokenizer() { rebuild_tables(); }
+
+void BpeTokenizer::rebuild_tables() {
+  token_bytes_.clear();
+  token_bytes_.reserve(256 + merges_.size());
+  for (int b = 0; b < 256; ++b) {
+    token_bytes_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  merge_rank_.clear();
+  for (std::size_t i = 0; i < merges_.size(); ++i) {
+    const auto& m = merges_[i];
+    token_bytes_.push_back(token_bytes_[static_cast<std::size_t>(m.left)] +
+                           token_bytes_[static_cast<std::size_t>(m.right)]);
+    merge_rank_[{m.left, m.right}] = 256 + static_cast<std::int32_t>(i);
+  }
+}
+
+BpeTokenizer BpeTokenizer::train(std::string_view text,
+                                 std::int64_t vocab_size) {
+  if (vocab_size < 256) {
+    throw std::invalid_argument("BPE vocab_size must be >= 256");
+  }
+  BpeTokenizer tok;
+  std::vector<std::int32_t> tokens;
+  tokens.reserve(text.size());
+  for (unsigned char c : text) tokens.push_back(static_cast<std::int32_t>(c));
+
+  while (tok.vocab_size() < vocab_size) {
+    // Count adjacent pairs.
+    std::unordered_map<std::pair<std::int32_t, std::int32_t>, std::int64_t,
+                       PairHash>
+        counts;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      ++counts[{tokens[i], tokens[i + 1]}];
+    }
+    if (counts.empty()) break;
+    // Deterministic winner: highest count, ties to the smaller pair.
+    std::pair<std::int32_t, std::int32_t> best{0, 0};
+    std::int64_t best_count = 0;
+    for (const auto& [pair, count] : counts) {
+      if (count > best_count || (count == best_count && pair < best)) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;  // nothing worth merging
+    const auto merged = static_cast<std::int32_t>(tok.vocab_size());
+    tok.merges_.push_back({best.first, best.second});
+    tok.rebuild_tables();
+    // Apply the merge to the working stream.
+    std::vector<std::int32_t> next;
+    next.reserve(tokens.size());
+    for (std::size_t i = 0; i < tokens.size();) {
+      if (i + 1 < tokens.size() && tokens[i] == best.first &&
+          tokens[i + 1] == best.second) {
+        next.push_back(merged);
+        i += 2;
+      } else {
+        next.push_back(tokens[i]);
+        ++i;
+      }
+    }
+    tokens.swap(next);
+  }
+  return tok;
+}
+
+std::vector<std::int32_t> BpeTokenizer::encode(std::string_view text) const {
+  std::vector<std::int32_t> tokens;
+  tokens.reserve(text.size());
+  for (unsigned char c : text) tokens.push_back(static_cast<std::int32_t>(c));
+  if (merge_rank_.empty()) return tokens;
+  // Repeatedly merge the lowest-rank adjacent pair (GPT-2 BPE order).
+  for (;;) {
+    std::int32_t best_rank = -1;
+    std::size_t best_pos = 0;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      auto it = merge_rank_.find({tokens[i], tokens[i + 1]});
+      if (it != merge_rank_.end() &&
+          (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank < 0) break;
+    tokens[best_pos] = best_rank;
+    tokens.erase(tokens.begin() + static_cast<std::ptrdiff_t>(best_pos) + 1);
+  }
+  return tokens;
+}
+
+std::string BpeTokenizer::decode(std::span<const std::int32_t> ids) const {
+  std::string out;
+  for (std::int32_t id : ids) out += token_bytes(id);
+  return out;
+}
+
+const std::string& BpeTokenizer::token_bytes(std::int32_t id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= token_bytes_.size()) {
+    throw std::out_of_range("BPE token id out of range");
+  }
+  return token_bytes_[static_cast<std::size_t>(id)];
+}
+
+void BpeTokenizer::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("BPE: cannot open " + path);
+  os << "bpe-v1 " << merges_.size() << "\n";
+  for (const auto& m : merges_) os << m.left << ' ' << m.right << "\n";
+  if (!os) throw std::runtime_error("BPE: write failed for " + path);
+}
+
+BpeTokenizer BpeTokenizer::load(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("BPE: cannot open " + path);
+  std::string magic;
+  std::size_t count = 0;
+  is >> magic >> count;
+  if (!is || magic != "bpe-v1") {
+    throw std::runtime_error("BPE: bad header in " + path);
+  }
+  BpeTokenizer tok;
+  for (std::size_t i = 0; i < count; ++i) {
+    Merge m{};
+    is >> m.left >> m.right;
+    if (!is) throw std::runtime_error("BPE: truncated merges in " + path);
+    const auto limit = static_cast<std::int32_t>(256 + i);
+    if (m.left < 0 || m.left >= limit || m.right < 0 || m.right >= limit) {
+      throw std::runtime_error("BPE: invalid merge in " + path);
+    }
+    tok.merges_.push_back(m);
+  }
+  tok.rebuild_tables();
+  return tok;
+}
+
+}  // namespace sh::data

@@ -1,0 +1,56 @@
+// Byte-pair encoding tokenizer (GPT-2 style, byte-level base vocabulary).
+//
+// The paper's artifact trains on Wikipedia text; this tokenizer plus
+// TextCorpus make `data/` a real text pipeline: 256 byte tokens plus learned
+// merges, greedy lowest-rank-first encoding, exact decode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sh::data {
+
+class BpeTokenizer {
+ public:
+  /// Learns merges from `text` until the vocabulary reaches `vocab_size`
+  /// (>= 256; 256 base byte tokens plus vocab_size - 256 merges). Training
+  /// is deterministic: the most frequent pair wins, ties broken by the
+  /// smaller (left, right) token ids.
+  static BpeTokenizer train(std::string_view text, std::int64_t vocab_size);
+
+  /// Byte-level tokenizer with no merges (vocab 256).
+  BpeTokenizer();
+
+  std::vector<std::int32_t> encode(std::string_view text) const;
+  std::string decode(std::span<const std::int32_t> ids) const;
+
+  std::int64_t vocab_size() const noexcept {
+    return 256 + static_cast<std::int64_t>(merges_.size());
+  }
+  std::size_t num_merges() const noexcept { return merges_.size(); }
+
+  /// The byte string a token expands to.
+  const std::string& token_bytes(std::int32_t id) const;
+
+  void save(const std::string& path) const;
+  static BpeTokenizer load(const std::string& path);
+
+ private:
+  struct Merge {
+    std::int32_t left;
+    std::int32_t right;
+  };
+
+  void rebuild_tables();
+
+  std::vector<Merge> merges_;  // merge i produces token 256 + i
+  // (left, right) -> merged token id, with rank = id (lower merges first).
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> merge_rank_;
+  std::vector<std::string> token_bytes_;  // id -> expansion
+};
+
+}  // namespace sh::data

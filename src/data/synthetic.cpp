@@ -1,0 +1,39 @@
+#include "data/synthetic.hpp"
+
+namespace sh::data {
+
+SyntheticCorpus::SyntheticCorpus(std::int64_t vocab, std::uint64_t seed)
+    : vocab_(vocab), rng_(seed), successor_(static_cast<std::size_t>(vocab)) {
+  // Each token gets one deterministic "preferred" successor.
+  for (std::int64_t v = 0; v < vocab; ++v) {
+    successor_[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(rng_.next_below(static_cast<std::uint64_t>(vocab)));
+  }
+}
+
+std::int32_t SyntheticCorpus::next_token(std::int32_t prev) {
+  // 75% follow the chain, 25% jump uniformly: learnable but not trivial.
+  if (rng_.next_uniform() < 0.75) {
+    return successor_[static_cast<std::size_t>(prev)];
+  }
+  return static_cast<std::int32_t>(
+      rng_.next_below(static_cast<std::uint64_t>(vocab_)));
+}
+
+Batch SyntheticCorpus::next_batch(std::int64_t batch, std::int64_t seq) {
+  Batch b;
+  b.ids.resize(static_cast<std::size_t>(batch * seq));
+  b.targets.resize(static_cast<std::size_t>(batch * seq));
+  for (std::int64_t i = 0; i < batch; ++i) {
+    std::int32_t tok = static_cast<std::int32_t>(
+        rng_.next_below(static_cast<std::uint64_t>(vocab_)));
+    for (std::int64_t t = 0; t < seq; ++t) {
+      b.ids[static_cast<std::size_t>(i * seq + t)] = tok;
+      tok = next_token(tok);
+      b.targets[static_cast<std::size_t>(i * seq + t)] = tok;
+    }
+  }
+  return b;
+}
+
+}  // namespace sh::data

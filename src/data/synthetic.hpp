@@ -1,0 +1,44 @@
+// Synthetic token streams standing in for the paper's Wikipedia corpus.
+//
+// The generator produces a deterministic, structured language: each token is
+// drawn from a Markov chain over the vocabulary, which gives the model
+// actual signal to learn (loss decreases) unlike i.i.d. noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace sh::data {
+
+struct Batch {
+  std::vector<std::int32_t> ids;      // [batch * seq] inputs
+  std::vector<std::int32_t> targets;  // [batch * seq] next-token targets
+};
+
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(std::int64_t vocab, std::uint64_t seed);
+
+  /// Samples a batch of token sequences plus shifted next-token targets.
+  Batch next_batch(std::int64_t batch, std::int64_t seq);
+
+  std::int64_t vocab() const noexcept { return vocab_; }
+
+  /// The deterministic "preferred" successor of a token (the signal a model
+  /// trained on this corpus should learn) — exposed for evaluation.
+  std::int32_t successor(std::int32_t token) const {
+    return successor_[static_cast<std::size_t>(token)];
+  }
+
+ private:
+  std::int32_t next_token(std::int32_t prev);
+
+  std::int64_t vocab_;
+  tensor::Rng rng_;
+  // Sparse Markov structure: each token has a small set of likely successors.
+  std::vector<std::int32_t> successor_;
+};
+
+}  // namespace sh::data

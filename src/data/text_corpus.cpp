@@ -1,0 +1,61 @@
+#include "data/text_corpus.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sh::data {
+
+TextCorpus::TextCorpus(std::string_view text, BpeTokenizer tokenizer,
+                       std::uint64_t seed)
+    : tokenizer_(std::move(tokenizer)),
+      tokens_(tokenizer_.encode(text)),
+      rng_(seed) {
+  if (tokens_.size() < 2) {
+    throw std::invalid_argument("TextCorpus: text too short");
+  }
+}
+
+TextCorpus TextCorpus::from_text(std::string_view text,
+                                 std::int64_t vocab_size, std::uint64_t seed) {
+  return TextCorpus(text, BpeTokenizer::train(text, vocab_size), seed);
+}
+
+Batch TextCorpus::next_batch(std::int64_t batch, std::int64_t seq) {
+  if (static_cast<std::size_t>(seq) + 1 > tokens_.size()) {
+    throw std::invalid_argument("TextCorpus: seq longer than the corpus");
+  }
+  Batch b;
+  b.ids.resize(static_cast<std::size_t>(batch * seq));
+  b.targets.resize(static_cast<std::size_t>(batch * seq));
+  const std::uint64_t max_start =
+      tokens_.size() - static_cast<std::size_t>(seq) - 1;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    const auto start =
+        static_cast<std::size_t>(rng_.next_below(max_start + 1));
+    for (std::int64_t t = 0; t < seq; ++t) {
+      b.ids[static_cast<std::size_t>(i * seq + t)] =
+          tokens_[start + static_cast<std::size_t>(t)];
+      b.targets[static_cast<std::size_t>(i * seq + t)] =
+          tokens_[start + static_cast<std::size_t>(t) + 1];
+    }
+  }
+  return b;
+}
+
+std::string_view TextCorpus::sample_text() {
+  return
+      "the quick brown fox jumps over the lazy dog. the dog sleeps in the "
+      "sun while the fox runs through the field. in the morning the fox "
+      "hunts near the river, and the dog watches the house. when the rain "
+      "comes, the fox hides under the old oak tree and the dog stays by the "
+      "fire. the farmer walks along the river with his dog, and the fox "
+      "watches from the field. every evening the moon rises over the quiet "
+      "farm, the river glitters, and the old oak tree stands still. the "
+      "farmer feeds the dog, closes the gate, and counts the sheep in the "
+      "barn. the sheep sleep, the dog dreams, and the fox slips silently "
+      "back into the dark field. so the days pass on the quiet farm: the "
+      "sun, the rain, the river, and the moon each keep their own time, and "
+      "the quick brown fox keeps jumping over the lazy dog.";
+}
+
+}  // namespace sh::data

@@ -1,0 +1,42 @@
+// Tokenized text corpus producing next-token training batches — the real
+// counterpart of SyntheticCorpus, backed by a BPE tokenizer.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "data/bpe.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/rng.hpp"
+
+namespace sh::data {
+
+class TextCorpus {
+ public:
+  /// Tokenizes `text` with `tokenizer` (which the corpus copies). Batches
+  /// sample contiguous windows uniformly (deterministic in `seed`).
+  TextCorpus(std::string_view text, BpeTokenizer tokenizer,
+             std::uint64_t seed);
+
+  /// Convenience: trains a tokenizer of `vocab_size` on the text first.
+  static TextCorpus from_text(std::string_view text, std::int64_t vocab_size,
+                              std::uint64_t seed);
+
+  /// Samples `batch` windows of `seq` tokens with shifted targets.
+  Batch next_batch(std::int64_t batch, std::int64_t seq);
+
+  std::int64_t vocab() const noexcept { return tokenizer_.vocab_size(); }
+  std::size_t num_tokens() const noexcept { return tokens_.size(); }
+  const BpeTokenizer& tokenizer() const noexcept { return tokenizer_; }
+
+  /// A small built-in English sample (public-domain style prose) for
+  /// examples and tests that want real text without shipping a corpus.
+  static std::string_view sample_text();
+
+ private:
+  BpeTokenizer tokenizer_;
+  std::vector<std::int32_t> tokens_;
+  tensor::Rng rng_;
+};
+
+}  // namespace sh::data

@@ -1,0 +1,28 @@
+#include "dist/comm_volume.hpp"
+
+namespace sh::dist {
+
+double dp_volume(const VolumeParams& p) {
+  const double hd = static_cast<double>(p.hidden);
+  return static_cast<double>(p.w - 1) * p.w *
+         (12.0 * static_cast<double>(p.layers) * hd * hd +
+          hd * static_cast<double>(p.vocab));
+}
+
+double mp_volume(const VolumeParams& p) {
+  return static_cast<double>(p.w - 1) * p.w *
+         static_cast<double>(p.layers) * static_cast<double>(p.batch) *
+         static_cast<double>(p.seq) * static_cast<double>(p.hidden);
+}
+
+double mp_over_dp(const VolumeParams& p) {
+  return mp_volume(p) / dp_volume(p);
+}
+
+double mp_over_dp_simplified(const VolumeParams& p) {
+  const double k = 1.0 / (3.0 * static_cast<double>(p.hidden) / 256.0 +
+                          30.0 / static_cast<double>(p.layers));
+  return k * static_cast<double>(p.batch);
+}
+
+}  // namespace sh::dist

@@ -1,0 +1,33 @@
+// Communication-volume model of Section III-F: converting w-way model
+// parallelism into w-way data parallelism (enabled by STRONGHOLD fitting the
+// whole model on one node) changes the cross-server traffic from per-layer
+// activation exchanges to one gradient all-reduce.
+#pragma once
+
+#include <cstdint>
+
+namespace sh::dist {
+
+struct VolumeParams {
+  int w = 8;                   // parallelism degree
+  std::int64_t layers = 50;    // n
+  std::int64_t hidden = 4096;  // hd
+  std::int64_t vocab = 30000;  // vs
+  std::int64_t batch = 16;     // bs (per replica)
+  std::int64_t seq = 1024;
+};
+
+/// V_dp = (w-1) w (12 n hd^2 + hd vs): gradient all-reduce volume.
+double dp_volume(const VolumeParams& p);
+
+/// V_mp = (w-1) w n bs seq hd: per-layer activation exchange volume.
+double mp_volume(const VolumeParams& p);
+
+/// V_mp / V_dp — the traffic reduction factor of switching MP -> DP.
+double mp_over_dp(const VolumeParams& p);
+
+/// The paper's simplified closed form for seq = 1024, vs = 30K:
+/// V_mp/V_dp = bs / (3 hd / 256 + 30 / n) = k * bs.
+double mp_over_dp_simplified(const VolumeParams& p);
+
+}  // namespace sh::dist

@@ -1,0 +1,94 @@
+#include "dist/dp_trainer.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "tensor/ops.hpp"
+
+namespace sh::dist {
+
+DataParallelTrainer::DataParallelTrainer(const nn::GptConfig& model_config,
+                                         core::EngineConfig engine_config,
+                                         int world)
+    : comm_(world),
+      head_index_(static_cast<std::size_t>(model_config.num_units()) - 1),
+      seq_(model_config.max_seq) {
+  if (world <= 0) throw std::invalid_argument("world must be >= 1");
+  const float inv_world = 1.0f / static_cast<float>(world);
+  ranks_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    Rank rank;
+    rank.model = std::make_unique<nn::GptModel>(model_config);
+    core::EngineConfig cfg = engine_config;
+    // Blocks reduce over the GPU channel; the pinned embedding/head over the
+    // CPU channel. Each rank averages after the sum so every replica applies
+    // the global-mean gradient.
+    cfg.grad_reducer = [this, r, inv_world](std::size_t layer, float* grads,
+                                            std::int64_t n) {
+      const bool pinned = layer == 0 || layer == head_index_;
+      comm_.all_reduce_sum(pinned ? Channel::Cpu : Channel::Gpu, r,
+                           {grads, static_cast<std::size_t>(n)});
+      tensor::scale(inv_world, grads, n);
+    };
+    rank.engine =
+        std::make_unique<core::StrongholdEngine>(*rank.model, std::move(cfg));
+    ranks_.push_back(std::move(rank));
+  }
+}
+
+void DataParallelTrainer::init_params(std::uint64_t seed) {
+  for (auto& r : ranks_) r.engine->init_params(seed);
+}
+
+float DataParallelTrainer::train_step(const data::Batch& global_batch) {
+  const int world = this->world();
+  const std::size_t tokens = global_batch.ids.size();
+  const auto seq = static_cast<std::size_t>(seq_);
+  if (tokens % seq != 0 ||
+      (tokens / seq) % static_cast<std::size_t>(world) != 0) {
+    throw std::invalid_argument(
+        "global batch rows must divide evenly across ranks");
+  }
+  const std::size_t shard = tokens / static_cast<std::size_t>(world);
+
+  std::vector<float> losses(static_cast<std::size_t>(world), 0.0f);
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        data::Batch local;
+        const std::size_t lo = static_cast<std::size_t>(r) * shard;
+        local.ids.assign(
+            global_batch.ids.begin() + static_cast<std::ptrdiff_t>(lo),
+            global_batch.ids.begin() + static_cast<std::ptrdiff_t>(lo + shard));
+        local.targets.assign(
+            global_batch.targets.begin() + static_cast<std::ptrdiff_t>(lo),
+            global_batch.targets.begin() +
+                static_cast<std::ptrdiff_t>(lo + shard));
+        losses[static_cast<std::size_t>(r)] =
+            ranks_[static_cast<std::size_t>(r)].engine->train_step(local);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  float mean = 0.0f;
+  for (float l : losses) mean += l;
+  return mean / static_cast<float>(world);
+}
+
+void DataParallelTrainer::snapshot_params(int rank, std::vector<float>& out) {
+  ranks_.at(static_cast<std::size_t>(rank)).engine->snapshot_params(out);
+}
+
+core::EngineStats DataParallelTrainer::stats(int rank) const {
+  return ranks_.at(static_cast<std::size_t>(rank)).engine->stats();
+}
+
+}  // namespace sh::dist

@@ -1,0 +1,63 @@
+// Data-parallel training across nodes with STRONGHOLD on each node
+// (Sections III-F, VI-D2).
+//
+// Because offloading lets the *whole* model fit on a single node, the
+// cluster can run plain data parallelism instead of model parallelism: each
+// rank owns a full replica trained through its own StrongholdEngine, and
+// per-layer gradients are all-reduced through the heterogeneous collective
+// channels — GPU-resident block gradients on the GPU channel, the pinned
+// embedding/head gradients on the CPU channel, concurrently usable
+// (Section III-E2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "dist/hetero_comm.hpp"
+#include "nn/gpt.hpp"
+
+namespace sh::dist {
+
+class DataParallelTrainer {
+ public:
+  /// Creates `world` rank replicas of the model, each behind its own
+  /// StrongholdEngine configured from `engine_config` (the grad_reducer slot
+  /// is taken over by the trainer).
+  DataParallelTrainer(const nn::GptConfig& model_config,
+                      core::EngineConfig engine_config, int world);
+
+  int world() const noexcept { return static_cast<int>(ranks_.size()); }
+
+  /// Initialises every replica identically.
+  void init_params(std::uint64_t seed);
+
+  /// One data-parallel step: the global batch is split evenly across ranks;
+  /// rank threads run concurrently and all-reduce gradients layer by layer.
+  /// Returns the global mean loss.
+  float train_step(const data::Batch& global_batch);
+
+  /// Parameter snapshot of one rank (all ranks stay identical; verified by
+  /// the tests).
+  void snapshot_params(int rank, std::vector<float>& out);
+
+  core::EngineStats stats(int rank) const;
+  std::size_t floats_communicated() const {
+    return comm_.floats_communicated();
+  }
+
+ private:
+  struct Rank {
+    std::unique_ptr<nn::GptModel> model;
+    std::unique_ptr<core::StrongholdEngine> engine;
+  };
+
+  HeteroComm comm_;
+  std::size_t head_index_;
+  std::int64_t seq_;
+  std::vector<Rank> ranks_;
+};
+
+}  // namespace sh::dist

@@ -1,0 +1,139 @@
+#include "dist/process_group.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sh::dist {
+
+Barrier::Barrier(int world) : world_(world) {
+  if (world <= 0) throw std::invalid_argument("Barrier world must be >= 1");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == world_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+ProcessGroup::ProcessGroup(int world)
+    : world_(world), enter_(world), mid_(world), exit_(world) {
+  if (world <= 0) throw std::invalid_argument("world must be >= 1");
+  ptrs_.resize(static_cast<std::size_t>(world));
+  sizes_.resize(static_cast<std::size_t>(world));
+  cptrs_.resize(static_cast<std::size_t>(world));
+}
+
+void ProcessGroup::check_rank(int rank) const {
+  if (rank < 0 || rank >= world_) {
+    throw std::out_of_range("rank out of range");
+  }
+}
+
+void ProcessGroup::all_reduce_sum(int rank, std::span<float> data) {
+  check_rank(rank);
+  ptrs_[static_cast<std::size_t>(rank)] = data.data();
+  sizes_[static_cast<std::size_t>(rank)] = data.size();
+  enter_.arrive_and_wait();
+  // Every rank validates, so on mismatch all ranks throw together instead of
+  // some deadlocking at the next barrier.
+  for (int r = 0; r < world_; ++r) {
+    if (sizes_[static_cast<std::size_t>(r)] != data.size()) {
+      throw std::invalid_argument("all_reduce: size mismatch across ranks");
+    }
+  }
+  if (rank == 0) {
+    scratch_.assign(data.size(), 0.0f);
+    // Deterministic rank-order accumulation.
+    for (int r = 0; r < world_; ++r) {
+      const float* src = ptrs_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < data.size(); ++i) scratch_[i] += src[i];
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Paper convention (Section III-F): (w-1) * w * N.
+    floats_communicated_ +=
+        static_cast<std::size_t>(world_ - 1) * world_ * data.size();
+  }
+  mid_.arrive_and_wait();
+  std::copy(scratch_.begin(), scratch_.end(), data.begin());
+  exit_.arrive_and_wait();
+}
+
+void ProcessGroup::all_gather(int rank, std::span<const float> in,
+                              std::span<float> out) {
+  check_rank(rank);
+  if (out.size() != in.size() * static_cast<std::size_t>(world_)) {
+    throw std::invalid_argument("all_gather: out must be world * in");
+  }
+  cptrs_[static_cast<std::size_t>(rank)] = in.data();
+  sizes_[static_cast<std::size_t>(rank)] = in.size();
+  enter_.arrive_and_wait();
+  for (int r = 0; r < world_; ++r) {
+    std::memcpy(out.data() + static_cast<std::size_t>(r) * in.size(),
+                cptrs_[static_cast<std::size_t>(r)],
+                in.size() * sizeof(float));
+  }
+  if (rank == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    floats_communicated_ +=
+        static_cast<std::size_t>(world_ - 1) * world_ * in.size();
+  }
+  exit_.arrive_and_wait();
+}
+
+void ProcessGroup::reduce_scatter_sum(int rank, std::span<const float> in,
+                                      std::span<float> out) {
+  check_rank(rank);
+  if (in.size() != out.size() * static_cast<std::size_t>(world_)) {
+    throw std::invalid_argument("reduce_scatter: in must be world * out");
+  }
+  cptrs_[static_cast<std::size_t>(rank)] = in.data();
+  enter_.arrive_and_wait();
+  if (rank == 0) {
+    scratch_.assign(in.size(), 0.0f);
+    for (int r = 0; r < world_; ++r) {
+      const float* src = cptrs_[static_cast<std::size_t>(r)];
+      for (std::size_t i = 0; i < in.size(); ++i) scratch_[i] += src[i];
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    floats_communicated_ +=
+        static_cast<std::size_t>(world_ - 1) * world_ * out.size();
+  }
+  mid_.arrive_and_wait();
+  std::memcpy(out.data(),
+              scratch_.data() + static_cast<std::size_t>(rank) * out.size(),
+              out.size() * sizeof(float));
+  exit_.arrive_and_wait();
+}
+
+void ProcessGroup::broadcast(int rank, int root, std::span<float> data) {
+  check_rank(rank);
+  check_rank(root);
+  ptrs_[static_cast<std::size_t>(rank)] = data.data();
+  enter_.arrive_and_wait();
+  if (rank != root) {
+    std::memcpy(data.data(), ptrs_[static_cast<std::size_t>(root)],
+                data.size() * sizeof(float));
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    floats_communicated_ += static_cast<std::size_t>(world_ - 1) * data.size();
+  }
+  exit_.arrive_and_wait();
+}
+
+void ProcessGroup::barrier(int rank) {
+  check_rank(rank);
+  enter_.arrive_and_wait();
+}
+
+std::size_t ProcessGroup::floats_communicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floats_communicated_;
+}
+
+}  // namespace sh::dist

@@ -1,0 +1,74 @@
+// In-process process group: ranks are threads, collectives move real data.
+//
+// This substitutes for NCCL/Gloo in the paper. Determinism matters for the
+// equivalence tests, so reductions always accumulate in rank order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace sh::dist {
+
+/// A reusable sense-reversing barrier for `world` participants.
+class Barrier {
+ public:
+  explicit Barrier(int world);
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int world_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Collective communication over `world` rank-threads. Every rank must call
+/// each collective exactly once per round, like MPI/NCCL communicators.
+class ProcessGroup {
+ public:
+  explicit ProcessGroup(int world);
+
+  int world() const noexcept { return world_; }
+
+  /// Element-wise sum across ranks; every rank ends with the full sum.
+  /// Accumulation order is rank 0, 1, ..., w-1 (deterministic).
+  void all_reduce_sum(int rank, std::span<float> data);
+
+  /// Concatenates every rank's `in` into `out` (out.size == w * in.size).
+  void all_gather(int rank, std::span<const float> in, std::span<float> out);
+
+  /// Sums across ranks, then rank r keeps shard r
+  /// (in.size == w * out.size).
+  void reduce_scatter_sum(int rank, std::span<const float> in,
+                          std::span<float> out);
+
+  /// Copies root's buffer to every rank.
+  void broadcast(int rank, int root, std::span<float> data);
+
+  void barrier(int rank);
+
+  /// Total floats moved through collectives (communication volume counter,
+  /// used by the Section VI-D2 experiments).
+  std::size_t floats_communicated() const;
+
+ private:
+  void check_rank(int rank) const;
+
+  int world_;
+  Barrier enter_;
+  Barrier mid_;
+  Barrier exit_;
+  mutable std::mutex mu_;
+  std::vector<float*> ptrs_;
+  std::vector<std::size_t> sizes_;
+  std::vector<const float*> cptrs_;
+  std::vector<float> scratch_;
+  std::size_t floats_communicated_ = 0;
+};
+
+}  // namespace sh::dist

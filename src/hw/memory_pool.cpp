@@ -1,0 +1,69 @@
+#include "hw/memory_pool.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sh::hw {
+
+OomError::OomError(const std::string& pool, std::size_t requested_bytes,
+                   std::size_t free_bytes)
+    : std::runtime_error("OOM in pool '" + pool + "': requested " +
+                         std::to_string(requested_bytes) + " bytes, " +
+                         std::to_string(free_bytes) + " free"),
+      requested_(requested_bytes),
+      free_(free_bytes) {}
+
+MemoryPool::MemoryPool(std::string name, std::size_t capacity_bytes)
+    : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+MemoryPool::~MemoryPool() = default;
+
+float* MemoryPool::allocate_floats(std::size_t n) {
+  const std::size_t bytes = n * sizeof(float);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_ + bytes > capacity_) {
+    throw OomError(name_, bytes, capacity_ - used_);
+  }
+  auto block = std::make_unique<float[]>(n);
+  float* ptr = block.get();
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  sizes_[ptr] = bytes;
+  blocks_[ptr] = std::move(block);
+  return ptr;
+}
+
+void MemoryPool::deallocate(float* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(ptr);
+  if (it == blocks_.end()) {
+    throw std::logic_error("pool '" + name_ + "': unknown pointer freed");
+  }
+  const std::size_t bytes = sizes_.at(ptr);
+  used_ -= bytes;
+  sizes_.erase(ptr);
+  blocks_.erase(it);
+}
+
+std::size_t MemoryPool::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::size_t MemoryPool::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_ - used_;
+}
+
+std::size_t MemoryPool::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+std::size_t MemoryPool::live_allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+}  // namespace sh::hw

@@ -1,0 +1,90 @@
+#include "hw/transfer.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace sh::hw {
+
+TransferEngine::TransferEngine(std::string name, double bytes_per_second)
+    : name_(std::move(name)), bytes_per_second_(bytes_per_second) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+TransferEngine::~TransferEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::shared_future<void> TransferEngine::copy_async(const float* src,
+                                                    float* dst, std::size_t n) {
+  const double throttle = bytes_per_second_;
+  auto work = [this, src, dst, n, throttle] {
+    std::memcpy(dst, src, n * sizeof(float));
+    if (throttle > 0.0) {
+      const double seconds = static_cast<double>(n * sizeof(float)) / throttle;
+      std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+    bytes_ += n * sizeof(float);
+  };
+  return run_async(std::move(work));
+}
+
+std::shared_future<void> TransferEngine::run_async(std::function<void()> job) {
+  Job j;
+  j.work = std::move(job);
+  auto fut = j.done.get_future().share();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(j));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void TransferEngine::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+std::size_t TransferEngine::completed_transfers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::size_t TransferEngine::bytes_transferred() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+void TransferEngine::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      job.work();
+      job.done.set_value();
+    } catch (...) {
+      job.done.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace sh::hw

@@ -1,0 +1,68 @@
+// Asynchronous copy engine modelling a CUDA copy stream.
+//
+// Copies are executed FIFO on a dedicated worker thread so they genuinely
+// overlap with compute threads, like asynchronous cudaMemcpyAsync on a
+// dedicated stream over pinned memory. An optional bandwidth throttle slows
+// copies down to PCIe-like speeds for tests that need to provoke
+// prefetch-miss / overlap behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace sh::hw {
+
+class TransferEngine {
+ public:
+  /// `bytes_per_second` == 0 disables throttling (copies run at memcpy speed).
+  explicit TransferEngine(std::string name, double bytes_per_second = 0.0);
+  ~TransferEngine();
+
+  TransferEngine(const TransferEngine&) = delete;
+  TransferEngine& operator=(const TransferEngine&) = delete;
+
+  /// Enqueues an asynchronous copy of `n` floats. The returned future
+  /// becomes ready when the copy has completed. Source and destination must
+  /// stay valid until then.
+  std::shared_future<void> copy_async(const float* src, float* dst,
+                                      std::size_t n);
+
+  /// Enqueues an arbitrary job on the copy stream (keeps FIFO order with
+  /// copies) — used for "free the buffer after the copy" style chaining.
+  std::shared_future<void> run_async(std::function<void()> job);
+
+  /// Blocks until every enqueued operation has completed.
+  void wait_all();
+
+  std::size_t completed_transfers() const;
+  std::size_t bytes_transferred() const;
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  struct Job {
+    std::function<void()> work;
+    std::promise<void> done;
+  };
+
+  void worker_loop();
+
+  std::string name_;
+  double bytes_per_second_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable cv_idle_;
+  std::deque<Job> queue_;
+  bool stop_ = false;
+  bool busy_ = false;
+  std::size_t completed_ = 0;
+  std::size_t bytes_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace sh::hw

@@ -1,0 +1,228 @@
+#include "nn/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+namespace {
+/// Copies a [seq, head_dim] head slice out of [tokens, stride] storage.
+void gather_head(const float* src, float* dst, std::int64_t base_row,
+                 std::int64_t seq, std::int64_t col0, std::int64_t head_dim,
+                 std::int64_t stride) {
+  for (std::int64_t t = 0; t < seq; ++t) {
+    const float* s = src + (base_row + t) * stride + col0;
+    std::copy_n(s, head_dim, dst + t * head_dim);
+  }
+}
+
+/// Adds a [seq, head_dim] head slice back into [tokens, stride] storage.
+void scatter_head_add(const float* src, float* dst, std::int64_t base_row,
+                      std::int64_t seq, std::int64_t col0,
+                      std::int64_t head_dim, std::int64_t stride) {
+  for (std::int64_t t = 0; t < seq; ++t) {
+    float* d = dst + (base_row + t) * stride + col0;
+    const float* s = src + t * head_dim;
+    for (std::int64_t c = 0; c < head_dim; ++c) d[c] += s[c];
+  }
+}
+}  // namespace
+
+CausalSelfAttention::CausalSelfAttention(std::string name, std::int64_t hidden,
+                                         std::int64_t heads)
+    : name_(std::move(name)),
+      hidden_(hidden),
+      heads_(heads),
+      head_dim_(hidden / heads),
+      qkv_(name_ + ".qkv", hidden, 3 * hidden),
+      proj_(name_ + ".proj", hidden, hidden) {
+  if (hidden % heads != 0) {
+    throw std::invalid_argument("hidden must be divisible by heads");
+  }
+}
+
+void CausalSelfAttention::bind(float* params, float* grads) {
+  qkv_.bind(params, grads);
+  const std::int64_t off = qkv_.param_count();
+  proj_.bind(params + off, grads + off);
+}
+
+void CausalSelfAttention::init(tensor::Rng& rng) {
+  qkv_.init(rng);
+  proj_.init(rng);
+}
+
+tensor::Tensor CausalSelfAttention::forward(const tensor::Tensor& x,
+                                            const BatchShape& shape) {
+  const std::int64_t seq = shape.seq;
+  const std::int64_t bs = shape.batch;
+  const std::int64_t tokens = shape.tokens();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  cached_qkv_ = qkv_.forward(x, shape);
+  cached_probs_ = tensor::Tensor::zeros({bs * heads_ * seq, seq});
+  auto ctx = tensor::Tensor::zeros({tokens, hidden_});
+
+  std::vector<float> q(seq * head_dim_), k(seq * head_dim_), v(seq * head_dim_);
+  std::vector<float> c(seq * head_dim_);
+  std::vector<std::int64_t> allowed(static_cast<std::size_t>(seq));
+  for (std::int64_t t = 0; t < seq; ++t) allowed[t] = t;
+
+  const std::int64_t stride = 3 * hidden_;
+  for (std::int64_t b = 0; b < bs; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * head_dim_;
+      gather_head(cached_qkv_.data(), q.data(), b * seq, seq, col, head_dim_,
+                  stride);
+      gather_head(cached_qkv_.data(), k.data(), b * seq, seq, hidden_ + col,
+                  head_dim_, stride);
+      gather_head(cached_qkv_.data(), v.data(), b * seq, seq, 2 * hidden_ + col,
+                  head_dim_, stride);
+      float* probs = cached_probs_.data() + (b * heads_ + h) * seq * seq;
+      tensor::matmul(q.data(), k.data(), probs, seq, seq, head_dim_,
+                     /*transpose_a=*/false, /*transpose_b=*/true);
+      tensor::causal_softmax_rows(probs, seq, seq, allowed.data(), scale);
+      tensor::matmul(probs, v.data(), c.data(), seq, head_dim_, seq, false,
+                     false);
+      for (std::int64_t t = 0; t < seq; ++t) {
+        std::copy_n(c.data() + t * head_dim_, head_dim_,
+                    ctx.data() + (b * seq + t) * hidden_ + col);
+      }
+    }
+  }
+  return proj_.forward(ctx, shape);
+}
+
+tensor::Tensor CausalSelfAttention::forward_incremental(
+    const tensor::Tensor& x, const BatchShape& shape, KvCache& cache) {
+  const std::int64_t bs = shape.batch;
+  const std::int64_t n_new = shape.seq;
+  const std::int64_t pos0 = shape.pos_offset;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  if (!cache.k.defined()) {
+    throw std::logic_error("forward_incremental: cache not initialised");
+  }
+  if (cache.length != pos0) {
+    throw std::logic_error("forward_incremental: cache length mismatch");
+  }
+  if (pos0 + n_new > cache.capacity) {
+    throw std::out_of_range("forward_incremental: cache capacity exceeded");
+  }
+
+  auto qkv = qkv_.forward(x, shape);
+  auto ctx = tensor::Tensor::zeros({bs * n_new, hidden_});
+  const std::int64_t total = pos0 + n_new;
+  const std::int64_t stride = 3 * hidden_;
+
+  std::vector<float> scores(static_cast<std::size_t>(total));
+  for (std::int64_t b = 0; b < bs; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * head_dim_;
+      // Cache plane for (b, h): [capacity, head_dim].
+      float* kc = cache.k.data() +
+                  ((b * heads_ + h) * cache.capacity) * head_dim_;
+      float* vc = cache.v.data() +
+                  ((b * heads_ + h) * cache.capacity) * head_dim_;
+      // Append the new tokens' K and V.
+      for (std::int64_t t = 0; t < n_new; ++t) {
+        const float* row = qkv.data() + (b * n_new + t) * stride;
+        std::copy_n(row + hidden_ + col, head_dim_,
+                    kc + (pos0 + t) * head_dim_);
+        std::copy_n(row + 2 * hidden_ + col, head_dim_,
+                    vc + (pos0 + t) * head_dim_);
+      }
+      // Attend each new query over the prefix [0, pos0 + t].
+      for (std::int64_t t = 0; t < n_new; ++t) {
+        const float* q = qkv.data() + (b * n_new + t) * stride + col;
+        const std::int64_t lim = pos0 + t;  // inclusive causal limit
+        float mx = -std::numeric_limits<float>::infinity();
+        for (std::int64_t s = 0; s <= lim; ++s) {
+          float acc = 0.0f;
+          const float* krow = kc + s * head_dim_;
+          for (std::int64_t c = 0; c < head_dim_; ++c) acc += q[c] * krow[c];
+          scores[static_cast<std::size_t>(s)] = acc * scale;
+          mx = std::max(mx, scores[static_cast<std::size_t>(s)]);
+        }
+        float sum = 0.0f;
+        for (std::int64_t s = 0; s <= lim; ++s) {
+          auto& v = scores[static_cast<std::size_t>(s)];
+          v = std::exp(v - mx);
+          sum += v;
+        }
+        const float inv = 1.0f / sum;
+        float* out = ctx.data() + (b * n_new + t) * hidden_ + col;
+        for (std::int64_t s = 0; s <= lim; ++s) {
+          const float w = scores[static_cast<std::size_t>(s)] * inv;
+          const float* vrow = vc + s * head_dim_;
+          for (std::int64_t c = 0; c < head_dim_; ++c) out[c] += w * vrow[c];
+        }
+      }
+    }
+  }
+  cache.length = total;
+  return proj_.forward(ctx, shape);
+}
+
+tensor::Tensor CausalSelfAttention::backward(const tensor::Tensor& grad_out,
+                                             const BatchShape& shape) {
+  const std::int64_t seq = shape.seq;
+  const std::int64_t bs = shape.batch;
+  const std::int64_t tokens = shape.tokens();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  auto grad_ctx = proj_.backward(grad_out, shape);
+  auto grad_qkv = tensor::Tensor::zeros({tokens, 3 * hidden_});
+
+  std::vector<float> q(seq * head_dim_), k(seq * head_dim_), v(seq * head_dim_);
+  std::vector<float> gc(seq * head_dim_), gq(seq * head_dim_),
+      gk(seq * head_dim_), gv(seq * head_dim_);
+  std::vector<float> gprobs(seq * seq), gscores(seq * seq);
+
+  const std::int64_t stride = 3 * hidden_;
+  for (std::int64_t b = 0; b < bs; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * head_dim_;
+      gather_head(cached_qkv_.data(), q.data(), b * seq, seq, col, head_dim_,
+                  stride);
+      gather_head(cached_qkv_.data(), k.data(), b * seq, seq, hidden_ + col,
+                  head_dim_, stride);
+      gather_head(cached_qkv_.data(), v.data(), b * seq, seq, 2 * hidden_ + col,
+                  head_dim_, stride);
+      gather_head(grad_ctx.data(), gc.data(), b * seq, seq, col, head_dim_,
+                  hidden_);
+      const float* probs = cached_probs_.data() + (b * heads_ + h) * seq * seq;
+      // d probs = d ctx @ V^T.
+      tensor::matmul(gc.data(), v.data(), gprobs.data(), seq, seq, head_dim_,
+                     false, true);
+      // d V = probs^T @ d ctx.
+      tensor::matmul(probs, gc.data(), gv.data(), seq, head_dim_, seq,
+                     /*transpose_a=*/true, false);
+      // Softmax backward; masked positions have probs == 0, so their grads
+      // vanish automatically. The 1/sqrt(d) scale folds into the raw scores.
+      tensor::softmax_rows_backward(probs, gprobs.data(), gscores.data(), seq,
+                                    seq);
+      tensor::scale(scale, gscores.data(), seq * seq);
+      // d Q = d scores @ K;  d K = d scores^T @ Q.
+      tensor::matmul(gscores.data(), k.data(), gq.data(), seq, head_dim_, seq,
+                     false, false);
+      tensor::matmul(gscores.data(), q.data(), gk.data(), seq, head_dim_, seq,
+                     /*transpose_a=*/true, false);
+      scatter_head_add(gq.data(), grad_qkv.data(), b * seq, seq, col, head_dim_,
+                       stride);
+      scatter_head_add(gk.data(), grad_qkv.data(), b * seq, seq, hidden_ + col,
+                       head_dim_, stride);
+      scatter_head_add(gv.data(), grad_qkv.data(), b * seq, seq,
+                       2 * hidden_ + col, head_dim_, stride);
+    }
+  }
+  return qkv_.backward(grad_qkv, shape);
+}
+
+}  // namespace sh::nn

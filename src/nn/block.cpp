@@ -1,0 +1,127 @@
+#include "nn/block.hpp"
+
+#include <utility>
+
+#include "tensor/dropout.hpp"
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t hidden,
+                                   std::int64_t heads,
+                                   bool checkpoint_activations, float dropout,
+                                   std::uint64_t dropout_seed,
+                                   std::uint64_t dropout_stream)
+    : name_(std::move(name)),
+      ln1_(name_ + ".ln1", hidden),
+      attn_(name_ + ".attn", hidden, heads),
+      ln2_(name_ + ".ln2", hidden),
+      mlp_(name_ + ".mlp", hidden),
+      checkpoint_(checkpoint_activations),
+      dropout_(dropout),
+      dropout_seed_(dropout_seed),
+      dropout_stream_(dropout_stream) {}
+
+std::int64_t TransformerBlock::param_count() const {
+  return ln1_.param_count() + attn_.param_count() + ln2_.param_count() +
+         mlp_.param_count();
+}
+
+void TransformerBlock::bind(float* params, float* grads) {
+  std::int64_t off = 0;
+  ln1_.bind(params + off, grads + off);
+  off += ln1_.param_count();
+  attn_.bind(params + off, grads + off);
+  off += attn_.param_count();
+  ln2_.bind(params + off, grads + off);
+  off += ln2_.param_count();
+  mlp_.bind(params + off, grads + off);
+}
+
+void TransformerBlock::init(tensor::Rng& rng) {
+  ln1_.init(rng);
+  attn_.init(rng);
+  ln2_.init(rng);
+  mlp_.init(rng);
+}
+
+tensor::Tensor TransformerBlock::run_forward(const tensor::Tensor& x,
+                                             const BatchShape& shape) {
+  const float p = shape.training ? dropout_ : 0.0f;
+  const auto step = static_cast<std::uint64_t>(shape.step);
+  const auto offset = static_cast<std::uint64_t>(
+      shape.row_offset * shape.seq * x.shape().dim(1));
+
+  auto a = attn_.forward(ln1_.forward(x, shape), shape);
+  // Residual dropout on the attention output (stream 2k). The counter-based
+  // mask is a pure function of (step, position), so checkpoint recomputation
+  // reproduces it exactly.
+  tensor::dropout_forward(a.data(), a.data(), a.numel(), p, dropout_seed_,
+                          2 * dropout_stream_, step, offset);
+  cached_mid_ = tensor::Tensor::zeros(x.shape());
+  tensor::add(x.data(), a.data(), cached_mid_.data(), x.numel());
+
+  auto m = mlp_.forward(ln2_.forward(cached_mid_, shape), shape);
+  tensor::dropout_forward(m.data(), m.data(), m.numel(), p, dropout_seed_,
+                          2 * dropout_stream_ + 1, step, offset);
+  auto y = tensor::Tensor::zeros(x.shape());
+  tensor::add(cached_mid_.data(), m.data(), y.data(), x.numel());
+  caches_live_ = true;
+  return y;
+}
+
+void TransformerBlock::drop_caches() {
+  cached_mid_ = {};
+  caches_live_ = false;
+}
+
+tensor::Tensor TransformerBlock::forward_incremental(const tensor::Tensor& x,
+                                                     const BatchShape& shape,
+                                                     KvCache& cache) {
+  auto a = attn_.forward_incremental(ln1_.forward(x, shape), shape, cache);
+  auto mid = tensor::Tensor::zeros(x.shape());
+  tensor::add(x.data(), a.data(), mid.data(), x.numel());
+  auto m = mlp_.forward(ln2_.forward(mid, shape), shape);
+  auto y = tensor::Tensor::zeros(x.shape());
+  tensor::add(mid.data(), m.data(), y.data(), x.numel());
+  return y;
+}
+
+tensor::Tensor TransformerBlock::forward(const tensor::Tensor& x,
+                                         const BatchShape& shape) {
+  cached_input_ = x.clone();
+  auto y = run_forward(x, shape);
+  if (checkpoint_) drop_caches();
+  return y;
+}
+
+tensor::Tensor TransformerBlock::backward(const tensor::Tensor& grad_out,
+                                          const BatchShape& shape) {
+  if (!caches_live_) {
+    // Activation checkpointing: rebuild caches by re-running forward from the
+    // stored block input.
+    (void)run_forward(cached_input_, shape);
+  }
+  const float p = shape.training ? dropout_ : 0.0f;
+  const auto step = static_cast<std::uint64_t>(shape.step);
+  const auto offset = static_cast<std::uint64_t>(
+      shape.row_offset * shape.seq * grad_out.shape().dim(1));
+
+  // y = mid + dropout(MLP(LN2(mid))).
+  auto g_m = tensor::Tensor::zeros(grad_out.shape());
+  tensor::dropout_backward(grad_out.data(), g_m.data(), grad_out.numel(), p,
+                           dropout_seed_, 2 * dropout_stream_ + 1, step,
+                           offset);
+  auto g_mid = ln2_.backward(mlp_.backward(g_m, shape), shape);
+  tensor::axpy(1.0f, grad_out.data(), g_mid.data(), g_mid.numel());
+  // mid = x + dropout(Attn(LN1(x))).
+  auto g_a = tensor::Tensor::zeros(g_mid.shape());
+  tensor::dropout_backward(g_mid.data(), g_a.data(), g_mid.numel(), p,
+                           dropout_seed_, 2 * dropout_stream_, step, offset);
+  auto g_x = ln1_.backward(attn_.backward(g_a, shape), shape);
+  tensor::axpy(1.0f, g_mid.data(), g_x.data(), g_x.numel());
+  drop_caches();
+  return g_x;
+}
+
+}  // namespace sh::nn

@@ -1,0 +1,67 @@
+// Pre-norm Transformer block with optional activation checkpointing:
+//   x + Attn(LN1(x)), then y + MLP(LN2(y)).
+//
+// With checkpointing enabled (the paper uses layer-wise activation
+// checkpointing throughout its evaluation), the block keeps only its input
+// after forward and re-runs the forward pass inside backward to rebuild the
+// activation caches — trading compute for memory exactly as [39].
+#pragma once
+
+#include "nn/attention.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/mlp.hpp"
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+class TransformerBlock final : public Layer {
+ public:
+  /// `dropout` applies inverted residual dropout after the attention and MLP
+  /// sub-layers (deterministic counter-based masks; see tensor/dropout.hpp).
+  /// `dropout_stream` must be unique per block so layers draw independent
+  /// masks.
+  TransformerBlock(std::string name, std::int64_t hidden, std::int64_t heads,
+                   bool checkpoint_activations = false, float dropout = 0.0f,
+                   std::uint64_t dropout_seed = 0,
+                   std::uint64_t dropout_stream = 0);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override;
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+  /// KV-cached decode through the block (inference: dropout off, no caches
+  /// for backward are touched).
+  tensor::Tensor forward_incremental(const tensor::Tensor& x,
+                                     const BatchShape& shape,
+                                     KvCache& cache) override;
+
+  void set_checkpoint_activations(bool on) noexcept { checkpoint_ = on; }
+  bool checkpoint_activations() const noexcept { return checkpoint_; }
+
+  /// True while the block holds activation caches required by backward.
+  bool has_live_caches() const noexcept { return caches_live_; }
+
+ private:
+  tensor::Tensor run_forward(const tensor::Tensor& x, const BatchShape& shape);
+  void drop_caches();
+
+  std::string name_;
+  LayerNorm ln1_;
+  CausalSelfAttention attn_;
+  LayerNorm ln2_;
+  Mlp mlp_;
+  bool checkpoint_ = false;
+  float dropout_ = 0.0f;
+  std::uint64_t dropout_seed_ = 0;
+  std::uint64_t dropout_stream_ = 0;
+  bool caches_live_ = false;
+  tensor::Tensor cached_input_;  // kept in both modes (checkpoint boundary)
+  tensor::Tensor cached_mid_;    // x + attn(ln1(x)), input to second half
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,33 @@
+#include "nn/head.hpp"
+
+#include <utility>
+
+namespace sh::nn {
+
+LmHead::LmHead(std::string name, std::int64_t hidden, std::int64_t vocab)
+    : name_(std::move(name)),
+      ln_(name_ + ".ln", hidden),
+      proj_(name_ + ".proj", hidden, vocab) {}
+
+void LmHead::bind(float* params, float* grads) {
+  ln_.bind(params, grads);
+  const std::int64_t off = ln_.param_count();
+  proj_.bind(params + off, grads + off);
+}
+
+void LmHead::init(tensor::Rng& rng) {
+  ln_.init(rng);
+  proj_.init(rng);
+}
+
+tensor::Tensor LmHead::forward(const tensor::Tensor& x,
+                               const BatchShape& shape) {
+  return proj_.forward(ln_.forward(x, shape), shape);
+}
+
+tensor::Tensor LmHead::backward(const tensor::Tensor& grad_out,
+                                const BatchShape& shape) {
+  return ln_.backward(proj_.backward(grad_out, shape), shape);
+}
+
+}  // namespace sh::nn

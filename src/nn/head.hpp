@@ -1,0 +1,33 @@
+// Final layer: LayerNorm followed by the vocabulary projection producing
+// logits. This is the "pooling/head" layer the STRONGHOLD runtime pins in
+// GPU memory alongside the embedding.
+#pragma once
+
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+class LmHead final : public Layer {
+ public:
+  LmHead(std::string name, std::int64_t hidden, std::int64_t vocab);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override {
+    return ln_.param_count() + proj_.param_count();
+  }
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+ private:
+  std::string name_;
+  LayerNorm ln_;
+  Linear proj_;
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,46 @@
+#include "nn/layernorm.hpp"
+
+#include <utility>
+
+namespace sh::nn {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t features)
+    : name_(std::move(name)), features_(features) {}
+
+void LayerNorm::bind(float* params, float* grads) {
+  ParamBinder binder(params, grads);
+  std::tie(gamma_, gamma_grad_) = binder.take({features_});
+  std::tie(beta_, beta_grad_) = binder.take({features_});
+}
+
+void LayerNorm::init(tensor::Rng& rng) {
+  (void)rng;
+  gamma_.fill(1.0f);
+  beta_.fill(0.0f);
+}
+
+tensor::Tensor LayerNorm::forward(const tensor::Tensor& x,
+                                  const BatchShape& shape) {
+  (void)shape;
+  const std::int64_t rows = x.shape().dim(0);
+  cached_input_ = x.clone();
+  stats_.resize(static_cast<std::size_t>(rows));
+  auto y = tensor::Tensor::zeros(x.shape());
+  tensor::layernorm_forward(x.data(), gamma_.data(), beta_.data(), y.data(),
+                            stats_.data(), rows, features_);
+  return y;
+}
+
+tensor::Tensor LayerNorm::backward(const tensor::Tensor& grad_out,
+                                   const BatchShape& shape) {
+  (void)shape;
+  const std::int64_t rows = grad_out.shape().dim(0);
+  auto grad_in = tensor::Tensor::zeros(grad_out.shape());
+  tensor::layernorm_backward(cached_input_.data(), gamma_.data(), stats_.data(),
+                             grad_out.data(), grad_in.data(),
+                             gamma_grad_.data(), beta_grad_.data(), rows,
+                             features_);
+  return grad_in;
+}
+
+}  // namespace sh::nn

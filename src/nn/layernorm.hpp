@@ -1,0 +1,33 @@
+// Layer normalisation over the feature dimension.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+class LayerNorm final : public Layer {
+ public:
+  LayerNorm(std::string name, std::int64_t features);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override { return 2 * features_; }
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+ private:
+  std::string name_;
+  std::int64_t features_;
+  tensor::Tensor gamma_, gamma_grad_;
+  tensor::Tensor beta_, beta_grad_;
+  tensor::Tensor cached_input_;
+  std::vector<tensor::LayerNormStats> stats_;
+};
+
+}  // namespace sh::nn

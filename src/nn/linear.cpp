@@ -1,0 +1,56 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features) {}
+
+void Linear::bind(float* params, float* grads) {
+  ParamBinder binder(params, grads);
+  std::tie(weight_, weight_grad_) = binder.take({out_features_, in_features_});
+  std::tie(bias_, bias_grad_) = binder.take({out_features_});
+}
+
+void Linear::init(tensor::Rng& rng) {
+  const float stddev = 0.02f;
+  rng.fill_normal(weight_.span(), stddev);
+  bias_.fill(0.0f);
+}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& x,
+                               const BatchShape& shape) {
+  (void)shape;
+  const std::int64_t rows = x.shape().dim(0);
+  cached_input_ = x.clone();
+  auto y = tensor::Tensor::zeros({rows, out_features_});
+  tensor::matmul(x.data(), weight_.data(), y.data(), rows, out_features_,
+                 in_features_, /*transpose_a=*/false, /*transpose_b=*/true);
+  tensor::add_bias(y.data(), bias_.data(), y.data(), rows, out_features_);
+  return y;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_out,
+                                const BatchShape& shape) {
+  (void)shape;
+  const std::int64_t rows = grad_out.shape().dim(0);
+  auto grad_in = tensor::Tensor::zeros({rows, in_features_});
+  // dX = dY @ W.
+  tensor::matmul(grad_out.data(), weight_.data(), grad_in.data(), rows,
+                 in_features_, out_features_, false, false);
+  // dW += dY^T @ X.
+  tensor::matmul(grad_out.data(), cached_input_.data(), weight_grad_.data(),
+                 out_features_, in_features_, rows, /*transpose_a=*/true,
+                 /*transpose_b=*/false, 1.0f, 1.0f);
+  tensor::bias_grad(grad_out.data(), bias_grad_.data(), rows, out_features_);
+  return grad_in;
+}
+
+}  // namespace sh::nn

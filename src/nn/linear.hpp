@@ -1,0 +1,39 @@
+// Fully connected layer: y = x W^T + b with W stored [out, in].
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::string name, std::int64_t in_features, std::int64_t out_features);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override {
+    return in_features_ * out_features_ + out_features_;
+  }
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+  std::int64_t in_features() const noexcept { return in_features_; }
+  std::int64_t out_features() const noexcept { return out_features_; }
+
+  /// Direct access for tests and attention internals.
+  tensor::Tensor& weight() { return weight_; }
+  tensor::Tensor& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_features_;
+  std::int64_t out_features_;
+  tensor::Tensor weight_, weight_grad_;
+  tensor::Tensor bias_, bias_grad_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,42 @@
+#include "nn/mlp.hpp"
+
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+Mlp::Mlp(std::string name, std::int64_t hidden, std::int64_t expansion)
+    : name_(std::move(name)),
+      fc1_(name_ + ".fc1", hidden, expansion * hidden),
+      fc2_(name_ + ".fc2", expansion * hidden, hidden) {}
+
+void Mlp::bind(float* params, float* grads) {
+  fc1_.bind(params, grads);
+  const std::int64_t off = fc1_.param_count();
+  fc2_.bind(params + off, grads + off);
+}
+
+void Mlp::init(tensor::Rng& rng) {
+  fc1_.init(rng);
+  fc2_.init(rng);
+}
+
+tensor::Tensor Mlp::forward(const tensor::Tensor& x, const BatchShape& shape) {
+  cached_pre_gelu_ = fc1_.forward(x, shape);
+  auto h = tensor::Tensor::zeros(cached_pre_gelu_.shape());
+  tensor::gelu_forward(cached_pre_gelu_.data(), h.data(),
+                       cached_pre_gelu_.numel());
+  return fc2_.forward(h, shape);
+}
+
+tensor::Tensor Mlp::backward(const tensor::Tensor& grad_out,
+                             const BatchShape& shape) {
+  auto grad_h = fc2_.backward(grad_out, shape);
+  auto grad_pre = tensor::Tensor::zeros(grad_h.shape());
+  tensor::gelu_backward(cached_pre_gelu_.data(), grad_h.data(),
+                        grad_pre.data(), grad_h.numel());
+  return fc1_.backward(grad_pre, shape);
+}
+
+}  // namespace sh::nn

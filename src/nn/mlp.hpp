@@ -1,0 +1,31 @@
+// Position-wise feed-forward network: Linear(h, 4h) -> GELU -> Linear(4h, h).
+#pragma once
+
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+class Mlp final : public Layer {
+ public:
+  Mlp(std::string name, std::int64_t hidden, std::int64_t expansion = 4);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override {
+    return fc1_.param_count() + fc2_.param_count();
+  }
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+ private:
+  std::string name_;
+  Linear fc1_;
+  Linear fc2_;
+  tensor::Tensor cached_pre_gelu_;
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,130 @@
+// Layer abstraction for the numeric training substrate.
+//
+// Every layer exposes a flat parameter count and binds its parameter and
+// gradient tensors as *views* into caller-provided memory. This mirrors the
+// paper's runtime, which owns each layer's storage and rebinds the layer's
+// tensors to whichever device buffer currently holds them (CPU blob or a GPU
+// working-window slot). A layer must be rebindable at any point between
+// forward/backward calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sh::nn {
+
+/// Shape of the token batch flowing through the model, plus the execution
+/// context stochastic layers need: whether this is a training pass, the
+/// global step (dropout counter), and the first row's index within the full
+/// logical batch (so executors processing different micro-batches draw
+/// consistent, disjoint dropout masks).
+struct BatchShape {
+  std::int64_t batch = 0;
+  std::int64_t seq = 0;
+  bool training = false;
+  std::int64_t step = 0;
+  std::int64_t row_offset = 0;
+  /// Absolute position of the first token (incremental decoding).
+  std::int64_t pos_offset = 0;
+  std::int64_t tokens() const noexcept { return batch * seq; }
+};
+
+/// Per-layer key/value cache for incremental (autoregressive) decoding.
+/// Layout: [batch, heads, capacity, head_dim], `length` positions filled.
+struct KvCache {
+  tensor::Tensor k;
+  tensor::Tensor v;
+  std::int64_t capacity = 0;
+  std::int64_t length = 0;
+};
+
+/// Base class for all layers. Activations flow as [tokens, features]
+/// matrices; layers that need the (batch, seq) structure receive it via
+/// BatchShape at forward time.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Total number of parameter floats (== gradient floats).
+  virtual std::int64_t param_count() const = 0;
+
+  /// Rebinds parameter and gradient views into the given flat buffers, each
+  /// of at least param_count() floats. May be called repeatedly; the layer
+  /// must not cache stale pointers.
+  virtual void bind(float* params, float* grads) = 0;
+
+  /// Initialises bound parameters in place.
+  virtual void init(tensor::Rng& rng) = 0;
+
+  /// Forward pass. The layer caches whatever it needs for backward unless
+  /// activation checkpointing drops the cache (see TransformerBlock).
+  virtual tensor::Tensor forward(const tensor::Tensor& x,
+                                 const BatchShape& shape) = 0;
+
+  /// Backward pass; accumulates into the bound gradient buffer and returns
+  /// the gradient with respect to the layer input.
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_out,
+                                  const BatchShape& shape) = 0;
+
+  /// Incremental (KV-cached) forward over `shape.tokens()` NEW tokens at
+  /// absolute positions starting at shape.pos_offset. Layers with temporal
+  /// state (attention) override this to append to `cache`; stateless layers
+  /// fall back to the regular forward.
+  virtual tensor::Tensor forward_incremental(const tensor::Tensor& x,
+                                             const BatchShape& shape,
+                                             KvCache& cache) {
+    (void)cache;
+    return forward(x, shape);
+  }
+};
+
+/// Owning parameter/gradient storage for using layers standalone (tests,
+/// monolithic baseline training). The STRONGHOLD engine replaces this with
+/// pool-managed memory.
+class OwnedStorage {
+ public:
+  explicit OwnedStorage(std::int64_t count)
+      : params_(tensor::Tensor::zeros({count})),
+        grads_(tensor::Tensor::zeros({count})) {}
+
+  float* params() noexcept { return params_.data(); }
+  float* grads() noexcept { return grads_.data(); }
+  std::int64_t count() const noexcept { return params_.numel(); }
+  void zero_grads() { grads_.fill(0.0f); }
+
+ private:
+  tensor::Tensor params_;
+  tensor::Tensor grads_;
+};
+
+/// Helper for slicing a flat blob into named parameter views.
+class ParamBinder {
+ public:
+  ParamBinder(float* params, float* grads) : params_(params), grads_(grads) {}
+
+  /// Carves the next `shape` worth of floats off the blob and returns
+  /// (param view, grad view).
+  std::pair<tensor::Tensor, tensor::Tensor> take(tensor::Shape shape) {
+    const std::int64_t n = shape.numel();
+    auto p = tensor::Tensor::view(shape, params_ + offset_);
+    auto g = tensor::Tensor::view(shape, grads_ + offset_);
+    offset_ += n;
+    return {p, g};
+  }
+
+  std::int64_t consumed() const noexcept { return offset_; }
+
+ private:
+  float* params_;
+  float* grads_;
+  std::int64_t offset_ = 0;
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,202 @@
+#include "nn/moe.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace sh::nn {
+
+MoeBlock::MoeBlock(std::string name, std::int64_t hidden, std::int64_t heads,
+                   std::int64_t experts)
+    : name_(std::move(name)),
+      hidden_(hidden),
+      ln1_(name_ + ".ln1", hidden),
+      attn_(name_ + ".attn", hidden, heads),
+      ln2_(name_ + ".ln2", hidden),
+      gate_(name_ + ".gate", hidden, experts) {
+  if (experts < 1) throw std::invalid_argument("MoeBlock needs >= 1 expert");
+  for (std::int64_t e = 0; e < experts; ++e) {
+    experts_.push_back(std::make_unique<Mlp>(
+        name_ + ".expert" + std::to_string(e), hidden));
+  }
+  expert_load_.assign(static_cast<std::size_t>(experts), 0);
+}
+
+std::int64_t MoeBlock::param_count() const {
+  std::int64_t n = ln1_.param_count() + attn_.param_count() +
+                   ln2_.param_count() + gate_.param_count();
+  for (const auto& e : experts_) n += e->param_count();
+  return n;
+}
+
+void MoeBlock::bind(float* params, float* grads) {
+  std::int64_t off = 0;
+  auto next = [&](Layer& l) {
+    l.bind(params + off, grads + off);
+    off += l.param_count();
+  };
+  next(ln1_);
+  next(attn_);
+  next(ln2_);
+  next(gate_);
+  for (auto& e : experts_) next(*e);
+}
+
+void MoeBlock::init(tensor::Rng& rng) {
+  ln1_.init(rng);
+  attn_.init(rng);
+  ln2_.init(rng);
+  gate_.init(rng);
+  for (auto& e : experts_) e->init(rng);
+}
+
+tensor::Tensor MoeBlock::forward(const tensor::Tensor& x,
+                                 const BatchShape& shape) {
+  const std::int64_t tokens = shape.tokens();
+  const auto num_experts = static_cast<std::int64_t>(experts_.size());
+
+  // Attention half, identical to a dense block.
+  auto a = attn_.forward(ln1_.forward(x, shape), shape);
+  cached_mid_ = tensor::Tensor::zeros(x.shape());
+  tensor::add(x.data(), a.data(), cached_mid_.data(), x.numel());
+
+  cached_ln2_out_ = ln2_.forward(cached_mid_, shape);
+
+  // Top-1 gating.
+  auto gate_logits = gate_.forward(cached_ln2_out_, shape);
+  cached_gate_probs_ = tensor::Tensor::zeros({tokens, num_experts});
+  tensor::softmax_rows(gate_logits.data(), cached_gate_probs_.data(), tokens,
+                       num_experts);
+  routing_.assign(static_cast<std::size_t>(tokens), 0);
+  std::fill(expert_load_.begin(), expert_load_.end(), 0);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* p = cached_gate_probs_.data() + t * num_experts;
+    const auto e = static_cast<std::int32_t>(
+        std::max_element(p, p + num_experts) - p);
+    routing_[static_cast<std::size_t>(t)] = e;
+    ++expert_load_[static_cast<std::size_t>(e)];
+  }
+
+  // Dispatch token subsets to their experts; keep unscaled expert outputs
+  // for the gate gradient.
+  cached_expert_out_ = tensor::Tensor::zeros({tokens, hidden_});
+  for (std::int64_t e = 0; e < num_experts; ++e) {
+    const std::int64_t rows = expert_load_[static_cast<std::size_t>(e)];
+    if (rows == 0) continue;
+    auto in = tensor::Tensor::zeros({rows, hidden_});
+    std::int64_t r = 0;
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      if (routing_[static_cast<std::size_t>(t)] != e) continue;
+      std::copy_n(cached_ln2_out_.data() + t * hidden_, hidden_,
+                  in.data() + r * hidden_);
+      ++r;
+    }
+    auto out = experts_[static_cast<std::size_t>(e)]->forward(in, {rows, 1});
+    r = 0;
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      if (routing_[static_cast<std::size_t>(t)] != e) continue;
+      std::copy_n(out.data() + r * hidden_, hidden_,
+                  cached_expert_out_.data() + t * hidden_);
+      ++r;
+    }
+  }
+
+  // y = mid + p_e * f_e(.).
+  auto y = cached_mid_.clone();
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const auto e = routing_[static_cast<std::size_t>(t)];
+    const float p = cached_gate_probs_.at(t * num_experts + e);
+    tensor::axpy(p, cached_expert_out_.data() + t * hidden_,
+                 y.data() + t * hidden_, hidden_);
+  }
+  return y;
+}
+
+tensor::Tensor MoeBlock::forward_incremental(const tensor::Tensor& x,
+                                             const BatchShape& shape,
+                                             KvCache& cache) {
+  const std::int64_t tokens = shape.tokens();
+  const auto num_experts = static_cast<std::int64_t>(experts_.size());
+
+  auto a = attn_.forward_incremental(ln1_.forward(x, shape), shape, cache);
+  auto mid = tensor::Tensor::zeros(x.shape());
+  tensor::add(x.data(), a.data(), mid.data(), x.numel());
+  auto ln2_out = ln2_.forward(mid, shape);
+
+  auto gate_logits = gate_.forward(ln2_out, shape);
+  auto probs = tensor::Tensor::zeros({tokens, num_experts});
+  tensor::softmax_rows(gate_logits.data(), probs.data(), tokens, num_experts);
+
+  auto y = mid.clone();
+  // Token-at-a-time dispatch (decode batches are tiny).
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const float* p = probs.data() + t * num_experts;
+    const auto e = static_cast<std::int64_t>(
+        std::max_element(p, p + num_experts) - p);
+    auto in = tensor::Tensor::zeros({1, hidden_});
+    std::copy_n(ln2_out.data() + t * hidden_, hidden_, in.data());
+    auto out = experts_[static_cast<std::size_t>(e)]->forward(in, {1, 1});
+    tensor::axpy(p[e], out.data(), y.data() + t * hidden_, hidden_);
+  }
+  return y;
+}
+
+tensor::Tensor MoeBlock::backward(const tensor::Tensor& grad_out,
+                                  const BatchShape& shape) {
+  const std::int64_t tokens = shape.tokens();
+  const auto num_experts = static_cast<std::int64_t>(experts_.size());
+
+  // d expert output (scaled) and d gate logits.
+  auto grad_gate_logits = tensor::Tensor::zeros({tokens, num_experts});
+  auto grad_expert_scaled = tensor::Tensor::zeros({tokens, hidden_});
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    const auto e = routing_[static_cast<std::size_t>(t)];
+    const float* probs = cached_gate_probs_.data() + t * num_experts;
+    const float p = probs[e];
+    const float* gy = grad_out.data() + t * hidden_;
+    // dL/d f_e = p * gy.
+    float* gf = grad_expert_scaled.data() + t * hidden_;
+    for (std::int64_t c = 0; c < hidden_; ++c) gf[c] = p * gy[c];
+    // dL/dp = <gy, f_e>; dp/dg_j = p (delta_ej - probs_j).
+    const float dldp = tensor::dot(gy, cached_expert_out_.data() + t * hidden_,
+                                   hidden_);
+    float* gg = grad_gate_logits.data() + t * num_experts;
+    for (std::int64_t j = 0; j < num_experts; ++j) {
+      gg[j] = dldp * p * ((j == e ? 1.0f : 0.0f) - probs[j]);
+    }
+  }
+
+  // Backprop through each expert on its token subset.
+  auto grad_ln2_out = gate_.backward(grad_gate_logits, shape);
+  for (std::int64_t e = 0; e < num_experts; ++e) {
+    const std::int64_t rows = expert_load_[static_cast<std::size_t>(e)];
+    if (rows == 0) continue;
+    auto gin = tensor::Tensor::zeros({rows, hidden_});
+    std::int64_t r = 0;
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      if (routing_[static_cast<std::size_t>(t)] != e) continue;
+      std::copy_n(grad_expert_scaled.data() + t * hidden_, hidden_,
+                  gin.data() + r * hidden_);
+      ++r;
+    }
+    auto gx = experts_[static_cast<std::size_t>(e)]->backward(gin, {rows, 1});
+    r = 0;
+    for (std::int64_t t = 0; t < tokens; ++t) {
+      if (routing_[static_cast<std::size_t>(t)] != e) continue;
+      tensor::axpy(1.0f, gx.data() + r * hidden_,
+                   grad_ln2_out.data() + t * hidden_, hidden_);
+      ++r;
+    }
+  }
+
+  // mid receives the residual gradient plus LN2's input gradient.
+  auto g_mid = ln2_.backward(grad_ln2_out, shape);
+  tensor::axpy(1.0f, grad_out.data(), g_mid.data(), g_mid.numel());
+  // Attention half, as in the dense block.
+  auto g_x = ln1_.backward(attn_.backward(g_mid, shape), shape);
+  tensor::axpy(1.0f, g_mid.data(), g_x.data(), g_x.numel());
+  return g_x;
+}
+
+}  // namespace sh::nn

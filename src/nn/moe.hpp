@@ -1,0 +1,72 @@
+// Mixture-of-experts Transformer block (Section III-B's nonlinear/gated
+// structures, cf. Switch Transformers [27]).
+//
+// Pre-norm block whose feed-forward is a top-1-gated bank of expert MLPs:
+//   mid = x + Attn(LN1(x))
+//   y   = mid + p_e * Expert_e(LN2(mid))   with e = argmax softmax(gate(.))
+//
+// The execution path through the experts is data-dependent, which is what
+// makes offloading non-trivial: STRONGHOLD's policy for such branches is to
+// move all units directly connected to the branch together (this layer is
+// one offloading unit covering every expert), falling back to delayed
+// movement only when the bank exceeds the window slot — see DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "nn/attention.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/mlp.hpp"
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+class MoeBlock final : public Layer {
+ public:
+  MoeBlock(std::string name, std::int64_t hidden, std::int64_t heads,
+           std::int64_t experts);
+
+  std::string name() const override { return name_; }
+  std::int64_t param_count() const override;
+  void bind(float* params, float* grads) override;
+  void init(tensor::Rng& rng) override;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const BatchShape& shape) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out,
+                          const BatchShape& shape) override;
+
+  /// KV-cached decode: attention uses the cache; the gated expert FFN routes
+  /// the new tokens only.
+  tensor::Tensor forward_incremental(const tensor::Tensor& x,
+                                     const BatchShape& shape,
+                                     KvCache& cache) override;
+
+  std::int64_t num_experts() const noexcept {
+    return static_cast<std::int64_t>(experts_.size());
+  }
+
+  /// Tokens routed to each expert in the last forward (load statistics).
+  const std::vector<std::int64_t>& expert_load() const noexcept {
+    return expert_load_;
+  }
+
+ private:
+  std::string name_;
+  std::int64_t hidden_;
+  LayerNorm ln1_;
+  CausalSelfAttention attn_;
+  LayerNorm ln2_;
+  Linear gate_;
+  std::vector<std::unique_ptr<Mlp>> experts_;
+
+  // Forward caches.
+  tensor::Tensor cached_mid_;        // x + attn(ln1 x)
+  tensor::Tensor cached_ln2_out_;    // expert input
+  tensor::Tensor cached_gate_probs_; // [tokens, experts]
+  tensor::Tensor cached_expert_out_; // f_e(x) per token (unscaled)
+  std::vector<std::int32_t> routing_;  // chosen expert per token
+  std::vector<std::int64_t> expert_load_;
+};
+
+}  // namespace sh::nn

@@ -1,0 +1,45 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+namespace sh::optim {
+
+void Adam::step(float* params, const float* grads, float* state, std::int64_t t,
+                std::int64_t n, float lr_override) const {
+  float* m = state;
+  float* v = state + n;
+  const float b1 = config_.beta1;
+  const float b2 = config_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t));
+  const float lr = lr_override >= 0.0f ? lr_override : config_.lr;
+  const float eps = config_.eps;
+  const float wd = config_.weight_decay;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = grads[i];
+    m[i] = b1 * m[i] + (1.0f - b1) * g;
+    v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    float p = params[i];
+    if (wd != 0.0f) p -= lr * wd * p;
+    params[i] = p - lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void Sgd::step(float* params, const float* grads, float* state, std::int64_t t,
+               std::int64_t n, float lr_override) const {
+  (void)t;
+  const float lr = lr_override >= 0.0f ? lr_override : config_.lr;
+  if (config_.momentum == 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) params[i] -= lr * grads[i];
+    return;
+  }
+  const float mu = config_.momentum;
+  for (std::int64_t i = 0; i < n; ++i) {
+    state[i] = mu * state[i] + grads[i];
+    params[i] -= lr * state[i];
+  }
+}
+
+}  // namespace sh::optim

@@ -1,0 +1,56 @@
+// Learning-rate schedules. The paper trains with Megatron-LM's
+// hyperparameters [23]: linear warm-up followed by (cosine or linear) decay.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <numbers>
+
+namespace sh::optim {
+
+/// A schedule maps the 1-based optimizer step to a learning rate.
+using LrSchedule = std::function<float(std::int64_t step)>;
+
+/// Constant learning rate.
+inline LrSchedule constant_lr(float lr) {
+  return [lr](std::int64_t) { return lr; };
+}
+
+/// Linear warm-up from 0 to `base_lr` over `warmup_steps`, then cosine decay
+/// to `min_lr` at `total_steps` (flat at min_lr afterwards).
+inline LrSchedule warmup_cosine(float base_lr, std::int64_t warmup_steps,
+                                std::int64_t total_steps,
+                                float min_lr = 0.0f) {
+  return [=](std::int64_t step) {
+    if (warmup_steps > 0 && step <= warmup_steps) {
+      return base_lr * static_cast<float>(step) /
+             static_cast<float>(warmup_steps);
+    }
+    if (step >= total_steps) return min_lr;
+    const double progress =
+        static_cast<double>(step - warmup_steps) /
+        static_cast<double>(total_steps - warmup_steps);
+    const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * progress));
+    return static_cast<float>(min_lr + (base_lr - min_lr) * cosine);
+  };
+}
+
+/// Linear warm-up then linear decay to `min_lr` at `total_steps`.
+inline LrSchedule warmup_linear(float base_lr, std::int64_t warmup_steps,
+                                std::int64_t total_steps,
+                                float min_lr = 0.0f) {
+  return [=](std::int64_t step) {
+    if (warmup_steps > 0 && step <= warmup_steps) {
+      return base_lr * static_cast<float>(step) /
+             static_cast<float>(warmup_steps);
+    }
+    if (step >= total_steps) return min_lr;
+    const double progress =
+        static_cast<double>(step - warmup_steps) /
+        static_cast<double>(total_steps - warmup_steps);
+    return static_cast<float>(base_lr + (min_lr - base_lr) * progress);
+  };
+}
+
+}  // namespace sh::optim

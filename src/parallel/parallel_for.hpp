@@ -1,0 +1,50 @@
+// OpenMP-style data-parallel loop built on ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace sh::parallel {
+
+/// Runs `fn(begin, end)` over contiguous index chunks of `[begin, end)` on the
+/// given pool. Blocks until all chunks complete. The caller's thread also
+/// executes chunks, so the function works even with a saturated pool.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.num_threads() + 1;
+  std::size_t chunk = std::max<std::size_t>(grain, (n + workers - 1) / workers);
+  if (chunk >= n) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  auto body = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      fn(lo, std::min(lo + chunk, end));
+    }
+  };
+  const std::size_t tasks = std::min(workers - 1, (n + chunk - 1) / chunk - 1);
+  std::vector<std::future<void>> futs;
+  futs.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) futs.push_back(pool.async(body));
+  body();
+  for (auto& f : futs) f.get();
+}
+
+/// Convenience overload using the global pool.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  parallel_for(ThreadPool::global(), begin, end, grain, std::forward<Fn>(fn));
+}
+
+}  // namespace sh::parallel

@@ -1,0 +1,74 @@
+// Thread pool used throughout STRONGHOLD for CPU-side work: concurrent
+// optimizer actors, async transfer engines and data-parallel kernels.
+//
+// The paper builds its CPU-side concurrency on Ray actors over gRPC; this
+// in-process pool provides the same semantics (asynchronous tasks dispatched
+// to idle workers through callbacks) without the RPC layer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sh::parallel {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks are arbitrary callables. `wait_idle()` blocks until every submitted
+/// task has finished, which gives callers a cheap fork/join barrier without
+/// tracking individual futures.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. Zero maps to one worker so the pool is
+  /// always able to make progress (important on single-core CI machines).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its completion.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Number of tasks currently queued or running.
+  std::size_t pending() const;
+
+  /// Process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Hardware concurrency with a floor of 1.
+std::size_t hardware_threads() noexcept;
+
+}  // namespace sh::parallel

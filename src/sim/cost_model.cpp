@@ -1,0 +1,110 @@
+#include "sim/cost_model.hpp"
+
+namespace sh::sim {
+
+double block_params(const ModelSpec& m) {
+  const double hd = static_cast<double>(m.hidden);
+  return 12.0 * hd * hd + 13.0 * hd;
+}
+
+double embedding_params(const ModelSpec& m) {
+  return static_cast<double>(m.vocab + m.seq) * static_cast<double>(m.hidden);
+}
+
+double total_params(const ModelSpec& m) {
+  return static_cast<double>(m.layers) * block_params(m) + embedding_params(m);
+}
+
+double block_param_bytes(const ModelSpec& m) {
+  return kF32 * block_params(m) / m.model_parallel;
+}
+
+double block_window_bytes(const ModelSpec& m) {
+  return 2.0 * block_param_bytes(m);  // params + grads
+}
+
+double block_state_bytes(const ModelSpec& m) {
+  return kStateBytesPerParam * block_params(m) / m.model_parallel;
+}
+
+double embedding_state_bytes(const ModelSpec& m) {
+  return kStateBytesPerParam * embedding_params(m) / m.model_parallel;
+}
+
+double total_state_bytes(const ModelSpec& m) {
+  return static_cast<double>(m.layers) * block_state_bytes(m) +
+         embedding_state_bytes(m);
+}
+
+double checkpoint_bytes(const ModelSpec& m, double batch) {
+  // Block input: [batch * seq, hidden] (hidden sharded under MP).
+  return kF32 * batch * static_cast<double>(m.seq) *
+         static_cast<double>(m.hidden) / m.model_parallel;
+}
+
+double working_activation_bytes(const ModelSpec& m, double batch) {
+  const double tokens = batch * static_cast<double>(m.seq);
+  const double hd = static_cast<double>(m.hidden);
+  // QKV (3hd) + attention context (hd) + MLP intermediate (8hd) + LN (2hd)
+  // caches, plus the attention probability matrices.
+  const double dense = kF32 * tokens * 14.0 * hd / m.model_parallel;
+  const double probs = kF32 * batch * static_cast<double>(m.heads) *
+                       static_cast<double>(m.seq) * static_cast<double>(m.seq) /
+                       m.model_parallel;
+  return dense + probs;
+}
+
+double activation_bytes_checkpointed(const ModelSpec& m, double batch) {
+  return static_cast<double>(m.layers) * checkpoint_bytes(m, batch) +
+         working_activation_bytes(m, batch);
+}
+
+double activation_bytes_full(const ModelSpec& m, double batch) {
+  return static_cast<double>(m.layers) *
+         (checkpoint_bytes(m, batch) + working_activation_bytes(m, batch));
+}
+
+double block_fwd_flops(const ModelSpec& m, double batch) {
+  const double tokens = batch * static_cast<double>(m.seq);
+  const double hd = static_cast<double>(m.hidden);
+  const double dense = 24.0 * tokens * hd * hd;
+  const double attn = 4.0 * batch * static_cast<double>(m.seq) *
+                      static_cast<double>(m.seq) * hd;
+  return (dense + attn) / m.model_parallel;
+}
+
+double block_bwd_flops(const ModelSpec& m, double batch,
+                       bool recompute_forward) {
+  const double fwd = block_fwd_flops(m, batch);
+  return 2.0 * fwd + (recompute_forward ? fwd : 0.0);
+}
+
+double head_fwd_flops(const ModelSpec& m, double batch) {
+  return 2.0 * batch * static_cast<double>(m.seq) *
+         static_cast<double>(m.hidden) * static_cast<double>(m.vocab) /
+         m.model_parallel;
+}
+
+double iteration_flops(const ModelSpec& m, double batch,
+                       bool checkpoint_activations) {
+  const double per_block = block_fwd_flops(m, batch) +
+                           block_bwd_flops(m, batch, checkpoint_activations);
+  return static_cast<double>(m.layers) * per_block +
+         3.0 * head_fwd_flops(m, batch);
+}
+
+double params_billions(const ModelSpec& m) { return total_params(m) / 1e9; }
+
+ModelSpec table1_model(std::int64_t layers, std::int64_t hidden,
+                       int model_parallel) {
+  ModelSpec m;
+  m.layers = layers;
+  m.hidden = hidden;
+  m.heads = 16;
+  m.vocab = 30000;
+  m.seq = 1024;
+  m.model_parallel = model_parallel;
+  return m;
+}
+
+}  // namespace sh::sim

@@ -1,0 +1,88 @@
+// Analytic FLOP / byte cost model for GPT-style Transformer training.
+//
+// Parameter counts follow the paper's Section III-F accounting
+// (12 * n * hd^2 per block plus embedding), validated against every Table I
+// configuration by bench_table1. Training state is FP32 as in the paper's
+// capacity experiments: 16 bytes per parameter (4 param + 4 grad + 8 Adam).
+#pragma once
+
+#include <cstdint>
+
+namespace sh::sim {
+
+/// A Table-I style model configuration.
+struct ModelSpec {
+  std::int64_t layers = 20;     // transformer blocks (n)
+  std::int64_t hidden = 2560;   // hidden size (hd)
+  std::int64_t heads = 16;
+  std::int64_t vocab = 30000;   // vs (Section III-F uses 30K)
+  std::int64_t seq = 1024;      // sequence length
+  int model_parallel = 1;       // tensor-parallel degree (Table I column)
+};
+
+/// Bytes of one FP32 float.
+inline constexpr double kF32 = 4.0;
+/// Bytes of full training state per parameter (param + grad + Adam m, v).
+inline constexpr double kStateBytesPerParam = 16.0;
+
+// --- Parameter counts -------------------------------------------------------
+
+/// Parameters of one transformer block: 12 hd^2 + 13 hd
+/// (QKV 3hd^2+3hd, proj hd^2+hd, MLP 8hd^2+5hd, two LayerNorms 4hd).
+double block_params(const ModelSpec& m);
+
+/// Embedding parameters: (vocab + seq) * hidden. The LM head is weight-tied
+/// with the token embedding, matching the paper's 12 n hd^2 + hd vs count.
+double embedding_params(const ModelSpec& m);
+
+/// Total trainable parameters.
+double total_params(const ModelSpec& m);
+
+// --- Per-layer state sizes (per model-parallel shard) -----------------------
+
+/// FP32 parameter bytes of one block shard (parameters / model_parallel).
+double block_param_bytes(const ModelSpec& m);
+/// Param + grad bytes (what the GPU working window holds per layer).
+double block_window_bytes(const ModelSpec& m);
+/// Full training-state bytes of one block shard (16 B / param).
+double block_state_bytes(const ModelSpec& m);
+double embedding_state_bytes(const ModelSpec& m);
+double total_state_bytes(const ModelSpec& m);
+
+// --- Activation memory (per device, per stream) -----------------------------
+
+/// Bytes of the per-block activation checkpoint (the block input).
+double checkpoint_bytes(const ModelSpec& m, double batch);
+/// Peak transient working activations while computing one block.
+double working_activation_bytes(const ModelSpec& m, double batch);
+/// Total activation memory with layer-wise checkpointing.
+double activation_bytes_checkpointed(const ModelSpec& m, double batch);
+/// Total activation memory when every block keeps its full caches.
+double activation_bytes_full(const ModelSpec& m, double batch);
+
+// --- FLOPs -------------------------------------------------------------------
+
+/// Forward FLOPs of one block shard for a `batch`-sample step:
+/// 24 T hd^2 + 4 bs seq^2 hd (T = batch * seq), divided over MP shards.
+double block_fwd_flops(const ModelSpec& m, double batch);
+/// Backward is 2x forward; activation recomputation adds one more forward.
+double block_bwd_flops(const ModelSpec& m, double batch,
+                       bool recompute_forward);
+/// LM-head (logit projection) forward FLOPs: 2 T hd vs.
+double head_fwd_flops(const ModelSpec& m, double batch);
+
+/// Total FLOPs of one training iteration (forward + recompute + backward).
+double iteration_flops(const ModelSpec& m, double batch,
+                       bool checkpoint_activations = true);
+
+// --- Convenience -------------------------------------------------------------
+
+/// Human-readable billions of parameters (e.g. 1.65 for the "1.7B" model).
+double params_billions(const ModelSpec& m);
+
+/// Builds a ModelSpec with Table I geometry (hd, heads fixed) and `layers`
+/// blocks.
+ModelSpec table1_model(std::int64_t layers, std::int64_t hidden,
+                       int model_parallel = 1);
+
+}  // namespace sh::sim

@@ -1,0 +1,41 @@
+// Event-driven replay of the STRONGHOLD working-window schedule.
+//
+// The strategy simulators build iteration schedules with Timeline algebra
+// (max/plus recurrences). This module replays the same schedule on the
+// discrete-event engine — fetch issued by the pre-hook of the layer m
+// positions earlier, FIFO link, serial GPU — and returns the makespan. The
+// two must agree exactly; the tests use this as a cross-validation of the
+// scheduling algebra, and it demonstrates the DES engine end to end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_engine.hpp"
+
+namespace sh::sim {
+
+struct ReplayParams {
+  std::size_t layers = 0;
+  std::size_t window = 1;     // m: layers 0..m-1 start resident
+  double t_compute = 0.0;     // per-layer compute seconds
+  double t_fetch = 0.0;       // per-layer link seconds
+  double link_latency = 0.0;  // per-transfer fixed cost
+};
+
+struct ReplayResult {
+  Time makespan = 0.0;
+  std::size_t fetches = 0;
+  Time gpu_idle = 0.0;  // total stall time waiting for fetches
+};
+
+/// Replays one forward sweep: compute layers 0..n-1 in order; the fetch of
+/// layer i (i >= m) is issued when layer i-m starts computing; the link is a
+/// FIFO resource; compute of layer i needs its fetch complete.
+ReplayResult replay_forward_sweep(const ReplayParams& params);
+
+/// The same schedule computed with Timeline algebra (the strategy
+/// simulators' method) — for cross-validation.
+ReplayResult forward_sweep_timeline(const ReplayParams& params);
+
+}  // namespace sh::sim

@@ -1,0 +1,33 @@
+#include "sim/event_engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sh::sim {
+
+void EventEngine::schedule_at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventEngine::schedule_after(Time dt, Callback cb) {
+  schedule_at(now_ + dt, std::move(cb));
+}
+
+bool EventEngine::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++executed_;
+  ev.cb();
+  return true;
+}
+
+void EventEngine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace sh::sim

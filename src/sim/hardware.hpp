@@ -1,0 +1,72 @@
+// Hardware descriptions of the paper's two evaluation platforms (Section V-A)
+// plus the device-level cost parameters used by the simulator.
+//
+// Calibration note: peak FLOP/s, memory capacities, link bandwidths and core
+// counts come from the paper / vendor datasheets. `kernel_efficiency`,
+// `bubble_ratio` and the CPU Adam rate are calibrated so Megatron-LM's
+// simulated throughput and STRONGHOLD's achieved 6-9 TFLOPS (42-57% of
+// hardware peak, Section VI-B) match the paper; all strategies share them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sh::sim {
+
+struct GpuSpec {
+  std::string name;
+  double mem_bytes;          // device memory capacity
+  double peak_flops;         // FP32 peak
+  double kernel_efficiency;  // fraction of peak a saturated dense kernel hits
+  double bubble_ratio;       // non-compute bubble per kernel, as a fraction of
+                             // its compute time (launch gaps, dependency
+                             // stalls). Multi-stream execution divides this.
+  int max_streams;           // concurrent CUDA streams usable for training
+  double runtime_reserved_bytes;  // CUDA context + framework reserve
+
+  /// Effective FLOP/s for a kernel at per-device batch size `bs` on a single
+  /// stream: batch-dependent occupancy times kernel efficiency.
+  double effective_flops(double bs) const noexcept {
+    const double occupancy = bs / (bs + 1.0);
+    return peak_flops * kernel_efficiency * occupancy;
+  }
+};
+
+struct CpuSpec {
+  std::string name;
+  int cores;
+  double ram_bytes;
+  double pinned_limit_bytes;  // page-lockable RAM usable for layer blobs
+  /// RAM the ZeRO-family runtimes can use for offloaded state (contiguous
+  /// pinned buckets; below ram_bytes on shared production nodes). Calibrated
+  /// per platform against the paper's reported capacities.
+  double offload_ram_limit_bytes;
+  double adam_params_per_core_s;  // Adam update throughput per core (params/s)
+};
+
+struct MachineSpec {
+  GpuSpec gpu;
+  CpuSpec cpu;
+  double pcie_bytes_per_s;  // effective host<->device bandwidth, per direction
+  double pcie_latency_s;
+  double nvme_bytes_per_s;  // effective NVMe sequential bandwidth
+  double nvme_bytes;        // swap capacity
+  double async_call_overhead_s;  // t_async in the paper's model (Section III-D)
+};
+
+struct ClusterSpec {
+  MachineSpec node;
+  int num_nodes;
+  double net_bytes_per_s;  // per-node injection bandwidth
+  double net_latency_s;
+};
+
+/// Single-node 32 GB V100 server: 2x 24-core Xeon 8163, 755 GB DDR4,
+/// PCIe 3.0 x16, 2 TB PCIe 4.0 NVMe.
+MachineSpec v100_server();
+
+/// 8-node A10 cluster: 24 GB A10 per node, 2x 64-core Xeon 8369B, 1 TB DDR4,
+/// 800 Gbps network.
+ClusterSpec a10_cluster();
+
+}  // namespace sh::sim

@@ -1,0 +1,24 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+
+namespace sh::sim {
+
+LanePool::LanePool(std::string name, std::size_t lanes)
+    : name_(std::move(name)) {
+  if (lanes == 0) throw std::invalid_argument("LanePool needs >= 1 lane");
+  busy_until_.assign(lanes, 0.0);
+}
+
+Interval LanePool::acquire(Time ready, double duration) {
+  // Earliest-finishing lane that can start this work.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < busy_until_.size(); ++i) {
+    if (busy_until_[i] < busy_until_[best]) best = i;
+  }
+  const Time start = std::max(ready, busy_until_[best]);
+  busy_until_[best] = start + duration;
+  return {start, busy_until_[best]};
+}
+
+}  // namespace sh::sim

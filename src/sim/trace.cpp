@@ -1,0 +1,84 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <utility>
+
+namespace sh::sim {
+
+void Trace::record(std::string resource, std::string label, Interval interval) {
+  spans_.push_back({std::move(resource), std::move(label), interval});
+}
+
+Time Trace::end_time() const noexcept {
+  Time end = 0.0;
+  for (const auto& s : spans_) end = std::max(end, s.interval.end);
+  return end;
+}
+
+double Trace::utilization(const std::string& resource) const {
+  const Time end = end_time();
+  if (end <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& s : spans_) {
+    if (s.resource == resource) busy += s.interval.duration();
+  }
+  return busy / end;
+}
+
+double Trace::overlap_fraction(const std::string& a, const std::string& b) const {
+  double a_total = 0.0;
+  double overlapped = 0.0;
+  for (const auto& sa : spans_) {
+    if (sa.resource != a) continue;
+    a_total += sa.interval.duration();
+    for (const auto& sb : spans_) {
+      if (sb.resource != b) continue;
+      const Time lo = std::max(sa.interval.start, sb.interval.start);
+      const Time hi = std::min(sa.interval.end, sb.interval.end);
+      if (hi > lo) overlapped += hi - lo;
+    }
+  }
+  return a_total > 0.0 ? overlapped / a_total : 0.0;
+}
+
+void Trace::render(std::ostream& os, int width) const {
+  const Time end = end_time();
+  if (end <= 0.0 || width <= 0) return;
+  // Stable resource order: first appearance.
+  std::vector<std::string> order;
+  for (const auto& s : spans_) {
+    if (std::find(order.begin(), order.end(), s.resource) == order.end()) {
+      order.push_back(s.resource);
+    }
+  }
+  std::size_t name_w = 0;
+  for (const auto& r : order) name_w = std::max(name_w, r.size());
+  for (const auto& r : order) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const auto& s : spans_) {
+      if (s.resource != r) continue;
+      auto col = [&](Time t) {
+        return std::clamp<int>(static_cast<int>(t / end * width), 0, width - 1);
+      };
+      const int lo = col(s.interval.start);
+      const int hi = std::max(lo, col(s.interval.end) - (s.interval.end < end ? 0 : 1));
+      const char mark = s.label.empty() ? '#' : s.label[0];
+      for (int c = lo; c <= hi && c < width; ++c) {
+        row[static_cast<std::size_t>(c)] = mark;
+      }
+    }
+    os << r << std::string(name_w - r.size() + 2, ' ') << '|' << row << "|\n";
+  }
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "resource,label,start,end\n";
+  for (const auto& s : spans_) {
+    os << s.resource << ',' << s.label << ',' << s.interval.start << ','
+       << s.interval.end << '\n';
+  }
+}
+
+}  // namespace sh::sim

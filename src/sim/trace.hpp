@@ -1,0 +1,47 @@
+// Timeline trace recorder. Captures (resource, label, interval) spans from a
+// simulated schedule and renders an ASCII Gantt chart — the reproduction of
+// the paper's Figure 4 profiling trace.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hpp"
+
+namespace sh::sim {
+
+class Trace {
+ public:
+  struct Span {
+    std::string resource;
+    std::string label;
+    Interval interval;
+  };
+
+  void record(std::string resource, std::string label, Interval interval);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+  void clear() noexcept { spans_.clear(); }
+
+  /// End time of the last span (iteration makespan).
+  Time end_time() const noexcept;
+
+  /// Fraction of [0, end] during which `resource` was occupied.
+  double utilization(const std::string& resource) const;
+
+  /// Fraction of the spans on `a` that overlap in time with spans on `b` —
+  /// the paper's computation/communication overlap metric.
+  double overlap_fraction(const std::string& a, const std::string& b) const;
+
+  /// Renders an ASCII Gantt chart, one row per resource, `width` columns.
+  void render(std::ostream& os, int width = 100) const;
+
+  /// Writes spans as CSV (resource,label,start,end).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace sh::sim

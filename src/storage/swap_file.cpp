@@ -1,0 +1,113 @@
+#include "storage/swap_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace sh::storage {
+
+SwapFile::SwapFile(std::string path, std::size_t capacity_bytes,
+                   double bytes_per_second)
+    : path_(std::move(path)),
+      capacity_(capacity_bytes),
+      bytes_per_second_(bytes_per_second),
+      io_("swap-io") {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("SwapFile: cannot open " + path_);
+  }
+}
+
+SwapFile::~SwapFile() {
+  io_.wait_all();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+SwapFile::Region SwapFile::region_for(std::int64_t key, std::size_t bytes,
+                                      bool create) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(key);
+  if (it != regions_.end()) {
+    if (it->second.bytes != bytes) {
+      throw std::invalid_argument("SwapFile: size mismatch for key " +
+                                  std::to_string(key));
+    }
+    return it->second;
+  }
+  if (!create) {
+    throw std::out_of_range("SwapFile: unknown key " + std::to_string(key));
+  }
+  if (capacity_ != 0 && next_offset_ + bytes > capacity_) {
+    throw std::runtime_error("SwapFile: capacity exceeded");
+  }
+  const Region r{next_offset_, bytes};
+  next_offset_ += bytes;
+  regions_[key] = r;
+  return r;
+}
+
+void SwapFile::throttle(std::size_t bytes) const {
+  if (bytes_per_second_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        static_cast<double>(bytes) / bytes_per_second_));
+  }
+}
+
+std::shared_future<void> SwapFile::write_async(std::int64_t key,
+                                               std::span<const float> data) {
+  const Region r = region_for(key, data.size_bytes(), /*create=*/true);
+  return io_.run_async([this, r, data] {
+    std::size_t done = 0;
+    while (done < r.bytes) {
+      const ssize_t n =
+          ::pwrite(fd_, reinterpret_cast<const char*>(data.data()) + done,
+                   r.bytes - done, static_cast<off_t>(r.offset + done));
+      if (n <= 0) throw std::runtime_error("SwapFile: pwrite failed");
+      done += static_cast<std::size_t>(n);
+    }
+    throttle(r.bytes);
+  });
+}
+
+std::shared_future<void> SwapFile::read_async(std::int64_t key,
+                                              std::span<float> out) {
+  const Region r = region_for(key, out.size_bytes(), /*create=*/false);
+  return io_.run_async([this, r, out] {
+    std::size_t done = 0;
+    while (done < r.bytes) {
+      const ssize_t n =
+          ::pread(fd_, reinterpret_cast<char*>(out.data()) + done,
+                  r.bytes - done, static_cast<off_t>(r.offset + done));
+      if (n <= 0) throw std::runtime_error("SwapFile: pread failed");
+      done += static_cast<std::size_t>(n);
+    }
+    throttle(r.bytes);
+  });
+}
+
+void SwapFile::write(std::int64_t key, std::span<const float> data) {
+  write_async(key, data).get();
+}
+
+void SwapFile::read(std::int64_t key, std::span<float> out) {
+  read_async(key, out).get();
+}
+
+bool SwapFile::contains(std::int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regions_.count(key) > 0;
+}
+
+std::size_t SwapFile::bytes_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_offset_;
+}
+
+}  // namespace sh::storage

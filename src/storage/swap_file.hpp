@@ -1,0 +1,70 @@
+// Secondary-storage tier (Section III-G).
+//
+// The paper memory-maps a swap file on NVMe and issues asynchronous bulk
+// reads/writes that overlap with CPU-GPU transfers and compute. This class
+// provides the same capability over a real file: keyed per-layer regions,
+// an asynchronous I/O worker with FIFO ordering, and an optional bandwidth
+// throttle to emulate NVMe speeds in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "hw/transfer.hpp"
+
+namespace sh::storage {
+
+class SwapFile {
+ public:
+  /// Creates (truncates) the swap file at `path`. `capacity_bytes` bounds the
+  /// total region size (0 = unbounded). `bytes_per_second` throttles I/O
+  /// (0 = full speed).
+  SwapFile(std::string path, std::size_t capacity_bytes = 0,
+           double bytes_per_second = 0.0);
+  ~SwapFile();
+
+  SwapFile(const SwapFile&) = delete;
+  SwapFile& operator=(const SwapFile&) = delete;
+
+  /// Asynchronously writes `data` to the region of `key`, creating the
+  /// region on first write. Rewrites must use the same size.
+  std::shared_future<void> write_async(std::int64_t key,
+                                       std::span<const float> data);
+
+  /// Asynchronously reads the region of `key` into `out` (size must match).
+  std::shared_future<void> read_async(std::int64_t key, std::span<float> out);
+
+  /// Synchronous conveniences.
+  void write(std::int64_t key, std::span<const float> data);
+  void read(std::int64_t key, std::span<float> out);
+
+  bool contains(std::int64_t key) const;
+  std::size_t bytes_used() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  struct Region {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+
+  Region region_for(std::int64_t key, std::size_t bytes, bool create);
+  void throttle(std::size_t bytes) const;
+
+  std::string path_;
+  std::size_t capacity_;
+  double bytes_per_second_;
+  int fd_ = -1;
+  mutable std::mutex mu_;
+  std::size_t next_offset_ = 0;
+  std::unordered_map<std::int64_t, Region> regions_;
+  hw::TransferEngine io_;  // FIFO async I/O worker
+};
+
+}  // namespace sh::storage

@@ -1,0 +1,62 @@
+#include "tensor/dropout.hpp"
+
+namespace sh::tensor {
+
+namespace {
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline bool keep(std::uint64_t seed, std::uint64_t stream, std::uint64_t step,
+                 std::uint64_t index, float p) noexcept {
+  const std::uint64_t h = counter_hash(seed, stream, step, index);
+  // Top 24 bits as a uniform in [0, 1).
+  const float u = static_cast<float>(h >> 40) * 0x1.0p-24f;
+  return u >= p;
+}
+}  // namespace
+
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t step, std::uint64_t index) noexcept {
+  std::uint64_t x = seed;
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (stream + 1));
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (step + 1));
+  x = mix(x + 0x9e3779b97f4a7c15ULL * (index + 1));
+  return x;
+}
+
+void dropout_forward(const float* in, float* out, std::int64_t n, float p,
+                     std::uint64_t seed, std::uint64_t stream,
+                     std::uint64_t step, std::uint64_t global_offset) noexcept {
+  if (p <= 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) out[i] = in[i];
+    return;
+  }
+  const float inv_keep = 1.0f / (1.0f - p);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[i] = keep(seed, stream, step, global_offset + static_cast<std::uint64_t>(i), p)
+                 ? in[i] * inv_keep
+                 : 0.0f;
+  }
+}
+
+void dropout_backward(const float* grad_out, float* grad_in, std::int64_t n,
+                      float p, std::uint64_t seed, std::uint64_t stream,
+                      std::uint64_t step,
+                      std::uint64_t global_offset) noexcept {
+  if (p <= 0.0f) {
+    for (std::int64_t i = 0; i < n; ++i) grad_in[i] = grad_out[i];
+    return;
+  }
+  const float inv_keep = 1.0f / (1.0f - p);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad_in[i] =
+        keep(seed, stream, step, global_offset + static_cast<std::uint64_t>(i), p)
+            ? grad_out[i] * inv_keep
+            : 0.0f;
+  }
+}
+
+}  // namespace sh::tensor

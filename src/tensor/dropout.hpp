@@ -1,0 +1,33 @@
+// Deterministic (counter-based) dropout.
+//
+// Offloaded training re-runs forward passes (activation-checkpoint
+// recomputation) and splits batches across executors, so dropout masks must
+// be a pure function of position, not of call order. The mask for element i
+// is derived by hashing (seed, stream, step, global_index) — the same
+// stateless-RNG trick GPU frameworks use (Philox): recomputation reproduces
+// the identical mask, and executors of the same batch draw disjoint,
+// consistent masks via their global row offsets.
+#pragma once
+
+#include <cstdint>
+
+namespace sh::tensor {
+
+/// Mixes the tuple into a 64-bit hash (SplitMix64-style finalizer).
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t stream,
+                           std::uint64_t step, std::uint64_t index) noexcept;
+
+/// Inverted dropout: out[i] = in[i] / (1-p) if kept, else 0. `global_offset`
+/// is the index of in[0] within the full logical tensor (executor row
+/// offsets). p == 0 copies through.
+void dropout_forward(const float* in, float* out, std::int64_t n, float p,
+                     std::uint64_t seed, std::uint64_t stream,
+                     std::uint64_t step, std::uint64_t global_offset) noexcept;
+
+/// Backward: the same mask applied to the output gradient.
+void dropout_backward(const float* grad_out, float* grad_in, std::int64_t n,
+                      float p, std::uint64_t seed, std::uint64_t stream,
+                      std::uint64_t step,
+                      std::uint64_t global_offset) noexcept;
+
+}  // namespace sh::tensor

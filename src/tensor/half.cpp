@@ -1,0 +1,96 @@
+#include "tensor/half.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace sh::tensor {
+
+half float_to_half(float value) noexcept {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t exp = (bits >> 23) & 0xffu;
+  std::uint32_t mant = bits & 0x7fffffu;
+
+  if (exp == 0xffu) {  // inf or NaN
+    if (mant != 0) return static_cast<half>(sign | 0x7e00u);  // quiet NaN
+    return static_cast<half>(sign | 0x7c00u);                 // infinity
+  }
+
+  // Re-bias exponent: fp32 bias 127, fp16 bias 15.
+  const int e = static_cast<int>(exp) - 127 + 15;
+  if (e >= 31) {  // overflow -> infinity
+    return static_cast<half>(sign | 0x7c00u);
+  }
+  if (e <= 0) {
+    // Subnormal (or zero) in fp16.
+    if (e < -10) return static_cast<half>(sign);  // too small -> +-0
+    // Add the implicit leading 1 and shift right; round to nearest even.
+    mant |= 0x800000u;
+    const unsigned shift = static_cast<unsigned>(14 - e);
+    const std::uint32_t sub = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t result = sub;
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++result;
+    return static_cast<half>(sign | result);
+  }
+  // Normal number: keep 10 mantissa bits, round to nearest even.
+  std::uint32_t result =
+      sign | (static_cast<std::uint32_t>(e) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (result & 1u))) {
+    ++result;  // may carry into the exponent, which is still correct
+  }
+  return static_cast<half>(result);
+}
+
+float half_to_float(half value) noexcept {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(value) & 0x8000u) << 16;
+  const std::uint32_t exp = (value >> 10) & 0x1fu;
+  const std::uint32_t mant = value & 0x3ffu;
+
+  std::uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // +-0
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      std::uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | static_cast<std::uint32_t>(127 - 15 - e) << 23 |
+             ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1fu) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(bits);
+}
+
+void convert_to_half(const float* src, half* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = float_to_half(src[i]);
+}
+
+void convert_to_float(const half* src, float* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
+}
+
+void quantize_fp16_inplace(float* data, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = half_to_float(float_to_half(data[i]));
+  }
+}
+
+bool has_non_finite_fp16(const float* data, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(half_to_float(float_to_half(data[i])))) return true;
+  }
+  return false;
+}
+
+}  // namespace sh::tensor

@@ -1,0 +1,38 @@
+// IEEE 754 binary16 conversions for mixed-precision training.
+//
+// STRONGHOLD's numeric substrate computes in FP32, but mixed-precision mode
+// stores parameters and gradients in FP16 across the CPU<->GPU link (halving
+// window memory and transfer traffic, as in [12]/ZeRO-Offload). The
+// conversions here implement round-to-nearest-even with full subnormal,
+// infinity and NaN handling.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sh::tensor {
+
+using half = std::uint16_t;
+
+/// float -> binary16 with round-to-nearest-even. Values beyond the fp16
+/// range become +-infinity; NaN payloads collapse to a quiet NaN.
+half float_to_half(float value) noexcept;
+
+/// binary16 -> float (exact).
+float half_to_float(half value) noexcept;
+
+void convert_to_half(const float* src, half* dst, std::size_t n) noexcept;
+void convert_to_float(const half* src, float* dst, std::size_t n) noexcept;
+
+/// Rounds every value through fp16 in place — models an fp16 copy landing in
+/// an fp32 compute buffer.
+void quantize_fp16_inplace(float* data, std::size_t n) noexcept;
+
+/// True if any value is NaN or +-infinity after fp16 quantization (overflow
+/// detection for dynamic loss scaling).
+bool has_non_finite_fp16(const float* data, std::size_t n) noexcept;
+
+/// Largest finite fp16 value.
+inline constexpr float kHalfMax = 65504.0f;
+
+}  // namespace sh::tensor

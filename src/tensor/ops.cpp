@@ -1,0 +1,325 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/parallel_for.hpp"
+
+namespace sh::tensor {
+
+namespace {
+constexpr std::size_t kRowGrain = 4;
+
+inline float gelu_scalar(float x) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  const float k = 0.7978845608028654f;
+  const float inner = k * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  const float k = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = k * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
+}
+}  // namespace
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t n, std::int64_t k, bool transpose_a, bool transpose_b,
+            float alpha, float beta) {
+  auto a_at = [&](std::int64_t i, std::int64_t p) {
+    return transpose_a ? a[p * m + i] : a[i * k + p];
+  };
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(m), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t iu = lo; iu < hi; ++iu) {
+          const auto i = static_cast<std::int64_t>(iu);
+          float* crow = c + i * n;
+          if (beta == 0.0f) {
+            std::fill_n(crow, n, 0.0f);
+          } else if (beta != 1.0f) {
+            for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+          }
+          if (!transpose_b) {
+            // Stream over B rows for cache-friendly access.
+            for (std::int64_t p = 0; p < k; ++p) {
+              const float av = alpha * a_at(i, p);
+              if (av == 0.0f) continue;
+              const float* brow = b + p * n;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          } else {
+            for (std::int64_t j = 0; j < n; ++j) {
+              const float* brow = b + j * k;
+              float acc = 0.0f;
+              if (!transpose_a) {
+                const float* arow = a + i * k;
+                for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+              } else {
+                for (std::int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
+              }
+              crow[j] += alpha * acc;
+            }
+          }
+        }
+      });
+}
+
+void add_bias(const float* in, const float* bias, float* out, std::int64_t rows,
+              std::int64_t cols) {
+  sh::parallel::parallel_for(0, static_cast<std::size_t>(rows), kRowGrain,
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t r = lo; r < hi; ++r) {
+                                 const float* i = in + r * cols;
+                                 float* o = out + r * cols;
+                                 for (std::int64_t c = 0; c < cols; ++c) {
+                                   o[c] = i[c] + bias[c];
+                                 }
+                               }
+                             });
+}
+
+void bias_grad(const float* grad, float* bg, std::int64_t rows,
+               std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) bg[c] += g[c];
+  }
+}
+
+void gelu_forward(const float* in, float* out, std::int64_t n) {
+  sh::parallel::parallel_for(0, static_cast<std::size_t>(n), 1024,
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) {
+                                 out[i] = gelu_scalar(in[i]);
+                               }
+                             });
+}
+
+void gelu_backward(const float* in, const float* grad_out, float* grad_in,
+                   std::int64_t n) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(n), 1024,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          grad_in[i] = grad_out[i] * gelu_grad_scalar(in[i]);
+        }
+      });
+}
+
+void softmax_rows(const float* in, float* out, std::int64_t rows,
+                  std::int64_t cols) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* x = in + r * cols;
+          float* y = out + r * cols;
+          float mx = -std::numeric_limits<float>::infinity();
+          for (std::int64_t c = 0; c < cols; ++c) mx = std::max(mx, x[c]);
+          float sum = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            y[c] = std::exp(x[c] - mx);
+            sum += y[c];
+          }
+          const float inv = 1.0f / sum;
+          for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+        }
+      });
+}
+
+void softmax_rows_backward(const float* y, const float* grad_out,
+                           float* grad_in, std::int64_t rows,
+                           std::int64_t cols) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* yr = y + r * cols;
+          const float* go = grad_out + r * cols;
+          float* gi = grad_in + r * cols;
+          float d = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) d += go[c] * yr[c];
+          for (std::int64_t c = 0; c < cols; ++c) gi[c] = (go[c] - d) * yr[c];
+        }
+      });
+}
+
+void causal_softmax_rows(float* scores, std::int64_t rows, std::int64_t cols,
+                         const std::int64_t* allowed, float scale) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          float* x = scores + r * cols;
+          const std::int64_t lim = allowed[r];
+          float mx = -std::numeric_limits<float>::infinity();
+          for (std::int64_t c = 0; c <= lim; ++c) {
+            x[c] *= scale;
+            mx = std::max(mx, x[c]);
+          }
+          float sum = 0.0f;
+          for (std::int64_t c = 0; c <= lim; ++c) {
+            x[c] = std::exp(x[c] - mx);
+            sum += x[c];
+          }
+          const float inv = 1.0f / sum;
+          for (std::int64_t c = 0; c <= lim; ++c) x[c] *= inv;
+          for (std::int64_t c = lim + 1; c < cols; ++c) x[c] = 0.0f;
+        }
+      });
+}
+
+void layernorm_forward(const float* x, const float* gamma, const float* beta,
+                       float* y, LayerNormStats* stats, std::int64_t rows,
+                       std::int64_t cols, float eps) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* xr = x + r * cols;
+          float* yr = y + r * cols;
+          float mean = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) mean += xr[c];
+          mean /= static_cast<float>(cols);
+          float var = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float d = xr[c] - mean;
+            var += d * d;
+          }
+          var /= static_cast<float>(cols);
+          const float rstd = 1.0f / std::sqrt(var + eps);
+          stats[r] = {mean, rstd};
+          for (std::int64_t c = 0; c < cols; ++c) {
+            yr[c] = (xr[c] - mean) * rstd * gamma[c] + beta[c];
+          }
+        }
+      });
+}
+
+void layernorm_backward(const float* x, const float* gamma,
+                        const LayerNormStats* stats, const float* grad_y,
+                        float* grad_x, float* dgamma, float* dbeta,
+                        std::int64_t rows, std::int64_t cols) {
+  // dgamma/dbeta accumulation is serial over rows (shared accumulators).
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * cols;
+    const float* gy = grad_y + r * cols;
+    const float mean = stats[r].mean;
+    const float rstd = stats[r].rstd;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const float xhat = (xr[c] - mean) * rstd;
+      dgamma[c] += gy[c] * xhat;
+      dbeta[c] += gy[c];
+    }
+  }
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* xr = x + r * cols;
+          const float* gy = grad_y + r * cols;
+          float* gx = grad_x + r * cols;
+          const float mean = stats[r].mean;
+          const float rstd = stats[r].rstd;
+          float sum_g = 0.0f;
+          float sum_gx = 0.0f;
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float g = gy[c] * gamma[c];
+            const float xhat = (xr[c] - mean) * rstd;
+            sum_g += g;
+            sum_gx += g * xhat;
+          }
+          const float inv_cols = 1.0f / static_cast<float>(cols);
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const float g = gy[c] * gamma[c];
+            const float xhat = (xr[c] - mean) * rstd;
+            gx[c] = rstd * (g - inv_cols * (sum_g + xhat * sum_gx));
+          }
+        }
+      });
+}
+
+void embedding_gather(const float* table, const std::int32_t* ids, float* out,
+                      std::int64_t rows, std::int64_t cols) {
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(rows), kRowGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          const float* src = table + static_cast<std::int64_t>(ids[r]) * cols;
+          std::copy_n(src, cols, out + r * cols);
+        }
+      });
+}
+
+void embedding_scatter_add(const float* grad, const std::int32_t* ids,
+                           float* table_grad, std::int64_t rows,
+                           std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* dst = table_grad + static_cast<std::int64_t>(ids[r]) * cols;
+    const float* src = grad + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+}
+
+float cross_entropy(const float* logits, const std::int32_t* targets,
+                    float* grad_logits, std::int64_t rows,
+                    std::int64_t classes) {
+  double loss = 0.0;
+  const float inv_rows = 1.0f / static_cast<float>(rows);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = logits + r * classes;
+    float* g = grad_logits + r * classes;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t c = 0; c < classes; ++c) mx = std::max(mx, x[c]);
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      g[c] = std::exp(x[c] - mx);
+      sum += g[c];
+    }
+    const auto t = static_cast<std::int64_t>(targets[r]);
+    loss += -(static_cast<double>(x[t]) - mx - std::log(sum));
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::int64_t c = 0; c < classes; ++c) g[c] *= inv * inv_rows;
+    g[t] -= inv_rows;
+  }
+  return static_cast<float>(loss / static_cast<double>(rows));
+}
+
+void axpy(float alpha, const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void add(const float* a, const float* b, float* out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+float dot(const float* a, const float* b, std::int64_t n) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float l2_norm(const float* a, std::int64_t n) {
+  return std::sqrt(dot(a, a, n));
+}
+
+float max_abs_diff(const float* a, const float* b, std::int64_t n) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace sh::tensor

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation for reproducible training.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sh::tensor {
+
+/// SplitMix64-seeded xoshiro256** generator. Deterministic across platforms,
+/// which the equivalence tests (offloaded vs monolithic training) rely on.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_uniform() noexcept;
+
+  /// Standard normal via Box–Muller (consumes two uniforms per pair).
+  float next_normal() noexcept;
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Fills `out` with N(0, stddev^2) samples.
+  void fill_normal(std::span<float> out, float stddev) noexcept;
+
+  /// Fills `out` with U[-a, a) samples.
+  void fill_uniform(std::span<float> out, float a) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  float spare_ = 0.0f;
+};
+
+}  // namespace sh::tensor

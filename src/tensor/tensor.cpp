@@ -1,0 +1,94 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace sh::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (dims.size() > dims_.size()) {
+    throw std::invalid_argument("Shape supports at most 4 dimensions");
+  }
+  rank_ = dims.size();
+  std::size_t i = 0;
+  for (std::int64_t d : dims) {
+    if (d < 0) throw std::invalid_argument("negative dimension");
+    dims_[i++] = d;
+  }
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  if (i >= rank_) throw std::out_of_range("Shape::dim index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const noexcept {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return rank_ == 0 ? 0 : n;
+}
+
+bool Shape::operator==(const Shape& other) const noexcept {
+  if (rank_ != other.rank_) return false;
+  return std::equal(dims_.begin(), dims_.begin() + rank_, other.dims_.begin());
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t;
+  t.shape_ = shape;
+  const auto n = static_cast<std::size_t>(shape.numel());
+  t.storage_ = std::shared_ptr<float[]>(new float[n]());
+  t.data_ = t.storage_.get();
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t = zeros(shape);
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::view(Shape shape, float* data) {
+  Tensor t;
+  t.shape_ = shape;
+  t.data_ = data;
+  return t;
+}
+
+void Tensor::rebind(float* data) {
+  if (storage_) throw std::logic_error("cannot rebind an owning tensor");
+  data_ = data;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t = zeros(shape_);
+  std::memcpy(t.data_, data_, sizeof(float) * static_cast<std::size_t>(numel()));
+  return t;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  if (src.numel() != numel()) {
+    throw std::invalid_argument("copy_from: numel mismatch " +
+                                src.shape().str() + " vs " + shape_.str());
+  }
+  std::memcpy(data_, src.data_, sizeof(float) * static_cast<std::size_t>(numel()));
+}
+
+void Tensor::fill(float value) {
+  std::fill_n(data_, static_cast<std::size_t>(numel()), value);
+}
+
+}  // namespace sh::tensor

@@ -1,0 +1,86 @@
+// Minimal FP32 tensor used by the numeric training substrate.
+//
+// Two ownership modes are supported:
+//  * owning   — backed by a shared, heap-allocated buffer;
+//  * viewing  — a non-owning (shape, pointer) pair into externally managed
+//               memory. The STRONGHOLD offload engine rebinds parameter
+//               views into whichever memory pool (CPU blob or GPU arena
+//               slot) currently holds the layer, exactly as the paper's
+//               runtime swaps a layer's tensors between devices.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace sh::tensor {
+
+/// Row-major shape with up to four dimensions.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  std::size_t rank() const noexcept { return rank_; }
+  std::int64_t dim(std::size_t i) const;
+  std::int64_t numel() const noexcept;
+  bool operator==(const Shape& other) const noexcept;
+  std::string str() const;
+
+ private:
+  std::array<std::int64_t, 4> dims_{};
+  std::size_t rank_ = 0;
+};
+
+/// Dense FP32 tensor (owning or viewing).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates an owning, zero-initialised tensor.
+  static Tensor zeros(Shape shape);
+  /// Allocates an owning tensor filled with `value`.
+  static Tensor full(Shape shape, float value);
+  /// Wraps external memory without taking ownership.
+  static Tensor view(Shape shape, float* data);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::int64_t numel() const noexcept { return shape_.numel(); }
+  bool defined() const noexcept { return data_ != nullptr; }
+  bool owns() const noexcept { return storage_ != nullptr; }
+
+  float* data() noexcept { return data_; }
+  const float* data() const noexcept { return data_; }
+  std::span<float> span() noexcept {
+    return {data_, static_cast<std::size_t>(numel())};
+  }
+  std::span<const float> span() const noexcept {
+    return {data_, static_cast<std::size_t>(numel())};
+  }
+
+  float& at(std::int64_t i) { return data_[i]; }
+  float at(std::int64_t i) const { return data_[i]; }
+
+  /// Re-points a view at new memory (shape is unchanged). Owning tensors
+  /// cannot be rebound.
+  void rebind(float* data);
+
+  /// Deep copy into a fresh owning tensor.
+  Tensor clone() const;
+
+  /// Copies the contents of `src` (same numel) into this tensor.
+  void copy_from(const Tensor& src);
+
+  void fill(float value);
+
+ private:
+  Shape shape_;
+  float* data_ = nullptr;
+  std::shared_ptr<float[]> storage_;
+};
+
+}  // namespace sh::tensor

@@ -1,0 +1,313 @@
+// The strategy simulators must reproduce the paper's headline comparisons:
+// capacity ordering and throughput ratios on the V100 server (Figs. 1, 6a,
+// 7a, 8a) and the cluster results (Figs. 6b, 12).
+#include <gtest/gtest.h>
+
+#include "baselines/cluster.hpp"
+#include "baselines/l2l.hpp"
+#include "baselines/megatron.hpp"
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/zero_infinity.hpp"
+#include "baselines/zero_offload.hpp"
+
+namespace sh::baselines {
+namespace {
+
+Workload workload_1p7b(double batch = 4.0) {
+  Workload w;
+  w.model = sim::table1_model(20, 2560);
+  w.batch = batch;
+  return w;
+}
+
+TEST(Capacity, MegatronMaxesNear1p7BOnV100) {
+  const auto m = sim::v100_server();
+  MegatronStrategy megatron;
+  const double b = largest_trainable_billions(megatron, m, 2560, 1, 4.0);
+  EXPECT_GT(b, 1.2);
+  EXPECT_LT(b, 2.5);
+}
+
+TEST(Capacity, L2lAndZeroOffloadReachAboutSixBillion) {
+  const auto m = sim::v100_server();
+  const double l2l = largest_trainable_billions(L2lStrategy(), m, 2560, 1, 4.0);
+  const double zoff =
+      largest_trainable_billions(ZeroOffloadStrategy(), m, 2560, 1, 4.0);
+  EXPECT_GT(l2l, 4.5);
+  EXPECT_LT(l2l, 8.0);
+  EXPECT_GT(zoff, 4.5);
+  EXPECT_LT(zoff, 8.0);
+}
+
+TEST(Capacity, ZeroInfinityReachesAboutTwentyBillion) {
+  const auto m = sim::v100_server();
+  const double b =
+      largest_trainable_billions(ZeroInfinityStrategy(), m, 2560, 1, 4.0);
+  EXPECT_GT(b, 16.0);
+  EXPECT_LT(b, 25.0);
+}
+
+TEST(Capacity, StrongholdReachesAboutFortyBillion) {
+  const auto m = sim::v100_server();
+  const double b =
+      largest_trainable_billions(StrongholdStrategy(), m, 2560, 1, 4.0);
+  EXPECT_GT(b, 35.0);
+  EXPECT_LT(b, 45.0);
+}
+
+TEST(Capacity, PaperOrderingHoldsOnV100) {
+  const auto m = sim::v100_server();
+  const double megatron =
+      largest_trainable_billions(MegatronStrategy(), m, 2560, 1, 4.0);
+  const double l2l = largest_trainable_billions(L2lStrategy(), m, 2560, 1, 4.0);
+  const double zinf =
+      largest_trainable_billions(ZeroInfinityStrategy(), m, 2560, 1, 4.0);
+  const double sh =
+      largest_trainable_billions(StrongholdStrategy(), m, 2560, 1, 4.0);
+  EXPECT_LT(megatron, l2l);
+  EXPECT_LT(l2l, zinf);
+  EXPECT_LT(zinf, sh);
+  // Paper: 6.5x over L2L/ZeRO-Offload, 1.9x over ZeRO-Infinity.
+  EXPECT_NEAR(sh / l2l, 6.5, 2.0);
+  EXPECT_NEAR(sh / zinf, 1.9, 0.6);
+}
+
+TEST(Capacity, NvmeExtendsStrongholdToHalfATrillion) {
+  const auto m = sim::v100_server();
+  StrongholdStrategy sh({.use_nvme = true});
+  const double b = largest_trainable_billions(sh, m, 5120, 1, 4.0, 16384);
+  EXPECT_GT(b, 350.0);
+  EXPECT_LT(b, 700.0);
+}
+
+TEST(Capacity, StrongholdMinimumGpuFootprintIsSmall) {
+  // A 20.5B model needs only a slice of GPU memory under STRONGHOLD.
+  const auto m = sim::v100_server();
+  Workload w;
+  w.model = sim::table1_model(260, 2560);
+  w.batch = 4.0;
+  const auto cap = StrongholdStrategy().capacity(w, m);
+  EXPECT_TRUE(cap.fits);
+  EXPECT_LT(cap.gpu_bytes, 0.5 * m.gpu.mem_bytes);
+}
+
+TEST(Throughput, Fig8aRatiosOnCommonModel) {
+  const auto m = sim::v100_server();
+  const auto w = workload_1p7b();
+  const double megatron = MegatronStrategy().iteration(w, m, nullptr).throughput;
+  const double l2l = L2lStrategy().iteration(w, m, nullptr).throughput;
+  const double zoff = ZeroOffloadStrategy().iteration(w, m, nullptr).throughput;
+  const double zinf = ZeroInfinityStrategy().iteration(w, m, nullptr).throughput;
+  const double sh = StrongholdStrategy().iteration(w, m, nullptr).throughput;
+
+  // L2L delivers ~22% of Megatron (paper: 22.2%).
+  EXPECT_NEAR(l2l / megatron, 0.22, 0.08);
+  // ZeRO-Offload and ZeRO-Infinity below 57%.
+  EXPECT_LT(zoff / megatron, 0.60);
+  EXPECT_GT(zoff / megatron, 0.30);
+  EXPECT_LT(zinf / megatron, 0.60);
+  EXPECT_GT(zinf / megatron, 0.25);
+  // STRONGHOLD is the only offloading scheme beating Megatron.
+  EXPECT_GT(sh / megatron, 1.05);
+}
+
+TEST(Throughput, StrongholdAchievesSixToNineTflopsOnV100) {
+  const auto m = sim::v100_server();
+  // Largest trainable model (Fig. 7a): ~39.5B.
+  Workload w;
+  w.model = sim::table1_model(500, 2560);
+  w.batch = 8.0;
+  const auto rep = StrongholdStrategy().iteration(w, m, nullptr);
+  EXPECT_GT(rep.achieved_flops, 5.0e12);
+  EXPECT_LT(rep.achieved_flops, 10.0e12);
+}
+
+TEST(Throughput, StrongholdTflopsFarExceedOtherOffloaders) {
+  const auto m = sim::v100_server();
+  // Each scheme on its own largest model, like Fig. 7a.
+  Workload l2l_w;
+  l2l_w.model = sim::table1_model(75, 2560);
+  l2l_w.batch = 8.0;
+  Workload zinf_w;
+  zinf_w.model = sim::table1_model(260, 2560);
+  zinf_w.batch = 8.0;
+  Workload sh_w;
+  sh_w.model = sim::table1_model(500, 2560);
+  sh_w.batch = 8.0;
+  const double l2l = L2lStrategy().iteration(l2l_w, m, nullptr).achieved_flops;
+  const double zoff =
+      ZeroOffloadStrategy().iteration(l2l_w, m, nullptr).achieved_flops;
+  const double zinf =
+      ZeroInfinityStrategy().iteration(zinf_w, m, nullptr).achieved_flops;
+  const double sh =
+      StrongholdStrategy().iteration(sh_w, m, nullptr).achieved_flops;
+  // Paper Fig. 7a measures far larger ratios (SH 6-9 TF vs 0.5-1.9 TF); our
+  // simulator reproduces the ordering and a >=2x gap (see EXPERIMENTS.md).
+  EXPECT_GT(sh, 2.0 * l2l);
+  EXPECT_GT(sh, 2.0 * zoff);
+  EXPECT_GT(sh, 2.0 * zinf);
+}
+
+TEST(Throughput, NvmeStrongholdBeatsNvmeZeroInfinityByOver8x) {
+  const auto m = sim::v100_server();
+  Workload w;
+  w.model = sim::table1_model(500, 2560);  // 39.4B
+  w.batch = 4.0;
+  const double zinf = ZeroInfinityStrategy(ZeroInfinityStrategy::Tier::Nvme)
+                          .iteration(w, m, nullptr)
+                          .throughput;
+  const double sh = StrongholdStrategy({.use_nvme = true})
+                        .iteration(w, m, nullptr)
+                        .throughput;
+  EXPECT_GT(sh / zinf, 8.0);
+}
+
+TEST(Window, AnalyticalModelPicksSmallWindowOnV100) {
+  // Fig. 9: throughput plateaus by window ~8; the model should pick a
+  // single-digit window for the 1.7B model.
+  const auto m = sim::v100_server();
+  const auto w = workload_1p7b();
+  StrongholdStrategy sh;
+  const auto d = sh.window_decision(w, m);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GE(d.m, 1u);
+  EXPECT_LE(d.m, 10u);
+}
+
+TEST(Window, ThroughputPlateausWithWindowSize) {
+  const auto m = sim::v100_server();
+  const auto w = workload_1p7b();
+  double prev = 0.0;
+  for (std::size_t win : {1u, 2u, 4u, 8u}) {
+    StrongholdStrategy sh({.fixed_window = win});
+    const double thr = sh.iteration(w, m, nullptr).throughput;
+    EXPECT_GE(thr, prev * 0.999);
+    prev = thr;
+  }
+  // Window 16 gains little over window 8 (plateau).
+  StrongholdStrategy sh8({.fixed_window = 8});
+  StrongholdStrategy sh16({.fixed_window = 16});
+  const double t8 = sh8.iteration(w, m, nullptr).throughput;
+  const double t16 = sh16.iteration(w, m, nullptr).throughput;
+  EXPECT_LT(t16 / t8, 1.1);
+}
+
+TEST(MultiStream, SpeedupOverMegatronInPaperRange) {
+  // Fig. 11: at least 1.7x (up to 2.1x) over Megatron-LM.
+  const auto m = sim::v100_server();
+  MegatronStrategy megatron;
+  StrongholdStrategy sh;
+  for (double bs : {4.0, 8.0, 16.0}) {
+    auto w = workload_1p7b(bs);
+    const double ratio = sh.iteration(w, m, nullptr).throughput /
+                         megatron.iteration(w, m, nullptr).throughput;
+    EXPECT_GT(ratio, 1.4) << "bs=" << bs;
+    EXPECT_LT(ratio, 2.4) << "bs=" << bs;
+  }
+}
+
+TEST(MultiStream, DisabledFallsBackToSingleStream) {
+  const auto m = sim::v100_server();
+  const auto w = workload_1p7b(8.0);
+  StrongholdStrategy on;
+  StrongholdStrategy off({.multi_stream = false});
+  EXPECT_EQ(off.stream_count(w, m), 1);
+  EXPECT_GT(on.stream_count(w, m), 1);
+  EXPECT_GT(on.iteration(w, m, nullptr).throughput,
+            off.iteration(w, m, nullptr).throughput);
+}
+
+TEST(Ablation, EachOptimizationContributes) {
+  // Fig. 14 directions: concurrent update ~1.5x, memory mgmt ~2.2x,
+  // multi-stream ~2x, each toggled on top of the unoptimized scheme.
+  const auto m = sim::v100_server();
+  Workload w;
+  w.model = sim::table1_model(50, 2560);  // the 4B model of Fig. 14
+  w.batch = 4.0;
+  StrongholdOptions none{.concurrent_update = false,
+                         .user_level_memory = false,
+                         .multi_stream = false,
+                         .use_nvme = true};
+  const double base =
+      StrongholdStrategy(none).iteration(w, m, nullptr).throughput;
+
+  auto with = [&](auto mutate) {
+    StrongholdOptions o = none;
+    mutate(o);
+    return StrongholdStrategy(o).iteration(w, m, nullptr).throughput;
+  };
+  const double conc =
+      with([](StrongholdOptions& o) { o.concurrent_update = true; });
+  const double mem =
+      with([](StrongholdOptions& o) { o.user_level_memory = true; });
+  const double streams =
+      with([](StrongholdOptions& o) { o.multi_stream = true; });
+  EXPECT_GT(conc / base, 1.2);
+  EXPECT_GT(mem / base, 1.5);
+  EXPECT_GT(streams / base, 1.2);
+}
+
+TEST(Cluster, Fig6bCapacityOrdering) {
+  const auto c = sim::a10_cluster();
+  const double megatron = largest_trainable_billions_cluster(
+      MegatronStrategy(), c, 5120, 4.0);
+  const double zinf = largest_trainable_billions_cluster(
+      ZeroInfinityStrategy(), c, 5120, 4.0);
+  const double sh = largest_trainable_billions_cluster(
+      StrongholdStrategy(), c, 5120, 4.0);
+  EXPECT_LT(megatron, zinf);
+  EXPECT_LT(zinf, sh);
+  // Paper: ZeRO-Infinity 56.9B, STRONGHOLD 82.1B.
+  EXPECT_NEAR(zinf, 56.9, 15.0);
+  EXPECT_NEAR(sh, 82.1, 15.0);
+}
+
+TEST(Cluster, Fig12StrongholdBeatsZeroDp) {
+  const auto c = sim::a10_cluster();
+  Workload w;
+  w.model = sim::table1_model(37, 2560);  // ~3B, largest ZeRO-2 model
+  w.batch = 1.0;
+  ZeroDpStrategy z2(ZeroDpStrategy::Stage::Two, c);
+  ZeroDpStrategy z3(ZeroDpStrategy::Stage::Three, c);
+  ASSERT_TRUE(z2.capacity(w, c.node).fits);
+  const double z2t = z2.iteration(w, c.node, nullptr).throughput;
+  const double z3t = z3.iteration(w, c.node, nullptr).throughput;
+  const double sht = stronghold_dp_iteration(w, c).throughput;
+  EXPECT_GT(sht / z2t, 2.0);
+  EXPECT_GT(sht / z3t, 2.0);
+}
+
+TEST(Cluster, ZeroTwoCapsNearThreeBillion) {
+  // Fig. 12 setup: 3B is the largest model ZeRO-2 supports on the cluster.
+  const auto c = sim::a10_cluster();
+  ZeroDpStrategy z2(ZeroDpStrategy::Stage::Two, c);
+  const double b = largest_trainable_billions(z2, c.node, 2560, 1, 1.0);
+  EXPECT_GT(b, 1.5);
+  EXPECT_LT(b, 5.5);
+}
+
+TEST(Trace, StrongholdOverlapsTransfersWithCompute) {
+  // Fig. 4: communication largely hidden under GPU computation.
+  const auto m = sim::v100_server();
+  Workload w;
+  w.model = sim::table1_model(50, 2560);  // 4B model as in Fig. 4
+  w.batch = 4.0;
+  sim::Trace trace;
+  StrongholdStrategy sh;
+  (void)sh.iteration(w, m, &trace);
+  EXPECT_GT(trace.overlap_fraction("d2h", "gpu"), 0.7);
+  EXPECT_GT(trace.utilization("gpu"), 0.8);
+}
+
+TEST(Lineup, ContainsPaperBaselinesInOrder) {
+  const auto v = single_gpu_lineup();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0]->name(), "Megatron-LM");
+  EXPECT_EQ(v[1]->name(), "L2L");
+  EXPECT_EQ(v[2]->name(), "ZeRO-Offload");
+  EXPECT_EQ(v[3]->name(), "ZeRO-Infinity");
+  EXPECT_EQ(v[4]->name(), "STRONGHOLD");
+}
+
+}  // namespace
+}  // namespace sh::baselines

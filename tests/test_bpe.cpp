@@ -1,0 +1,120 @@
+// BPE tokenizer and text corpus pipeline.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "data/bpe.hpp"
+#include "data/text_corpus.hpp"
+
+namespace sh::data {
+namespace {
+
+using namespace std::string_literals;
+
+TEST(Bpe, ByteLevelRoundTripWithoutMerges) {
+  BpeTokenizer tok;
+  EXPECT_EQ(tok.vocab_size(), 256);
+  const std::string text = "hello, world! \xc3\xa9\x00"s;
+  const auto ids = tok.encode(text);
+  EXPECT_EQ(ids.size(), text.size());
+  EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(Bpe, TrainingLearnsFrequentPairs) {
+  const std::string text = "ababababababab abab abab";
+  auto tok = BpeTokenizer::train(text, 256 + 4);
+  EXPECT_GT(tok.num_merges(), 0u);
+  // "ab" occurs constantly; the first merge must be ('a', 'b').
+  EXPECT_EQ(tok.token_bytes(256), "ab");
+  // Encoding compresses.
+  const auto ids = tok.encode(text);
+  EXPECT_LT(ids.size(), text.size());
+  EXPECT_EQ(tok.decode(ids), text);
+}
+
+TEST(Bpe, RoundTripOnRealText) {
+  const auto text = TextCorpus::sample_text();
+  auto tok = BpeTokenizer::train(text, 400);
+  const auto ids = tok.encode(text);
+  EXPECT_EQ(tok.decode(ids), text);
+  // Merges compress English text substantially.
+  EXPECT_LT(ids.size(), text.size() * 3 / 4);
+  for (std::int32_t id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, tok.vocab_size());
+  }
+}
+
+TEST(Bpe, TrainingIsDeterministic) {
+  const auto text = TextCorpus::sample_text();
+  auto a = BpeTokenizer::train(text, 320);
+  auto b = BpeTokenizer::train(text, 320);
+  EXPECT_EQ(a.encode(text), b.encode(text));
+}
+
+TEST(Bpe, EncodeHandlesUnseenText) {
+  auto tok = BpeTokenizer::train("aaaa bbbb aaaa bbbb", 260);
+  // Bytes never seen in training still encode (byte-level base vocab).
+  const std::string novel = "zq!\x7f";
+  EXPECT_EQ(tok.decode(tok.encode(novel)), novel);
+}
+
+TEST(Bpe, SaveLoadPreservesBehaviour) {
+  const auto text = TextCorpus::sample_text();
+  auto tok = BpeTokenizer::train(text, 350);
+  const std::string path = ::testing::TempDir() + "bpe_model.txt";
+  tok.save(path);
+  auto loaded = BpeTokenizer::load(path);
+  EXPECT_EQ(loaded.vocab_size(), tok.vocab_size());
+  EXPECT_EQ(loaded.encode(text), tok.encode(text));
+}
+
+TEST(Bpe, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "bpe_bad.txt";
+  {
+    std::ofstream os(path);
+    os << "not-a-bpe-file";
+  }
+  EXPECT_THROW(BpeTokenizer::load(path), std::runtime_error);
+  EXPECT_THROW(BpeTokenizer::load("/nonexistent/x"), std::runtime_error);
+}
+
+TEST(Bpe, RejectsTinyVocab) {
+  EXPECT_THROW(BpeTokenizer::train("abc", 100), std::invalid_argument);
+}
+
+TEST(Bpe, TokenBytesBoundsChecked) {
+  BpeTokenizer tok;
+  EXPECT_THROW(tok.token_bytes(256), std::out_of_range);
+  EXPECT_THROW(tok.token_bytes(-1), std::out_of_range);
+}
+
+TEST(TextCorpus, BatchesAreShiftedWindows) {
+  auto corpus = TextCorpus::from_text(TextCorpus::sample_text(), 320, 7);
+  const auto b = corpus.next_batch(4, 16);
+  ASSERT_EQ(b.ids.size(), 64u);
+  ASSERT_EQ(b.targets.size(), 64u);
+  // Targets are the next token of the same window.
+  for (std::size_t i = 0; i + 1 < 16; ++i) {
+    EXPECT_EQ(b.targets[i], b.ids[i + 1]);
+  }
+  for (std::int32_t id : b.ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, corpus.vocab());
+  }
+}
+
+TEST(TextCorpus, DeterministicInSeed) {
+  auto a = TextCorpus::from_text(TextCorpus::sample_text(), 320, 9);
+  auto b = TextCorpus::from_text(TextCorpus::sample_text(), 320, 9);
+  EXPECT_EQ(a.next_batch(2, 8).ids, b.next_batch(2, 8).ids);
+}
+
+TEST(TextCorpus, RejectsOverlongSequences) {
+  TextCorpus corpus("tiny text", BpeTokenizer(), 1);
+  EXPECT_THROW(corpus.next_batch(1, 1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sh::data

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/buffer_pool.hpp"
+#include "hw/memory_pool.hpp"
+
+namespace sh::core {
+namespace {
+
+TEST(BufferPool, ReservesSlotsUpFront) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 100, 4);
+  EXPECT_EQ(pool.num_slots(), 4u);
+  EXPECT_EQ(pool.free_slots(), 4u);
+  EXPECT_EQ(gpu.used(), 4u * 100u * sizeof(float));
+}
+
+TEST(BufferPool, RoundRobinRecycling) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 16, 3);
+  float* a = pool.acquire();
+  float* b = pool.acquire();
+  float* c = pool.acquire();
+  EXPECT_EQ(pool.free_slots(), 0u);
+  pool.release(b);
+  pool.release(a);
+  // FIFO free list: the first released slot is handed out first.
+  EXPECT_EQ(pool.acquire(), b);
+  EXPECT_EQ(pool.acquire(), a);
+  pool.release(c);
+  EXPECT_EQ(pool.acquire(), c);
+  pool.release(a);
+  pool.release(b);
+  pool.release(c);
+}
+
+TEST(BufferPool, ReleasePoisonsSlot) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 1);
+  float* s = pool.acquire();
+  for (int i = 0; i < 8; ++i) s[i] = 1.0f;
+  pool.release(s);
+  float* again = pool.acquire();
+  ASSERT_EQ(again, s);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(std::isnan(again[i])) << "slot not poisoned at " << i;
+  }
+  pool.release(again);
+}
+
+TEST(BufferPool, DoubleReleaseThrows) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  float* s = pool.acquire();
+  pool.release(s);
+  EXPECT_THROW(pool.release(s), std::logic_error);
+}
+
+TEST(BufferPool, ForeignPointerReleaseThrows) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 1);
+  float foreign = 0.0f;
+  EXPECT_THROW(pool.release(&foreign), std::logic_error);
+}
+
+TEST(BufferPool, TryAcquireDoesNotBlock) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 1);
+  float* s = pool.try_acquire();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(pool.try_acquire(), nullptr);
+  pool.release(s);
+  EXPECT_NE(pool.try_acquire(), nullptr);
+}
+
+TEST(BufferPool, AcquireBlocksUntilRelease) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 1);
+  float* s = pool.acquire();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    float* t = pool.acquire();
+    acquired = true;
+    pool.release(t);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(acquired.load());
+  pool.release(s);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(BufferPool, GrowAddsSlotsNeverShrinks) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  pool.grow(8, 5);
+  EXPECT_EQ(pool.num_slots(), 5u);
+  pool.grow(8, 3);  // smaller request: no shrink
+  EXPECT_EQ(pool.num_slots(), 5u);
+}
+
+TEST(BufferPool, GrowSlotSizeReallocates) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  pool.grow(32, 3);
+  EXPECT_EQ(pool.slot_floats(), 32u);
+  EXPECT_EQ(pool.num_slots(), 3u);
+  EXPECT_EQ(gpu.used(), 3u * 32u * sizeof(float));
+}
+
+TEST(BufferPool, GrowSlotSizeWhileInUseThrows) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  float* s = pool.acquire();
+  EXPECT_THROW(pool.grow(32, 2), std::logic_error);
+  pool.release(s);
+}
+
+TEST(BufferPool, GrowBeyondGpuCapacityRaisesOom) {
+  hw::MemoryPool gpu("gpu", 10 * 8 * sizeof(float));
+  BufferPool pool(gpu, 8, 5);
+  EXPECT_THROW(pool.grow(8, 100), hw::OomError);
+}
+
+TEST(BufferPool, OwnsIdentifiesSlots) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  float* s = pool.acquire();
+  EXPECT_TRUE(pool.owns(s));
+  float foreign = 0.0f;
+  EXPECT_FALSE(pool.owns(&foreign));
+  pool.release(s);
+}
+
+TEST(BufferPool, CountsAcquisitions) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 8, 2);
+  float* a = pool.acquire();
+  float* b = pool.acquire();
+  pool.release(a);
+  pool.release(b);
+  pool.release(pool.acquire());
+  EXPECT_EQ(pool.total_acquisitions(), 3u);
+}
+
+TEST(BufferPool, ConcurrentAcquireReleaseStress) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 4, 3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        float* s = pool.acquire();
+        s[0] = 1.0f;  // touch
+        pool.release(s);
+        total.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(total.load(), 800);
+  EXPECT_EQ(pool.free_slots(), 3u);
+}
+
+}  // namespace
+}  // namespace sh::core

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "core/byte_budget_pool.hpp"
+#include "core/engine.hpp"
+#include "core/monolithic.hpp"
+#include "data/synthetic.hpp"
+#include "testing/util.hpp"
+
+namespace sh::core {
+namespace {
+
+TEST(ByteBudgetPool, FirstFitAllocation) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 100);
+  float* a = pool.acquire(40);
+  float* b = pool.acquire(40);
+  EXPECT_EQ(b - a, 40);
+  EXPECT_EQ(pool.floats_in_use(), 80u);
+  EXPECT_EQ(pool.largest_free_region(), 20u);
+  pool.release(a);
+  // First fit reuses the freed head region.
+  float* c = pool.acquire(30);
+  EXPECT_EQ(c, a);
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.floats_in_use(), 0u);
+  EXPECT_EQ(pool.largest_free_region(), 100u);  // fully coalesced
+}
+
+TEST(ByteBudgetPool, CoalescesWithBothNeighbours) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 90);
+  float* a = pool.acquire(30);
+  float* b = pool.acquire(30);
+  float* c = pool.acquire(30);
+  pool.release(a);
+  pool.release(c);
+  EXPECT_EQ(pool.largest_free_region(), 30u);  // two disjoint 30s
+  pool.release(b);                             // merges all three
+  EXPECT_EQ(pool.largest_free_region(), 90u);
+}
+
+TEST(ByteBudgetPool, OversizedRequestThrowsImmediately) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 64);
+  EXPECT_THROW(pool.acquire(65), hw::OomError);
+  EXPECT_THROW(pool.acquire(0), std::invalid_argument);
+}
+
+TEST(ByteBudgetPool, BlocksUntilSpaceFrees) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 64);
+  float* a = pool.acquire(50);
+  std::atomic<bool> got{false};
+  std::thread waiter([&] {
+    float* b = pool.acquire(40);
+    got = true;
+    pool.release(b);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  pool.release(a);
+  waiter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(ByteBudgetPool, PoisonsReleasedRegions) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 32);
+  float* a = pool.acquire(32);
+  for (int i = 0; i < 32; ++i) a[i] = 1.0f;
+  pool.release(a);
+  float* b = pool.acquire(32);
+  ASSERT_EQ(b, a);
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(std::isnan(b[i]));
+  pool.release(b);
+}
+
+TEST(ByteBudgetPool, UnknownReleaseThrows) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 32);
+  float* a = pool.acquire(16);
+  float foreign = 0.0f;
+  EXPECT_THROW(pool.release(&foreign), std::logic_error);
+  EXPECT_THROW(pool.release(a + 1), std::logic_error);  // interior pointer
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), std::logic_error);  // double free
+}
+
+TEST(ByteBudgetPool, TracksPeakUsage) {
+  hw::MemoryPool gpu("gpu", 1 << 20);
+  ByteBudgetPool pool(gpu, 100);
+  float* a = pool.acquire(60);
+  float* b = pool.acquire(30);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.peak_floats_in_use(), 90u);
+  EXPECT_EQ(pool.total_acquisitions(), 2u);
+}
+
+TEST(ByteBudgetPool, ConcurrentChurnKeepsInvariants) {
+  hw::MemoryPool gpu("gpu", 1 << 22);
+  ByteBudgetPool pool(gpu, 4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::size_t n = 64 + 97 * static_cast<std::size_t>((t + i) % 7);
+        float* p = pool.acquire(n);
+        p[0] = 1.0f;
+        p[n - 1] = 2.0f;
+        pool.release(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pool.floats_in_use(), 0u);
+  EXPECT_EQ(pool.live_regions(), 0u);
+  EXPECT_EQ(pool.largest_free_region(), 4096u);
+}
+
+nn::GptConfig moe_config() {
+  nn::GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.max_seq = 8;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 4;
+  cfg.moe_experts = 4;  // MoE blocks ~4x a dense block
+  cfg.moe_every = 4;    // one big layer among small ones
+  return cfg;
+}
+
+TEST(ByteBudgetEngine, HeterogeneousTrainingMatchesMonolithic) {
+  const auto mcfg = moe_config();
+  data::SyntheticCorpus corpus(mcfg.vocab, 31);
+  std::vector<data::Batch> batches;
+  for (int i = 0; i < 2; ++i) batches.push_back(corpus.next_batch(2, mcfg.max_seq));
+
+  nn::GptModel ref_model(mcfg);
+  MonolithicTrainer ref(ref_model, optim::AdamConfig{});
+  ref.init_params(42);
+  std::vector<float> ref_losses;
+  for (const auto& b : batches) ref_losses.push_back(ref.train_step(b));
+  std::vector<float> ref_params;
+  ref.snapshot_params(ref_params);
+
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  ecfg.window_mode = WindowMode::ByteBudget;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(engine.train_step(b));
+  std::vector<float> params;
+  engine.snapshot_params(params);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(ByteBudgetEngine, FitsWhereUniformSlotsCannot) {
+  // With one MoE block among dense blocks, uniform slots must all be sized
+  // for the MoE block; a byte budget packs the actual sizes.
+  const auto mcfg = moe_config();
+  nn::GptModel probe(mcfg);
+  std::int64_t max_params = 0;
+  std::int64_t sum_small = 0;
+  for (std::size_t i = 1; i + 1 < probe.num_layers(); ++i) {
+    max_params = std::max(max_params, probe.layer(i).param_count());
+  }
+  for (std::size_t i = 1; i + 1 < probe.num_layers(); ++i) {
+    if (probe.layer(i).param_count() != max_params) {
+      sum_small += probe.layer(i).param_count();
+    }
+  }
+  ASSERT_GT(max_params, 2 * sum_small / 3);  // genuinely heterogeneous
+
+  // GPU big enough for pinned layers + ~1.5 max-size windows, but not for
+  // 3 uniform max-size slots (window 2 -> 3 slots).
+  const std::size_t pinned =
+      2 * sizeof(float) *
+      static_cast<std::size_t>(probe.layer(0).param_count() +
+                               probe.layer(probe.num_layers() - 1)
+                                   .param_count());
+  const std::size_t slot_bytes =
+      2 * sizeof(float) * static_cast<std::size_t>(max_params);
+  const std::size_t gpu_mem = pinned + 2 * slot_bytes + slot_bytes / 2;
+
+  nn::GptModel m1(mcfg);
+  EngineConfig uniform;
+  uniform.window = 2;
+  uniform.gpu_memory_bytes = gpu_mem;
+  EXPECT_THROW(StrongholdEngine(m1, uniform), hw::OomError);
+
+  nn::GptModel m2(mcfg);
+  EngineConfig budget;
+  budget.window = 2;
+  budget.gpu_memory_bytes = gpu_mem;
+  budget.window_mode = WindowMode::ByteBudget;
+  budget.window_budget_floats = 2 * static_cast<std::size_t>(max_params) +
+                                2 * static_cast<std::size_t>(sum_small);
+  StrongholdEngine engine(m2, budget);
+  engine.init_params(1);
+  data::SyntheticCorpus corpus(mcfg.vocab, 2);
+  const float loss = engine.train_step(corpus.next_batch(2, mcfg.max_seq));
+  EXPECT_GT(loss, 0.0f);
+}
+
+}  // namespace
+}  // namespace sh::core

@@ -1,0 +1,194 @@
+// Model checkpointing: save/resume must be exact, and the wall-clock
+// execution tracer must show real compute/transfer overlap.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "testing/util.hpp"
+
+namespace sh::core {
+namespace {
+
+nn::GptConfig tiny_config() {
+  nn::GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.max_seq = 8;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 4;
+  return cfg;
+}
+
+std::string tmp(const std::string& tag) {
+  return ::testing::TempDir() + "ckpt_" + tag + ".bin";
+}
+
+TEST(Checkpoint, SaveLoadRoundTripOnStore) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  LayerStore store(model, 2);
+  store.init_params(5);
+  store.state(1).step = 7;
+  store.state(1).cpu_opt[3] = 1.25f;
+  write_checkpoint(tmp("roundtrip"), store);
+
+  nn::GptModel model2(mcfg);
+  LayerStore store2(model2, 2);
+  store2.init_params(99);  // different weights, to be overwritten
+  read_checkpoint(tmp("roundtrip"), store2);
+  EXPECT_EQ(store2.state(1).step, 7);
+  EXPECT_EQ(store2.state(1).cpu_opt[3], 1.25f);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    sh::testing::expect_allclose(store2.state(i).cpu_params,
+                                 store.state(i).cpu_params, 0.0f, 0.0f);
+  }
+}
+
+TEST(Checkpoint, GeometryMismatchRejected) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  LayerStore store(model, 2);
+  store.init_params(1);
+  write_checkpoint(tmp("geom"), store);
+
+  auto other_cfg = mcfg;
+  other_cfg.layers = 5;
+  nn::GptModel other(other_cfg);
+  LayerStore other_store(other, 2);
+  EXPECT_THROW(read_checkpoint(tmp("geom"), other_store),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, MissingOrCorruptFileRejected) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  LayerStore store(model, 2);
+  EXPECT_THROW(read_checkpoint("/nonexistent/ckpt.bin", store),
+               std::runtime_error);
+  // Corrupt: wrong magic.
+  const std::string path = tmp("corrupt");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "garbage";
+  }
+  EXPECT_THROW(read_checkpoint(path, store), std::runtime_error);
+}
+
+TEST(Checkpoint, ResumedEngineMatchesContinuousRun) {
+  const auto mcfg = tiny_config();
+  data::SyntheticCorpus corpus(mcfg.vocab, 50);
+  std::vector<data::Batch> batches;
+  for (int i = 0; i < 6; ++i) batches.push_back(corpus.next_batch(2, mcfg.max_seq));
+
+  // Continuous run: 6 steps.
+  nn::GptModel m1(mcfg);
+  EngineConfig cfg;
+  cfg.window = 2;
+  StrongholdEngine cont(m1, cfg);
+  cont.init_params(42);
+  std::vector<float> cont_losses;
+  for (const auto& b : batches) cont_losses.push_back(cont.train_step(b));
+  std::vector<float> cont_params;
+  cont.snapshot_params(cont_params);
+
+  // Interrupted run: 3 steps, save, load into a FRESH engine, 3 more.
+  const std::string path = tmp("resume");
+  {
+    nn::GptModel m2(mcfg);
+    StrongholdEngine first(m2, cfg);
+    first.init_params(42);
+    for (int i = 0; i < 3; ++i) first.train_step(batches[static_cast<std::size_t>(i)]);
+    first.save_checkpoint(path);
+  }
+  nn::GptModel m3(mcfg);
+  StrongholdEngine resumed(m3, cfg);
+  resumed.init_params(0);  // wrong weights on purpose
+  resumed.load_checkpoint(path);
+  std::vector<float> resumed_losses;
+  for (int i = 3; i < 6; ++i) {
+    resumed_losses.push_back(
+        resumed.train_step(batches[static_cast<std::size_t>(i)]));
+  }
+  std::vector<float> resumed_params;
+  resumed.snapshot_params(resumed_params);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(resumed_losses[static_cast<std::size_t>(i)],
+              cont_losses[static_cast<std::size_t>(i + 3)])
+        << "loss diverged after resume at step " << i + 3;
+  }
+  sh::testing::expect_allclose(resumed_params, cont_params, 0.0f, 0.0f);
+}
+
+TEST(Checkpoint, LoadMidTrainingRefreshesResidentLayers) {
+  const auto mcfg = tiny_config();
+  data::SyntheticCorpus corpus(mcfg.vocab, 51);
+  const auto b0 = corpus.next_batch(2, mcfg.max_seq);
+  const auto b1 = corpus.next_batch(2, mcfg.max_seq);
+
+  nn::GptModel m1(mcfg);
+  EngineConfig cfg;
+  cfg.window = 2;
+  StrongholdEngine engine(m1, cfg);
+  engine.init_params(7);
+  const std::string path = tmp("midload");
+  engine.save_checkpoint(path);  // state S0
+  const float loss_fresh = engine.train_step(b0);
+  (void)engine.train_step(b1);   // drift away from S0
+  engine.load_checkpoint(path);  // rewind to S0 while layers are resident
+  const float loss_again = engine.train_step(b0);
+  EXPECT_EQ(loss_again, loss_fresh);  // exact rewind
+}
+
+TEST(EngineTrace, RecordsOverlappingResources) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  EngineConfig cfg;
+  cfg.window = 1;
+  cfg.record_trace = true;
+  cfg.h2d_bytes_per_s = 8e6;  // slow enough for visible spans
+  cfg.d2h_bytes_per_s = 8e6;
+  StrongholdEngine engine(model, cfg);
+  engine.init_params(3);
+  data::SyntheticCorpus corpus(mcfg.vocab, 4);
+  for (int i = 0; i < 2; ++i) engine.train_step(corpus.next_batch(2, mcfg.max_seq));
+  std::vector<float> scratch;
+  engine.snapshot_params(scratch);  // quiesces in-flight background work
+
+  const auto trace = engine.trace_snapshot();
+  bool has_gpu = false, has_h2d = false, has_d2h = false, has_opt = false;
+  for (const auto& span : trace.spans()) {
+    has_gpu |= span.resource == "gpu";
+    has_h2d |= span.resource == "h2d";
+    has_d2h |= span.resource == "d2h";
+    has_opt |= span.resource == "cpu-opt";
+    EXPECT_GE(span.interval.duration(), 0.0);
+  }
+  EXPECT_TRUE(has_gpu);
+  EXPECT_TRUE(has_h2d);
+  EXPECT_TRUE(has_d2h);
+  EXPECT_TRUE(has_opt);
+  // Real asynchrony: some transfer time overlaps compute.
+  EXPECT_GT(trace.overlap_fraction("h2d", "gpu") +
+                trace.overlap_fraction("d2h", "gpu"),
+            0.0);
+}
+
+TEST(EngineTrace, DisabledByDefault) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  EngineConfig cfg;
+  cfg.window = 2;
+  StrongholdEngine engine(model, cfg);
+  engine.init_params(1);
+  data::SyntheticCorpus corpus(mcfg.vocab, 1);
+  engine.train_step(corpus.next_batch(2, mcfg.max_seq));
+  EXPECT_TRUE(engine.trace_snapshot().spans().empty());
+}
+
+}  // namespace
+}  // namespace sh::core

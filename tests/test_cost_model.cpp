@@ -1,0 +1,108 @@
+// Validates the analytic cost model against the paper's Table I model
+// configurations and basic scaling properties.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+
+namespace sh::sim {
+namespace {
+
+struct Table1Row {
+  std::int64_t layers;
+  std::int64_t hidden;
+  int mp;
+  double billions;  // paper-reported size
+  double rel_tol = 0.03;
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Test, ParamCountMatchesPaper) {
+  const auto& row = GetParam();
+  const auto m = table1_model(row.layers, row.hidden, row.mp);
+  // Paper rounds to 0.1B; allow 3% slack for their exact vocab/head choices.
+  EXPECT_NEAR(params_billions(m), row.billions,
+              row.rel_tol * row.billions + 0.05)
+      << "layers=" << row.layers << " hidden=" << row.hidden;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, Table1Test,
+    ::testing::Values(
+        // hd = 2560, MP = 1 rows.
+        Table1Row{20, 2560, 1, 1.7}, Table1Row{50, 2560, 1, 4.0},
+        Table1Row{74, 2560, 1, 5.9}, Table1Row{75, 2560, 1, 6.0},
+        Table1Row{83, 2560, 1, 6.6}, Table1Row{260, 2560, 1, 20.5},
+        Table1Row{300, 2560, 1, 23.7}, Table1Row{500, 2560, 1, 39.4},
+        // hd = 4096 / 5120, MP = 1.
+        Table1Row{19, 4096, 1, 4.0}, Table1Row{19, 5120, 1, 6.2},
+        Table1Row{31, 5120, 1, 10.0},
+        // hd = 5120, MP = 8 rows.
+        Table1Row{10, 5120, 8, 3.4},
+        // The 12-layer/5120 row is reported as 4.7B in Table I but the
+        // paper's own 12 n hd^2 accounting gives 3.9B; accept the gap.
+        Table1Row{12, 5120, 8, 4.7, 0.20},
+        Table1Row{24, 5120, 8, 7.8}, Table1Row{72, 5120, 8, 23.2},
+        Table1Row{200, 5120, 8, 63.2}, Table1Row{240, 5120, 8, 75.7},
+        Table1Row{260, 5120, 8, 82.0}, Table1Row{328, 5120, 8, 103.2},
+        Table1Row{1174, 5120, 8, 367.6}, Table1Row{1676, 5120, 8, 524.5},
+        // hd = 8192+ rows.
+        Table1Row{24, 8192, 8, 19.8}, Table1Row{31, 8192, 8, 25.4},
+        Table1Row{31, 8704, 8, 28.7}, Table1Row{31, 9216, 8, 32.1},
+        Table1Row{31, 13312, 8, 66.7}));
+
+TEST(CostModel, StateBytesAre16PerParam) {
+  const auto m = table1_model(20, 2560);
+  EXPECT_NEAR(total_state_bytes(m), kStateBytesPerParam * total_params(m),
+              1.0);
+}
+
+TEST(CostModel, ModelParallelismShardsStateAndFlops) {
+  auto m1 = table1_model(24, 5120, 1);
+  auto m8 = table1_model(24, 5120, 8);
+  EXPECT_NEAR(block_state_bytes(m8), block_state_bytes(m1) / 8.0, 1.0);
+  EXPECT_NEAR(block_fwd_flops(m8, 4), block_fwd_flops(m1, 4) / 8.0, 1.0);
+  // Total parameters are a property of the model, not the sharding.
+  EXPECT_DOUBLE_EQ(total_params(m1), total_params(m8));
+}
+
+TEST(CostModel, FlopsScaleLinearlyWithBatch) {
+  const auto m = table1_model(20, 2560);
+  EXPECT_NEAR(block_fwd_flops(m, 8), 2.0 * block_fwd_flops(m, 4), 1.0);
+  EXPECT_NEAR(iteration_flops(m, 8), 2.0 * iteration_flops(m, 4), 1e6);
+}
+
+TEST(CostModel, BackwardIsTwiceForwardPlusOptionalRecompute) {
+  const auto m = table1_model(20, 2560);
+  const double fwd = block_fwd_flops(m, 4);
+  EXPECT_NEAR(block_bwd_flops(m, 4, false), 2.0 * fwd, 1.0);
+  EXPECT_NEAR(block_bwd_flops(m, 4, true), 3.0 * fwd, 1.0);
+}
+
+TEST(CostModel, CheckpointingReducesActivationMemory) {
+  const auto m = table1_model(50, 2560);
+  EXPECT_LT(activation_bytes_checkpointed(m, 4),
+            activation_bytes_full(m, 4));
+}
+
+TEST(CostModel, WindowBytesAreParamsPlusGrads) {
+  const auto m = table1_model(20, 2560);
+  EXPECT_DOUBLE_EQ(block_window_bytes(m), 2.0 * block_param_bytes(m));
+}
+
+TEST(CostModel, SixFlopsPerParamPerTokenApproximation) {
+  // Standard transformer rule of thumb: forward ~= 2 * params FLOPs/token for
+  // wide models where attention matmuls are negligible.
+  const auto m = table1_model(20, 8192);
+  const double per_token = block_fwd_flops(m, 1) / m.seq;
+  EXPECT_NEAR(per_token / (2.0 * block_params(m)), 1.0, 0.1);
+}
+
+TEST(CostModel, HeadFlopsMatchFormula) {
+  const auto m = table1_model(20, 2560);
+  EXPECT_DOUBLE_EQ(head_fwd_flops(m, 4),
+                   2.0 * 4.0 * 1024.0 * 2560.0 * 30000.0);
+}
+
+}  // namespace
+}  // namespace sh::sim

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dist/comm_volume.hpp"
+#include "dist/hetero_comm.hpp"
+#include "dist/process_group.hpp"
+
+namespace sh::dist {
+namespace {
+
+/// Runs `fn(rank)` on `world` threads and joins.
+void run_ranks(int world, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) threads.emplace_back(fn, r);
+  for (auto& t : threads) t.join();
+}
+
+TEST(Barrier, ReleasesAllParticipants) {
+  Barrier b(4);
+  std::atomic<int> before{0}, after{0};
+  run_ranks(4, [&](int) {
+    before.fetch_add(1);
+    b.arrive_and_wait();
+    EXPECT_EQ(before.load(), 4);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(Barrier, IsReusableAcrossGenerations) {
+  Barrier b(3);
+  std::atomic<int> phase_sum{0};
+  run_ranks(3, [&](int rank) {
+    for (int phase = 0; phase < 10; ++phase) {
+      b.arrive_and_wait();
+      phase_sum.fetch_add(rank);
+      b.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(phase_sum.load(), 10 * (0 + 1 + 2));
+}
+
+TEST(ProcessGroup, AllReduceSumsAcrossRanks) {
+  const int world = 4;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> bufs(world, std::vector<float>(8));
+  for (int r = 0; r < world; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          static_cast<float>(r + i);
+    }
+  }
+  run_ranks(world, [&](int rank) {
+    pg.all_reduce_sum(rank, bufs[static_cast<std::size_t>(rank)]);
+  });
+  // Sum over ranks of (r + i) = 6 + 4i.
+  for (int r = 0; r < world; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_FLOAT_EQ(bufs[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)],
+                      6.0f + 4.0f * i);
+    }
+  }
+}
+
+TEST(ProcessGroup, AllReduceRepeatedRounds) {
+  const int world = 3;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> bufs(world, std::vector<float>{1.0f});
+  run_ranks(world, [&](int rank) {
+    for (int round = 0; round < 5; ++round) {
+      pg.all_reduce_sum(rank, bufs[static_cast<std::size_t>(rank)]);
+    }
+  });
+  // Each round multiplies by world: 3^5.
+  for (int r = 0; r < world; ++r) {
+    EXPECT_FLOAT_EQ(bufs[static_cast<std::size_t>(r)][0], 243.0f);
+  }
+}
+
+TEST(ProcessGroup, AllGatherConcatenatesShards) {
+  const int world = 3;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> outs(world, std::vector<float>(6));
+  run_ranks(world, [&](int rank) {
+    std::vector<float> in = {static_cast<float>(rank),
+                             static_cast<float>(rank * 10)};
+    pg.all_gather(rank, in, outs[static_cast<std::size_t>(rank)]);
+  });
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(outs[static_cast<std::size_t>(r)],
+              (std::vector<float>{0, 0, 1, 10, 2, 20}));
+  }
+}
+
+TEST(ProcessGroup, ReduceScatterGivesEachRankItsShard) {
+  const int world = 2;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> outs(world, std::vector<float>(2));
+  run_ranks(world, [&](int rank) {
+    // Both ranks contribute [1,2,3,4] and [10,20,30,40].
+    std::vector<float> in = rank == 0 ? std::vector<float>{1, 2, 3, 4}
+                                      : std::vector<float>{10, 20, 30, 40};
+    pg.reduce_scatter_sum(rank, in, outs[static_cast<std::size_t>(rank)]);
+  });
+  EXPECT_EQ(outs[0], (std::vector<float>{11, 22}));
+  EXPECT_EQ(outs[1], (std::vector<float>{33, 44}));
+}
+
+TEST(ProcessGroup, BroadcastCopiesRoot) {
+  const int world = 4;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> bufs(world, std::vector<float>(3, 0.0f));
+  bufs[2] = {7.0f, 8.0f, 9.0f};
+  run_ranks(world, [&](int rank) {
+    pg.broadcast(rank, 2, bufs[static_cast<std::size_t>(rank)]);
+  });
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(r)],
+              (std::vector<float>{7, 8, 9}));
+  }
+}
+
+TEST(ProcessGroup, SizeMismatchThrowsOnEveryRank) {
+  const int world = 2;
+  ProcessGroup pg(world);
+  std::atomic<int> threw{0};
+  std::vector<float> a(4), b(5);
+  run_ranks(world, [&](int rank) {
+    try {
+      pg.all_reduce_sum(rank, rank == 0 ? std::span<float>(a)
+                                        : std::span<float>(b));
+    } catch (const std::invalid_argument&) {
+      threw.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(threw.load(), 2);  // all ranks throw; nobody deadlocks
+}
+
+TEST(ProcessGroup, CountsCommunicationVolume) {
+  const int world = 4;
+  ProcessGroup pg(world);
+  std::vector<std::vector<float>> bufs(world, std::vector<float>(10, 1.0f));
+  run_ranks(world, [&](int rank) {
+    pg.all_reduce_sum(rank, bufs[static_cast<std::size_t>(rank)]);
+  });
+  // Paper convention: (w-1) * w * N = 3 * 4 * 10.
+  EXPECT_EQ(pg.floats_communicated(), 120u);
+}
+
+TEST(ProcessGroup, WorldOfOneIsIdentity) {
+  ProcessGroup pg(1);
+  std::vector<float> v = {3.0f};
+  pg.all_reduce_sum(0, v);
+  EXPECT_FLOAT_EQ(v[0], 3.0f);
+  EXPECT_EQ(pg.floats_communicated(), 0u);
+}
+
+TEST(HeteroComm, ChannelsAreIndependent) {
+  // A GPU-channel collective must complete even while the CPU channel is
+  // mid-collective (one rank late) — the paper's concurrent heterogeneous
+  // collectives requirement.
+  const int world = 2;
+  HeteroComm comm(world);
+  std::vector<float> gpu_a = {1.0f}, gpu_b = {2.0f};
+  std::vector<float> cpu_a = {10.0f}, cpu_b = {20.0f};
+  std::atomic<bool> gpu_done{false};
+
+  std::thread r0([&] {
+    // Rank 0 starts the CPU collective late; the GPU one must not wait.
+    comm.all_reduce_sum(Channel::Gpu, 0, gpu_a);
+    gpu_done = true;
+    comm.all_reduce_sum(Channel::Cpu, 0, cpu_a);
+  });
+  std::thread r1([&] {
+    std::thread cpu_part([&] { comm.all_reduce_sum(Channel::Cpu, 1, cpu_b); });
+    comm.all_reduce_sum(Channel::Gpu, 1, gpu_b);
+    cpu_part.join();
+  });
+  r0.join();
+  r1.join();
+  EXPECT_TRUE(gpu_done.load());
+  EXPECT_FLOAT_EQ(gpu_a[0], 3.0f);
+  EXPECT_FLOAT_EQ(cpu_a[0], 30.0f);
+  EXPECT_EQ(comm.floats_communicated(), 2u + 2u);
+}
+
+TEST(CommVolume, SimplifiedFormulaMatchesExact) {
+  // The closed form assumes seq=1024, vs=30K.
+  for (int bs : {2, 4, 8, 16}) {
+    VolumeParams p{.w = 8, .layers = 50, .hidden = 4096, .vocab = 30000,
+                   .batch = bs, .seq = 1024};
+    EXPECT_NEAR(mp_over_dp(p), mp_over_dp_simplified(p),
+                0.02 * mp_over_dp(p));
+  }
+}
+
+TEST(CommVolume, PaperExampleEvaluatesPerFormula) {
+  // Paper example: 20B model, bs=16, n=50, hd=4K. The paper prose claims
+  // this "halves the communication traffic", but its own closed form
+  // bs / (3 hd/256 + 30/n) evaluates to 16 / 48.6 ~= 0.33 — we reproduce the
+  // formula faithfully and record the prose/formula inconsistency in
+  // EXPERIMENTS.md.
+  VolumeParams p{.w = 8, .layers = 50, .hidden = 4096, .vocab = 30000,
+                 .batch = 16, .seq = 1024};
+  EXPECT_NEAR(mp_over_dp_simplified(p), 16.0 / (48.0 + 30.0 / 50.0), 1e-6);
+  EXPECT_NEAR(mp_over_dp(p), 0.329, 0.01);
+}
+
+TEST(CommVolume, DpWinsBeyondCrossoverBatch) {
+  // MP->DP conversion pays off (ratio > 1) once bs exceeds 3 hd/256 + 30/n.
+  VolumeParams p{.w = 8, .layers = 50, .hidden = 4096, .vocab = 30000,
+                 .batch = 1, .seq = 1024};
+  const double crossover = 3.0 * 4096.0 / 256.0 + 30.0 / 50.0;
+  p.batch = static_cast<std::int64_t>(crossover) + 2;
+  EXPECT_GT(mp_over_dp(p), 1.0);
+  p.batch = static_cast<std::int64_t>(crossover) - 2;
+  EXPECT_LT(mp_over_dp(p), 1.0);
+}
+
+TEST(CommVolume, NarrowModelsFavorDpConversion) {
+  // Smaller hidden sizes push the crossover down: at hd=1024, n=50 the
+  // crossover is bs = 12.6, so bs=16 already reduces traffic.
+  VolumeParams p{.w = 8, .layers = 50, .hidden = 1024, .vocab = 30000,
+                 .batch = 16, .seq = 1024};
+  EXPECT_GT(mp_over_dp(p), 1.0);
+}
+
+TEST(CommVolume, RatioGrowsLinearlyInBatch) {
+  VolumeParams p{.w = 8, .layers = 50, .hidden = 4096, .vocab = 30000,
+                 .batch = 4, .seq = 1024};
+  const double r4 = mp_over_dp(p);
+  p.batch = 8;
+  EXPECT_NEAR(mp_over_dp(p), 2.0 * r4, 1e-9);
+}
+
+}  // namespace
+}  // namespace sh::dist

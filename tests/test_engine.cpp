@@ -1,0 +1,344 @@
+// End-to-end correctness of the STRONGHOLD offload engine: offloaded,
+// windowed, concurrently-updated training must match conventional monolithic
+// training exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/monolithic.hpp"
+#include "data/synthetic.hpp"
+#include "testing/util.hpp"
+
+namespace sh::core {
+namespace {
+
+nn::GptConfig tiny_config(bool checkpoint = false) {
+  nn::GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.max_seq = 8;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 4;
+  cfg.checkpoint_activations = checkpoint;
+  return cfg;
+}
+
+std::vector<data::Batch> make_batches(std::int64_t bs, std::int64_t seq,
+                                      int count, std::uint64_t seed = 99) {
+  data::SyntheticCorpus corpus(32, seed);
+  std::vector<data::Batch> out;
+  for (int i = 0; i < count; ++i) out.push_back(corpus.next_batch(bs, seq));
+  return out;
+}
+
+/// Trains `steps` iterations through the engine and returns the final
+/// parameter snapshot and losses.
+std::pair<std::vector<float>, std::vector<float>> run_engine(
+    const nn::GptConfig& mcfg, EngineConfig ecfg,
+    const std::vector<data::Batch>& batches) {
+  nn::GptModel model(mcfg);
+  StrongholdEngine engine(model, std::move(ecfg));
+  engine.init_params(42);
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(engine.train_step(b));
+  std::vector<float> params;
+  engine.snapshot_params(params);
+  return {params, losses};
+}
+
+std::pair<std::vector<float>, std::vector<float>> run_monolithic(
+    const nn::GptConfig& mcfg, const std::vector<data::Batch>& batches) {
+  nn::GptModel model(mcfg);
+  MonolithicTrainer trainer(model, optim::AdamConfig{});
+  trainer.init_params(42);
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(trainer.train_step(b));
+  std::vector<float> params;
+  trainer.snapshot_params(params);
+  return {params, losses};
+}
+
+TEST(Engine, OffloadedTrainingMatchesMonolithicBitwise) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 3);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  const auto [params, losses] = run_engine(mcfg, ecfg, batches);
+
+  ASSERT_EQ(params.size(), ref_params.size());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    EXPECT_EQ(losses[i], ref_losses[i]) << "loss diverged at step " << i;
+  }
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+class WindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WindowSweep, EveryWindowSizeIsExact) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+
+  EngineConfig ecfg;
+  ecfg.window = GetParam();
+  const auto [params, losses] = run_engine(mcfg, ecfg, batches);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Engine, ThrottledTransfersDoNotChangeResults) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+
+  EngineConfig ecfg;
+  ecfg.window = 1;
+  ecfg.h2d_bytes_per_s = 4e6;  // slow enough to provoke real stalls
+  ecfg.d2h_bytes_per_s = 4e6;
+  const auto [params, losses] = run_engine(mcfg, ecfg, batches);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, CheckpointedActivationsMatchMonolithic) {
+  const auto mcfg = tiny_config(/*checkpoint=*/true);
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  const auto [params, losses] = run_engine(mcfg, ecfg, batches);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, MultiExecutorMatchesSingleExecutor) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(4, mcfg.max_seq, 2);
+
+  EngineConfig single;
+  single.window = 2;
+  const auto [p1, l1] = run_engine(mcfg, single, batches);
+
+  EngineConfig multi;
+  multi.window = 2;
+  multi.num_executors = 2;
+  const auto [p2, l2] = run_engine(mcfg, multi, batches);
+
+  // Micro-batch splitting reorders float additions; results agree to a tight
+  // tolerance but not bitwise.
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    EXPECT_NEAR(l1[i], l2[i], 1e-5f);
+  }
+  sh::testing::expect_allclose(p2, p1, 1e-5f, 1e-4f);
+}
+
+TEST(Engine, FourExecutorsStillCorrect) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(4, mcfg.max_seq, 1);
+  EngineConfig single;
+  single.window = 3;
+  const auto [p1, l1] = run_engine(mcfg, single, batches);
+  EngineConfig multi;
+  multi.window = 3;
+  multi.num_executors = 4;
+  const auto [p4, l4] = run_engine(mcfg, multi, batches);
+  EXPECT_NEAR(l1[0], l4[0], 1e-5f);
+  sh::testing::expect_allclose(p4, p1, 1e-5f, 1e-4f);
+}
+
+TEST(Engine, SwapTierTrainingMatchesInMemory) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+
+  EngineConfig ecfg;
+  ecfg.window = 1;
+  // Budget only covers the first couple of layers; the rest live on "NVMe".
+  ecfg.cpu_capacity_bytes = 64 * 1024;
+  ecfg.swap_path = ::testing::TempDir() + "engine_swap.bin";
+  nn::GptModel model(mcfg);
+  StrongholdEngine engine(model, ecfg);
+  EXPECT_GT(engine.stats().swap_backed_layers, 0u);
+  engine.init_params(42);
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(engine.train_step(b));
+  std::vector<float> params;
+  engine.snapshot_params(params);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, AutoWindowSelectsAndFreezes) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 4);
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 0;  // automatic
+  ecfg.warmup_iterations = 2;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(1);
+  for (const auto& b : batches) engine.train_step(b);
+  const auto s = engine.stats();
+  EXPECT_TRUE(s.window_auto_selected);
+  EXPECT_GE(s.window, 1u);
+  EXPECT_LE(s.window, static_cast<std::size_t>(mcfg.layers));
+  EXPECT_EQ(s.iterations, batches.size());
+}
+
+TEST(Engine, AutoWindowStillMatchesMonolithic) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 4);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+  EngineConfig ecfg;
+  ecfg.window = 0;
+  ecfg.warmup_iterations = 1;
+  const auto [params, losses] = run_engine(mcfg, ecfg, batches);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, OomWhenGpuCannotHoldWindow) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 4;
+  ecfg.gpu_memory_bytes = 16 * 1024;  // pinned layers alone exceed this
+  EXPECT_THROW(StrongholdEngine(model, ecfg), hw::OomError);
+}
+
+TEST(Engine, TracksTransferAndStallStatistics) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 1;
+  ecfg.h2d_bytes_per_s = 2e6;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(7);
+  for (const auto& b : batches) engine.train_step(b);
+  const auto s = engine.stats();
+  EXPECT_GT(s.h2d_transfers, 0u);
+  EXPECT_GT(s.d2h_transfers, 0u);
+  EXPECT_GT(s.h2d_bytes, 0u);
+  EXPECT_GT(s.optimizer_updates, 0u);
+  // A window of one with a slow link must stall at least once.
+  EXPECT_GT(s.prefetch_stalls, 0u);
+  EXPECT_GT(s.gpu_high_water_bytes, 0u);
+}
+
+TEST(Engine, LossDecreasesOnLearnableData) {
+  const auto mcfg = tiny_config();
+  data::SyntheticCorpus corpus(32, 5);
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  ecfg.adam.lr = 3e-3f;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(3);
+  const int steps = 120;
+  std::vector<float> losses;
+  for (int i = 0; i < steps; ++i) {
+    losses.push_back(engine.train_step(corpus.next_batch(4, mcfg.max_seq)));
+  }
+  auto mean = [&](int lo, int hi) {
+    float s = 0.0f;
+    for (int i = lo; i < hi; ++i) s += losses[static_cast<std::size_t>(i)];
+    return s / static_cast<float>(hi - lo);
+  };
+  const float early = mean(0, 10);
+  const float late = mean(steps - 10, steps);
+  EXPECT_LT(late, early * 0.8f) << "training did not reduce the loss (early "
+                                << early << ", late " << late << ")";
+}
+
+TEST(Engine, InferenceMatchesAcrossWindowSizes) {
+  const auto mcfg = tiny_config();
+  data::SyntheticCorpus corpus(32, 11);
+  const auto batch = corpus.next_batch(2, mcfg.max_seq);
+  const nn::BatchShape shape{2, mcfg.max_seq};
+
+  nn::GptModel m1(mcfg), m2(mcfg);
+  EngineConfig c1;
+  c1.window = 1;
+  EngineConfig c2;
+  c2.window = 4;
+  StrongholdEngine e1(m1, c1), e2(m2, c2);
+  e1.init_params(21);
+  e2.init_params(21);
+  auto out1 = e1.inference(batch.ids, shape);
+  auto out2 = e2.inference(batch.ids, shape);
+  sh::testing::expect_allclose(out1.span(), out2.span(), 0.0f, 0.0f);
+}
+
+TEST(Engine, InferenceObserverSeesEveryBlock) {
+  const auto mcfg = tiny_config();
+  data::SyntheticCorpus corpus(32, 13);
+  const auto batch = corpus.next_batch(1, mcfg.max_seq);
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(9);
+  std::vector<std::size_t> seen;
+  engine.inference(batch.ids, {1, mcfg.max_seq},
+                   [&](std::size_t layer, const tensor::Tensor& act) {
+                     seen.push_back(layer);
+                     EXPECT_EQ(act.shape().dim(1), mcfg.hidden);
+                   });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(mcfg.layers));
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+TEST(Engine, TrainingAfterInferenceStaysCorrect) {
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+  const auto [ref_params, ref_losses] = run_monolithic(mcfg, batches);
+
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+  (void)engine.inference(batches[0].ids, {2, mcfg.max_seq});
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(engine.train_step(b));
+  std::vector<float> params;
+  engine.snapshot_params(params);
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, RejectsInvalidConfigs) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  EngineConfig bad_exec;
+  bad_exec.num_executors = 0;
+  EXPECT_THROW(StrongholdEngine(model, bad_exec), std::invalid_argument);
+
+  EngineConfig bad_swap;
+  bad_swap.cpu_capacity_bytes = 1024;  // capacity without a swap path
+  EXPECT_THROW(StrongholdEngine(model, bad_swap), std::invalid_argument);
+}
+
+TEST(Engine, RejectsIndivisibleBatchForExecutors) {
+  const auto mcfg = tiny_config();
+  nn::GptModel model(mcfg);
+  EngineConfig ecfg;
+  ecfg.window = 2;
+  ecfg.num_executors = 2;
+  StrongholdEngine engine(model, ecfg);
+  engine.init_params(1);
+  data::SyntheticCorpus corpus(32, 1);
+  auto batch = corpus.next_batch(3, mcfg.max_seq);  // 3 % 2 != 0
+  EXPECT_THROW(engine.train_step(batch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sh::core

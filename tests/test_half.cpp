@@ -1,0 +1,113 @@
+// IEEE binary16 conversion correctness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/half.hpp"
+#include "tensor/rng.hpp"
+
+namespace sh::tensor {
+namespace {
+
+TEST(Half, ExactValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -2.0f, 1024.0f, 0.25f,
+                  -0.125f, 65504.0f, 1.5f, 3.140625f}) {
+    EXPECT_EQ(half_to_float(float_to_half(v)), v) << "value " << v;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half(1.0f), 0x3c00);
+  EXPECT_EQ(float_to_half(-1.0f), 0xbc00);
+  EXPECT_EQ(float_to_half(2.0f), 0x4000);
+  EXPECT_EQ(float_to_half(65504.0f), 0x7bff);  // max finite
+  EXPECT_EQ(half_to_float(0x3c00), 1.0f);
+  EXPECT_EQ(half_to_float(0x7c00), std::numeric_limits<float>::infinity());
+}
+
+TEST(Half, OverflowBecomesInfinity) {
+  EXPECT_EQ(half_to_float(float_to_half(65536.0f)),
+            std::numeric_limits<float>::infinity());
+  EXPECT_EQ(half_to_float(float_to_half(-1e9f)),
+            -std::numeric_limits<float>::infinity());
+}
+
+TEST(Half, InfinityAndNanPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+  EXPECT_TRUE(std::isnan(half_to_float(float_to_half(NAN))));
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  // Smallest positive fp16 subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(half_to_float(float_to_half(tiny)), tiny);
+  // Largest subnormal: (1023/1024) * 2^-14.
+  const float big_sub = 1023.0f / 1024.0f * std::ldexp(1.0f, -14);
+  EXPECT_EQ(half_to_float(float_to_half(big_sub)), big_sub);
+  // Below half the smallest subnormal: flush to zero.
+  EXPECT_EQ(half_to_float(float_to_half(std::ldexp(1.0f, -26))), 0.0f);
+}
+
+TEST(Half, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 value
+  // (1 + 2^-10); ties go to even (1.0, whose mantissa LSB is 0).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_to_float(float_to_half(halfway)), 1.0f);
+  // Just above halfway rounds up.
+  const float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20);
+  EXPECT_EQ(half_to_float(float_to_half(above)), 1.0f + std::ldexp(1.0f, -10));
+  // 1 + 3*2^-11 is halfway between 1+2^-10 (odd mantissa) and 1+2^-9: even
+  // is the upper value.
+  const float halfway2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+  EXPECT_EQ(half_to_float(float_to_half(halfway2)),
+            1.0f + std::ldexp(1.0f, -9));
+}
+
+TEST(Half, RoundTripIsIdempotent) {
+  Rng rng(5);
+  std::vector<float> vals(2000);
+  rng.fill_normal(vals, 10.0f);
+  for (float v : vals) {
+    const float once = half_to_float(float_to_half(v));
+    const float twice = half_to_float(float_to_half(once));
+    EXPECT_EQ(once, twice);
+    // Relative error of one rounding is at most 2^-11 for normal values.
+    if (std::abs(v) > 1e-4f) {
+      EXPECT_LE(std::abs(once - v), std::abs(v) * 0.0005f);
+    }
+  }
+}
+
+TEST(Half, BulkConversionsMatchScalar) {
+  Rng rng(6);
+  std::vector<float> src(257);
+  rng.fill_uniform(src, 100.0f);
+  std::vector<half> h(src.size());
+  std::vector<float> back(src.size());
+  convert_to_half(src.data(), h.data(), src.size());
+  convert_to_float(h.data(), back.data(), src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(back[i], half_to_float(float_to_half(src[i])));
+  }
+  std::vector<float> inplace = src;
+  quantize_fp16_inplace(inplace.data(), inplace.size());
+  EXPECT_EQ(inplace, back);
+}
+
+TEST(Half, NonFiniteDetection) {
+  std::vector<float> ok = {1.0f, -2.0f, 100.0f};
+  EXPECT_FALSE(has_non_finite_fp16(ok.data(), ok.size()));
+  std::vector<float> overflow = {1.0f, 1e6f};  // 1e6 > fp16 max
+  EXPECT_TRUE(has_non_finite_fp16(overflow.data(), overflow.size()));
+  std::vector<float> nan = {NAN};
+  EXPECT_TRUE(has_non_finite_fp16(nan.data(), nan.size()));
+}
+
+}  // namespace
+}  // namespace sh::tensor

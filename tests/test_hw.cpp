@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "hw/memory_pool.hpp"
+#include "hw/transfer.hpp"
+
+namespace sh::hw {
+namespace {
+
+TEST(MemoryPool, AllocatesWithinCapacity) {
+  MemoryPool pool("gpu", 1024);
+  float* p = pool.allocate_floats(100);  // 400 bytes
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(pool.used(), 400u);
+  EXPECT_EQ(pool.free_bytes(), 624u);
+  EXPECT_EQ(pool.live_allocations(), 1u);
+  pool.deallocate(p);
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(MemoryPool, ThrowsOomOnExhaustion) {
+  MemoryPool pool("gpu", 1000);
+  float* p = pool.allocate_floats(200);  // 800 bytes
+  try {
+    pool.allocate_floats(100);  // 400 more would exceed
+    FAIL() << "expected OomError";
+  } catch (const OomError& e) {
+    EXPECT_EQ(e.requested_bytes(), 400u);
+    EXPECT_EQ(e.free_bytes(), 200u);
+  }
+  pool.deallocate(p);
+  // After freeing, the allocation succeeds.
+  EXPECT_NE(pool.allocate_floats(100), nullptr);
+}
+
+TEST(MemoryPool, TracksHighWaterMark) {
+  MemoryPool pool("gpu", 4096);
+  float* a = pool.allocate_floats(256);
+  float* b = pool.allocate_floats(512);
+  pool.deallocate(a);
+  pool.deallocate(b);
+  EXPECT_EQ(pool.high_water(), (256u + 512u) * sizeof(float));
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(MemoryPool, DetectsDoubleAndForeignFree) {
+  MemoryPool pool("gpu", 4096);
+  float* p = pool.allocate_floats(8);
+  pool.deallocate(p);
+  EXPECT_THROW(pool.deallocate(p), std::logic_error);  // double free
+  float stack_var = 0.0f;
+  EXPECT_THROW(pool.deallocate(&stack_var), std::logic_error);
+}
+
+TEST(MemoryPool, DeallocateNullIsNoop) {
+  MemoryPool pool("gpu", 64);
+  pool.deallocate(nullptr);
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(MemoryPool, ZeroCapacityRejectsEverything) {
+  MemoryPool pool("tiny", 0);
+  EXPECT_THROW(pool.allocate_floats(1), OomError);
+}
+
+TEST(TransferEngine, CopiesData) {
+  TransferEngine eng("h2d");
+  std::vector<float> src = {1, 2, 3, 4};
+  std::vector<float> dst(4, 0.0f);
+  eng.copy_async(src.data(), dst.data(), 4).get();
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(eng.completed_transfers(), 1u);
+  EXPECT_EQ(eng.bytes_transferred(), 16u);
+}
+
+TEST(TransferEngine, CopiesAreFifoOrdered) {
+  TransferEngine eng("h2d");
+  std::vector<float> buf(1, 0.0f);
+  std::vector<float> one = {1.0f}, two = {2.0f}, three = {3.0f};
+  std::vector<float> observed;
+  eng.copy_async(one.data(), buf.data(), 1);
+  eng.run_async([&] { observed.push_back(buf[0]); });
+  eng.copy_async(two.data(), buf.data(), 1);
+  eng.run_async([&] { observed.push_back(buf[0]); });
+  eng.copy_async(three.data(), buf.data(), 1);
+  eng.run_async([&] { observed.push_back(buf[0]); });
+  eng.wait_all();
+  EXPECT_EQ(observed, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(TransferEngine, RunsConcurrentlyWithCaller) {
+  // A throttled copy must not block the submitting thread.
+  TransferEngine eng("h2d", 1e6);  // 1 MB/s
+  std::vector<float> src(25000, 1.0f);  // 100 KB -> 0.1 s
+  std::vector<float> dst(25000, 0.0f);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto fut = eng.copy_async(src.data(), dst.data(), src.size());
+  const auto submit_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(submit_elapsed, 0.05);  // submission is asynchronous
+  fut.get();
+  const auto total_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(total_elapsed, 0.09);  // the throttle was applied
+  EXPECT_EQ(dst[0], 1.0f);
+}
+
+TEST(TransferEngine, WaitAllDrainsQueue) {
+  TransferEngine eng("d2h");
+  std::vector<float> src(64, 2.0f), dst(64, 0.0f);
+  for (int i = 0; i < 10; ++i) eng.copy_async(src.data(), dst.data(), 64);
+  eng.wait_all();
+  EXPECT_EQ(eng.completed_transfers(), 10u);
+}
+
+TEST(TransferEngine, PropagatesJobExceptions) {
+  TransferEngine eng("io");
+  auto fut = eng.run_async([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  // Engine still works after an exception.
+  std::vector<float> src = {5.0f}, dst = {0.0f};
+  eng.copy_async(src.data(), dst.data(), 1).get();
+  EXPECT_EQ(dst[0], 5.0f);
+}
+
+}  // namespace
+}  // namespace sh::hw

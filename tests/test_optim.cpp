@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "optim/optimizer.hpp"
+
+namespace sh::optim {
+namespace {
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Sgd sgd({.lr = 0.1f, .momentum = 0.0f});
+  EXPECT_EQ(sgd.state_per_param(), 0);
+  std::vector<float> p = {1.0f, -2.0f};
+  std::vector<float> g = {0.5f, -0.5f};
+  sgd.step(p.data(), g.data(), nullptr, 1, 2);
+  EXPECT_FLOAT_EQ(p[0], 0.95f);
+  EXPECT_FLOAT_EQ(p[1], -1.95f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Sgd sgd({.lr = 1.0f, .momentum = 0.5f});
+  EXPECT_EQ(sgd.state_per_param(), 1);
+  std::vector<float> p = {0.0f};
+  std::vector<float> g = {1.0f};
+  std::vector<float> state = {0.0f};
+  sgd.step(p.data(), g.data(), state.data(), 1, 1);
+  EXPECT_FLOAT_EQ(p[0], -1.0f);  // v = 1
+  sgd.step(p.data(), g.data(), state.data(), 2, 1);
+  EXPECT_FLOAT_EQ(p[0], -2.5f);  // v = 1.5
+}
+
+TEST(Adam, FirstStepMovesByLr) {
+  // With bias correction, the first Adam step is ~lr * sign(g).
+  Adam adam({.lr = 0.01f});
+  std::vector<float> p = {1.0f};
+  std::vector<float> g = {123.0f};
+  std::vector<float> state(2, 0.0f);
+  adam.step(p.data(), g.data(), state.data(), 1, 1);
+  EXPECT_NEAR(p[0], 1.0f - 0.01f, 1e-5f);
+}
+
+TEST(Adam, MatchesScalarReferenceOverManySteps) {
+  const AdamConfig cfg{.lr = 0.1f, .beta1 = 0.9f, .beta2 = 0.99f, .eps = 1e-8f};
+  Adam adam(cfg);
+  float p = 2.0f;
+  std::vector<float> state(2, 0.0f);
+  // Reference implementation.
+  double rp = 2.0, rm = 0.0, rv = 0.0;
+  for (int t = 1; t <= 50; ++t) {
+    const float g = static_cast<float>(rp);  // gradient of 0.5*p^2 at ref point
+    float pf = p;
+    adam.step(&pf, &g, state.data(), t, 1);
+    rm = cfg.beta1 * rm + (1 - cfg.beta1) * g;
+    rv = cfg.beta2 * rv + (1 - cfg.beta2) * static_cast<double>(g) * g;
+    const double mhat = rm / (1 - std::pow(cfg.beta1, t));
+    const double vhat = rv / (1 - std::pow(cfg.beta2, t));
+    rp = rp - cfg.lr * mhat / (std::sqrt(vhat) + cfg.eps);
+    p = pf;
+    ASSERT_NEAR(p, rp, 1e-4) << "step " << t;
+  }
+  // Adam on a convex quadratic must approach the optimum.
+  EXPECT_LT(std::abs(p), 2.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam({.lr = 0.05f});
+  std::vector<float> p = {5.0f, -3.0f};
+  std::vector<float> state(4, 0.0f);
+  for (int t = 1; t <= 500; ++t) {
+    std::vector<float> g = {p[0], p[1]};
+    adam.step(p.data(), g.data(), state.data(), t, 2);
+  }
+  EXPECT_NEAR(p[0], 0.0f, 0.05f);
+  EXPECT_NEAR(p[1], 0.0f, 0.05f);
+}
+
+TEST(Adam, WeightDecayShrinksParams) {
+  Adam plain({.lr = 0.01f, .weight_decay = 0.0f});
+  Adam decayed({.lr = 0.01f, .weight_decay = 0.5f});
+  float p1 = 1.0f, p2 = 1.0f;
+  std::vector<float> s1(2, 0.0f), s2(2, 0.0f);
+  const float g = 0.0f;
+  plain.step(&p1, &g, s1.data(), 1, 1);
+  decayed.step(&p2, &g, s2.data(), 1, 1);
+  EXPECT_LT(p2, p1);
+}
+
+TEST(Adam, CloneIsIndependentButEquivalent) {
+  Adam adam({.lr = 0.07f});
+  auto copy = adam.clone();
+  EXPECT_EQ(copy->state_per_param(), 2);
+  float pa = 1.0f, pb = 1.0f;
+  std::vector<float> sa(2, 0.0f), sb(2, 0.0f);
+  const float g = 0.3f;
+  adam.step(&pa, &g, sa.data(), 1, 1);
+  copy->step(&pb, &g, sb.data(), 1, 1);
+  EXPECT_FLOAT_EQ(pa, pb);
+}
+
+TEST(Adam, StateLayoutIsMomentumThenVariance) {
+  Adam adam({.lr = 1.0f, .beta1 = 0.5f, .beta2 = 0.5f});
+  std::vector<float> p = {0.0f, 0.0f};
+  std::vector<float> g = {2.0f, 4.0f};
+  std::vector<float> state(4, 0.0f);
+  adam.step(p.data(), g.data(), state.data(), 1, 2);
+  // m = (1-b1)*g, stored first; v = (1-b2)*g^2 stored second.
+  EXPECT_FLOAT_EQ(state[0], 1.0f);
+  EXPECT_FLOAT_EQ(state[1], 2.0f);
+  EXPECT_FLOAT_EQ(state[2], 2.0f);
+  EXPECT_FLOAT_EQ(state[3], 8.0f);
+}
+
+}  // namespace
+}  // namespace sh::optim

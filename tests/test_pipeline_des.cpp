@@ -1,0 +1,143 @@
+// Pipeline-parallel baseline and the DES cross-validation of the window
+// schedule.
+#include <gtest/gtest.h>
+
+#include "baselines/megatron.hpp"
+#include "baselines/pipeline.hpp"
+#include "sim/des_replay.hpp"
+
+namespace sh {
+namespace {
+
+using baselines::PipelineStrategy;
+using baselines::Workload;
+
+Workload big_model(std::int64_t layers = 80) {
+  Workload w;
+  w.model = sim::table1_model(layers, 2560);
+  w.batch = 8.0;
+  return w;
+}
+
+TEST(Pipeline, BubbleFractionFormula) {
+  EXPECT_DOUBLE_EQ(PipelineStrategy(4, 12).bubble_fraction(), 3.0 / 15.0);
+  EXPECT_DOUBLE_EQ(PipelineStrategy(1, 8).bubble_fraction(), 0.0);
+}
+
+TEST(Pipeline, MoreStagesFitBiggerModels) {
+  const auto m = sim::v100_server();
+  const auto w = big_model(80);  // ~6.3B: too big for one V100
+  baselines::MegatronStrategy mono;
+  EXPECT_FALSE(mono.capacity(w, m).fits);
+  PipelineStrategy p4(4, 8);
+  EXPECT_TRUE(p4.capacity(w, m).fits);
+}
+
+TEST(Pipeline, MoreMicroBatchesShrinkTheBubbleAtLargeBatch) {
+  // With enough total batch, splitting finer amortises the (p-1)/m fill
+  // bubble faster than it loses kernel occupancy.
+  const auto m = sim::v100_server();
+  auto w = big_model(80);
+  w.batch = 64.0;
+  const double t4 = PipelineStrategy(4, 4).iteration(w, m, nullptr).seconds;
+  const double t16 = PipelineStrategy(4, 16).iteration(w, m, nullptr).seconds;
+  EXPECT_LT(t16, t4);
+}
+
+TEST(Pipeline, TooManyMicroBatchesHurtOccupancy) {
+  // At a small total batch, over-splitting starves the kernels (the classic
+  // GPipe trade-off the paper's Section VII alludes to).
+  const auto m = sim::v100_server();
+  auto w = big_model(80);
+  w.batch = 8.0;
+  const double t4 = PipelineStrategy(4, 4).iteration(w, m, nullptr).seconds;
+  const double t32 = PipelineStrategy(4, 32).iteration(w, m, nullptr).seconds;
+  EXPECT_GT(t32, t4);
+}
+
+TEST(Pipeline, MoreStagesReducePerDeviceMemory) {
+  const auto machine = sim::v100_server();
+  const auto w = big_model(80);
+  const double g2 = PipelineStrategy(2, 8).capacity(w, machine).gpu_bytes;
+  const double g8 = PipelineStrategy(8, 8).capacity(w, machine).gpu_bytes;
+  EXPECT_LT(g8, g2);
+}
+
+TEST(Pipeline, RejectsDegenerateConfig) {
+  const auto machine = sim::v100_server();
+  const auto w = big_model(16);
+  EXPECT_THROW(PipelineStrategy(0, 4).capacity(w, machine),
+               std::invalid_argument);
+}
+
+// --- DES cross-validation -----------------------------------------------
+
+struct ReplayCase {
+  std::size_t layers;
+  std::size_t window;
+  double t_compute;
+  double t_fetch;
+  double latency;
+};
+
+class DesCrossCheck : public ::testing::TestWithParam<ReplayCase> {};
+
+TEST_P(DesCrossCheck, EventDrivenMatchesTimelineAlgebra) {
+  const auto& c = GetParam();
+  sim::ReplayParams p{.layers = c.layers,
+                      .window = c.window,
+                      .t_compute = c.t_compute,
+                      .t_fetch = c.t_fetch,
+                      .link_latency = c.latency};
+  const auto des = sim::replay_forward_sweep(p);
+  const auto alg = sim::forward_sweep_timeline(p);
+  EXPECT_NEAR(des.makespan, alg.makespan, 1e-12);
+  EXPECT_EQ(des.fetches, alg.fetches);
+  EXPECT_NEAR(des.gpu_idle, alg.gpu_idle, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, DesCrossCheck,
+    ::testing::Values(
+        ReplayCase{20, 2, 1.0, 0.2, 0.0},   // compute-bound: no stalls
+        ReplayCase{20, 1, 0.2, 1.0, 0.0},   // transfer-bound: stalls
+        ReplayCase{20, 4, 0.5, 0.5, 0.01},  // balanced with latency
+        ReplayCase{8, 8, 1.0, 3.0, 0.0},    // fully resident: no fetches
+        ReplayCase{50, 3, 0.1, 0.35, 0.0},  // bandwidth saturation
+        ReplayCase{1, 1, 1.0, 1.0, 0.0}));  // single layer
+
+TEST(DesReplay, ComputeBoundHasZeroIdle) {
+  sim::ReplayParams p{.layers = 30, .window = 2, .t_compute = 1.0,
+                      .t_fetch = 0.3, .link_latency = 0.0};
+  const auto r = sim::replay_forward_sweep(p);
+  EXPECT_DOUBLE_EQ(r.gpu_idle, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 30.0);
+  EXPECT_EQ(r.fetches, 28u);
+}
+
+TEST(DesReplay, TransferBoundMakespanIsLinkLimited) {
+  // One-layer window, fetch twice as slow as compute: the link paces the
+  // sweep after the resident prefix.
+  sim::ReplayParams p{.layers = 10, .window = 1, .t_compute = 1.0,
+                      .t_fetch = 2.0, .link_latency = 0.0};
+  const auto r = sim::replay_forward_sweep(p);
+  EXPECT_GT(r.gpu_idle, 0.0);
+  // Layer 0 computes at [0,1); fetch i completes at 2i (FIFO, issued early
+  // enough); last fetch (layer 9) done at 18, computes to 19.
+  EXPECT_DOUBLE_EQ(r.makespan, 19.0);
+}
+
+TEST(DesReplay, LargerWindowNeverHurts) {
+  for (std::size_t m : {1u, 2u, 4u, 8u}) {
+    sim::ReplayParams a{.layers = 24, .window = m, .t_compute = 0.4,
+                        .t_fetch = 1.0, .link_latency = 0.0};
+    sim::ReplayParams b = a;
+    b.window = m + 1;
+    EXPECT_LE(sim::replay_forward_sweep(b).makespan,
+              sim::replay_forward_sweep(a).makespan + 1e-12)
+        << "window " << m;
+  }
+}
+
+}  // namespace
+}  // namespace sh

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace sh::tensor {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasApproxZeroMeanUnitVariance) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(3);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.next_below(8)];
+  for (int h : hits) EXPECT_GT(h, 800);  // roughly uniform
+}
+
+TEST(Rng, FillUniformRespectsAmplitude) {
+  Rng rng(21);
+  std::vector<float> v(1000);
+  rng.fill_uniform(v, 0.25f);
+  for (float x : v) {
+    EXPECT_GE(x, -0.25f);
+    EXPECT_LT(x, 0.25f);
+  }
+}
+
+TEST(Rng, FillNormalScalesStddev) {
+  Rng rng(31);
+  std::vector<float> v(50000);
+  rng.fill_normal(v, 2.0f);
+  double sumsq = 0;
+  for (float x : v) sumsq += static_cast<double>(x) * x;
+  EXPECT_NEAR(std::sqrt(sumsq / v.size()), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sh::tensor

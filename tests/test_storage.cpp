@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+#include "storage/swap_file.hpp"
+
+namespace sh::storage {
+namespace {
+
+std::string tmp_path(const std::string& tag) {
+  return ::testing::TempDir() + "swapfile_" + tag + ".bin";
+}
+
+TEST(SwapFile, WriteReadRoundTrip) {
+  SwapFile swap(tmp_path("roundtrip"));
+  std::vector<float> data(257);
+  std::iota(data.begin(), data.end(), 0.0f);
+  swap.write(1, data);
+  std::vector<float> out(257, -1.0f);
+  swap.read(1, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(SwapFile, MultipleKeysGetDisjointRegions) {
+  SwapFile swap(tmp_path("multikey"));
+  std::vector<float> a(64, 1.0f), b(64, 2.0f), c(32, 3.0f);
+  swap.write(10, a);
+  swap.write(20, b);
+  swap.write(30, c);
+  EXPECT_EQ(swap.bytes_used(), (64u + 64u + 32u) * sizeof(float));
+  std::vector<float> out(64);
+  swap.read(10, out);
+  EXPECT_EQ(out[0], 1.0f);
+  swap.read(20, out);
+  EXPECT_EQ(out[63], 2.0f);
+}
+
+TEST(SwapFile, RewriteUpdatesInPlace) {
+  SwapFile swap(tmp_path("rewrite"));
+  std::vector<float> v1(16, 1.0f), v2(16, 9.0f);
+  swap.write(5, v1);
+  const std::size_t used = swap.bytes_used();
+  swap.write(5, v2);
+  EXPECT_EQ(swap.bytes_used(), used);  // no new region
+  std::vector<float> out(16);
+  swap.read(5, out);
+  EXPECT_EQ(out[7], 9.0f);
+}
+
+TEST(SwapFile, SizeMismatchThrows) {
+  SwapFile swap(tmp_path("mismatch"));
+  std::vector<float> v(16, 1.0f);
+  swap.write(1, v);
+  std::vector<float> wrong(8);
+  EXPECT_THROW(swap.write(1, wrong), std::invalid_argument);
+  EXPECT_THROW(swap.read(1, wrong), std::invalid_argument);
+}
+
+TEST(SwapFile, ReadUnknownKeyThrows) {
+  SwapFile swap(tmp_path("unknown"));
+  std::vector<float> out(4);
+  EXPECT_THROW(swap.read(99, out), std::out_of_range);
+}
+
+TEST(SwapFile, CapacityEnforced) {
+  SwapFile swap(tmp_path("capacity"), 100 * sizeof(float));
+  std::vector<float> v(60, 1.0f);
+  swap.write(1, v);
+  EXPECT_THROW(swap.write(2, v), std::runtime_error);  // 120 > 100 floats
+  EXPECT_TRUE(swap.contains(1));
+  EXPECT_FALSE(swap.contains(2));
+}
+
+TEST(SwapFile, AsyncWritesAreFifoAndOverlapCaller) {
+  SwapFile swap(tmp_path("async"), 0, 2e6);  // throttle: 2 MB/s
+  std::vector<float> data(25000, 4.0f);      // 100 KB -> 0.05 s per op
+  const auto t0 = std::chrono::steady_clock::now();
+  auto f1 = swap.write_async(1, data);
+  auto f2 = swap.write_async(2, data);
+  const double submit =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(submit, 0.04);  // caller not blocked
+  f1.get();
+  f2.get();
+  std::vector<float> out(25000);
+  swap.read(2, out);
+  EXPECT_EQ(out[100], 4.0f);
+}
+
+TEST(SwapFile, ManyKeysStress) {
+  SwapFile swap(tmp_path("stress"));
+  for (std::int64_t k = 0; k < 50; ++k) {
+    std::vector<float> v(128, static_cast<float>(k));
+    swap.write_async(k, v).get();
+  }
+  for (std::int64_t k = 49; k >= 0; --k) {
+    std::vector<float> out(128);
+    swap.read(k, out);
+    EXPECT_EQ(out[0], static_cast<float>(k));
+    EXPECT_EQ(out[127], static_cast<float>(k));
+  }
+}
+
+}  // namespace
+}  // namespace sh::storage

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.hpp"
+
+namespace sh::tensor {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShapeHasZeroNumel) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_TRUE(Shape({2, 3}) == Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({2, 3, 1}));
+}
+
+TEST(Shape, RejectsNegativeDimension) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, ZerosIsZeroInitialised) {
+  auto t = Tensor::zeros({4, 4});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+  EXPECT_TRUE(t.owns());
+  EXPECT_TRUE(t.defined());
+}
+
+TEST(Tensor, FullFillsValue) {
+  auto t = Tensor::full({3}, 2.5f);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(Tensor, ViewSharesMemory) {
+  float buf[6] = {0, 1, 2, 3, 4, 5};
+  auto v = Tensor::view({2, 3}, buf);
+  EXPECT_FALSE(v.owns());
+  v.at(0) = 42.0f;
+  EXPECT_EQ(buf[0], 42.0f);
+}
+
+TEST(Tensor, RebindRepointsView) {
+  float a[2] = {1, 2};
+  float b[2] = {3, 4};
+  auto v = Tensor::view({2}, a);
+  v.rebind(b);
+  EXPECT_EQ(v.at(0), 3.0f);
+}
+
+TEST(Tensor, RebindOwningThrows) {
+  auto t = Tensor::zeros({2});
+  float buf[2];
+  EXPECT_THROW(t.rebind(buf), std::logic_error);
+}
+
+TEST(Tensor, CloneIsDeepCopy) {
+  auto t = Tensor::full({3}, 1.0f);
+  auto c = t.clone();
+  c.at(0) = 9.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(c.at(0), 9.0f);
+}
+
+TEST(Tensor, CopyFromChecksSize) {
+  auto a = Tensor::zeros({4});
+  auto b = Tensor::full({4}, 2.0f);
+  a.copy_from(b);
+  EXPECT_EQ(a.at(3), 2.0f);
+  auto c = Tensor::zeros({5});
+  EXPECT_THROW(a.copy_from(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sh::tensor

@@ -1,0 +1,205 @@
+// Property tests for the analytical window model (Section III-D).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/window_model.hpp"
+
+namespace sh::core {
+namespace {
+
+/// Homogeneous model: n identical layers.
+WindowModelInput homogeneous(std::size_t n, double t_fp, double t_bp,
+                             double t_c2g, double t_g2c, double s,
+                             double s_avail) {
+  WindowModelInput in;
+  in.layers.assign(n, LayerProfile{.t_fp = t_fp,
+                                   .t_bp = t_bp,
+                                   .t_c2g = t_c2g,
+                                   .t_g2c = t_g2c,
+                                   .s_fp = s,
+                                   .s_bp = s,
+                                   .t_opt_gpu = 0.0,
+                                   .t_opt_cpu = 0.0});
+  in.s_avail = s_avail;
+  return in;
+}
+
+TEST(WindowModel, FastComputeNeedsWindowOfOne) {
+  // Compute far slower than transfer: one layer of lookahead hides it.
+  auto in = homogeneous(20, /*t_fp=*/10.0, /*t_bp=*/20.0, /*t_c2g=*/1.0,
+                        /*t_g2c=*/1.0, /*s=*/1.0, /*s_avail=*/100.0);
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.m_fp, 1u);
+  EXPECT_EQ(d.m_bp, 1u);
+  EXPECT_EQ(d.m, 1u);
+  EXPECT_TRUE(d.soft_fp);
+  EXPECT_TRUE(d.soft_bp);
+}
+
+TEST(WindowModel, SlowTransferGrowsWindow) {
+  // t_c2g = 3.5 * t_fp: need ceil(3.5) = 4 layers of compute to cover it.
+  auto in = homogeneous(20, 1.0, 2.0, 3.5, 0.5, 1.0, 100.0);
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.m_fp, 4u);
+}
+
+TEST(WindowModel, BpConstraintUsesMminusOneLayers) {
+  // (2b) sums m-1 layers of BP compute against the outgoing g2c transfer.
+  // t_g2c = 2.5 * t_bp -> m - 1 >= 2.5 -> m = 4.
+  auto in = homogeneous(20, 10.0, 1.0, 0.1, 2.5, 1.0, 100.0);
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.m_bp, 4u);
+  EXPECT_EQ(d.m, 4u);
+}
+
+TEST(WindowModel, ChoosesMaxOfFpAndBpRequirements) {
+  auto in = homogeneous(20, 1.0, 1.0, 2.5, 4.5, 1.0, 100.0);
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GE(d.m, d.m_fp);
+  EXPECT_GE(d.m, d.m_bp);
+}
+
+TEST(WindowModel, MemoryBoundsWindow) {
+  // Transfers need m=5 but memory only fits 3 layers -> infeasible fallback.
+  auto in = homogeneous(20, 1.0, 1.0, 4.5, 0.1, 1.0, /*s_avail=*/3.4);
+  const auto d = solve_window(in);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.m, d.max_m_by_memory);
+  EXPECT_LE(d.m, 3u);
+  EXPECT_GE(d.m, 1u);
+}
+
+TEST(WindowModel, NothingFits) {
+  auto in = homogeneous(4, 1.0, 1.0, 1.0, 1.0, 10.0, /*s_avail=*/5.0);
+  // One layer (10) plus the incoming stage (10) exceeds 5? One layer alone
+  // already needs 10 + 10 staged = 20 > 5 -> no window at all.
+  const auto d = solve_window(in);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.max_m_by_memory, 0u);
+  EXPECT_EQ(d.m, 0u);
+}
+
+TEST(WindowModel, EmptyInput) {
+  WindowModelInput in;
+  const auto d = solve_window(in);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.m, 0u);
+}
+
+TEST(WindowModel, SoftConstraintExpandsWindowWhenMemoryAllows) {
+  // Hard constraints hold at m=1 (t_fp >= t_c2g) but the soft constraint
+  // (compute >= c2g + g2c) fails until m is larger... with homogeneous
+  // layers soft never improves with m (both sides scale), so pick a profile
+  // where transfers are front-loaded.
+  WindowModelInput in;
+  in.layers.assign(6, LayerProfile{.t_fp = 1.0, .t_bp = 1.0, .t_c2g = 0.9,
+                                   .t_g2c = 0.9, .s_fp = 1.0, .s_bp = 1.0,
+                                   .t_opt_gpu = 0.0, .t_opt_cpu = 0.0});
+  in.layers[0].t_c2g = 0.2;  // cheap first fetch keeps hard constraint easy
+  in.s_avail = 100.0;
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  // Soft constraint: m * 1.0 >= m * 1.8 is never true for homogeneous rest,
+  // so the solver walks to the memory limit and reports soft as unmet.
+  EXPECT_FALSE(d.soft_fp && d.soft_bp);
+}
+
+TEST(WindowModel, HardConstraintCheckerAgreesWithSolver) {
+  auto in = homogeneous(16, 1.0, 2.0, 2.5, 1.5, 1.0, 50.0);
+  const auto d = solve_window(in);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_TRUE(window_satisfies_hard_constraints(in, d.m));
+  if (d.m > 1) {
+    // Minimality on the binding dimension.
+    EXPECT_FALSE(window_satisfies_hard_constraints(in, std::min(d.m_fp, d.m_bp) - 1));
+  }
+}
+
+TEST(WindowModel, HeterogeneousLayersUseWorstWindow) {
+  // One giant layer in the middle forces a larger window for its fetch.
+  auto in = homogeneous(10, 1.0, 1.0, 0.5, 0.1, 1.0, 100.0);
+  in.layers[5].t_c2g = 3.5;  // fetching layer 5 needs 4 layers of compute
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GE(d.m_fp, 4u);
+}
+
+TEST(WindowModel, UpdateHiddenWhenCpuFast) {
+  auto in = homogeneous(10, 1.0, 2.0, 0.5, 0.5, 1.0, 100.0);
+  for (auto& l : in.layers) {
+    l.t_opt_cpu = 0.5;  // far below the FP+BP budget
+    l.t_opt_gpu = 0.1;
+  }
+  const auto d = solve_window(in);
+  EXPECT_TRUE(d.update_hidden);
+}
+
+TEST(WindowModel, UpdateNotHiddenWhenCpuSlow) {
+  auto in = homogeneous(10, 0.01, 0.01, 0.005, 0.005, 1.0, 100.0);
+  for (auto& l : in.layers) l.t_opt_cpu = 100.0;
+  const auto d = solve_window(in);
+  EXPECT_FALSE(d.update_hidden);
+}
+
+TEST(WindowModel, AsyncAmortizedPerEquation5) {
+  // 5 n t_async <= (n - m) t_opt_gpu.
+  auto in = homogeneous(100, 1.0, 1.0, 0.5, 0.5, 1.0, 1000.0);
+  for (auto& l : in.layers) l.t_opt_gpu = 0.2;
+  in.t_async = 0.001;  // 5*100*0.001 = 0.5 <= ~99*0.2
+  auto d = solve_window(in);
+  EXPECT_TRUE(d.async_amortized);
+  in.t_async = 1.0;  // 500 > 19.8
+  d = solve_window(in);
+  EXPECT_FALSE(d.async_amortized);
+}
+
+class WindowMonotonicity
+    : public ::testing::TestWithParam<double> {};  // transfer time
+
+TEST_P(WindowMonotonicity, SlowerLinksNeverShrinkTheWindow) {
+  const double t_c2g = GetParam();
+  auto base = homogeneous(32, 1.0, 2.0, t_c2g, t_c2g / 2.0, 1.0, 1000.0);
+  const auto d1 = solve_window(base);
+  auto slower = base;
+  for (auto& l : slower.layers) {
+    l.t_c2g *= 1.5;
+    l.t_g2c *= 1.5;
+  }
+  const auto d2 = solve_window(slower);
+  ASSERT_TRUE(d1.feasible);
+  ASSERT_TRUE(d2.feasible);
+  EXPECT_GE(d2.m_fp, d1.m_fp);
+  EXPECT_GE(d2.m_bp, d1.m_bp);
+}
+
+INSTANTIATE_TEST_SUITE_P(TransferSweep, WindowMonotonicity,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+class WindowComputeMonotonicity
+    : public ::testing::TestWithParam<double> {};  // compute time
+
+TEST_P(WindowComputeMonotonicity, FasterComputeNeverShrinksRequirement) {
+  const double t_fp = GetParam();
+  auto base = homogeneous(32, t_fp, 2.0 * t_fp, 2.0, 1.0, 1.0, 1000.0);
+  const auto slow = solve_window(base);
+  auto faster = base;
+  for (auto& l : faster.layers) {
+    l.t_fp *= 0.5;
+    l.t_bp *= 0.5;
+  }
+  const auto fast = solve_window(faster);
+  ASSERT_TRUE(slow.feasible);
+  ASSERT_TRUE(fast.feasible);
+  EXPECT_GE(fast.m_fp, slow.m_fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(ComputeSweep, WindowComputeMonotonicity,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace sh::core
