@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commvolume.dir/bench_commvolume.cpp.o"
+  "CMakeFiles/bench_commvolume.dir/bench_commvolume.cpp.o.d"
+  "bench_commvolume"
+  "bench_commvolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commvolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

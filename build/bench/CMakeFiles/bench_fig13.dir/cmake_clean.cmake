@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13.dir/bench_fig13.cpp.o"
+  "CMakeFiles/bench_fig13.dir/bench_fig13.cpp.o.d"
+  "bench_fig13"
+  "bench_fig13.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

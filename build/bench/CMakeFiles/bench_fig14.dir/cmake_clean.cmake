@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o"
+  "CMakeFiles/bench_fig14.dir/bench_fig14.cpp.o.d"
+  "bench_fig14"
+  "bench_fig14.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a.dir/bench_fig6a.cpp.o"
+  "CMakeFiles/bench_fig6a.dir/bench_fig6a.cpp.o.d"
+  "bench_fig6a"
+  "bench_fig6a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

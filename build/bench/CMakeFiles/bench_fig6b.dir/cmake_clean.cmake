@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b.dir/bench_fig6b.cpp.o"
+  "CMakeFiles/bench_fig6b.dir/bench_fig6b.cpp.o.d"
+  "bench_fig6b"
+  "bench_fig6b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a.dir/bench_fig8a.cpp.o"
+  "CMakeFiles/bench_fig8a.dir/bench_fig8a.cpp.o.d"
+  "bench_fig8a"
+  "bench_fig8a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

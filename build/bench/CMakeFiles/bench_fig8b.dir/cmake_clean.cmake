@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b.dir/bench_fig8b.cpp.o"
+  "CMakeFiles/bench_fig8b.dir/bench_fig8b.cpp.o.d"
+  "bench_fig8b"
+  "bench_fig8b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_window_modes.dir/bench_window_modes.cpp.o"
+  "CMakeFiles/bench_window_modes.dir/bench_window_modes.cpp.o.d"
+  "bench_window_modes"
+  "bench_window_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

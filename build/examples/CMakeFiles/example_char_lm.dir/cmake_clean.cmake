@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_char_lm.dir/char_lm.cpp.o"
+  "CMakeFiles/example_char_lm.dir/char_lm.cpp.o.d"
+  "example_char_lm"
+  "example_char_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_char_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

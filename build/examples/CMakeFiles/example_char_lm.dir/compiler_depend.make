@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_char_lm.
+# This may be replaced when dependencies are built.

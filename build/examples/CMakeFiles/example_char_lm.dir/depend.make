@@ -1,0 +1,2 @@
+# Empty dependencies file for example_char_lm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_finetune_nvme.dir/finetune_nvme.cpp.o"
+  "CMakeFiles/example_finetune_nvme.dir/finetune_nvme.cpp.o.d"
+  "example_finetune_nvme"
+  "example_finetune_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_finetune_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

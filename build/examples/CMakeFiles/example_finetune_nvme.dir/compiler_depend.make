@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_finetune_nvme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_finetune_nvme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_knowledge_distillation.dir/knowledge_distillation.cpp.o"
+  "CMakeFiles/example_knowledge_distillation.dir/knowledge_distillation.cpp.o.d"
+  "example_knowledge_distillation"
+  "example_knowledge_distillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_knowledge_distillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_stream_training.dir/multi_stream_training.cpp.o"
+  "CMakeFiles/example_multi_stream_training.dir/multi_stream_training.cpp.o.d"
+  "example_multi_stream_training"
+  "example_multi_stream_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_stream_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_run_experiment.dir/run_experiment.cpp.o"
+  "CMakeFiles/example_run_experiment.dir/run_experiment.cpp.o.d"
+  "example_run_experiment"
+  "example_run_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_run_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

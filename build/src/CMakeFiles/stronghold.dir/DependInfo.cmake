@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cluster.cpp" "src/CMakeFiles/stronghold.dir/baselines/cluster.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/cluster.cpp.o.d"
+  "/root/repo/src/baselines/l2l.cpp" "src/CMakeFiles/stronghold.dir/baselines/l2l.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/l2l.cpp.o.d"
+  "/root/repo/src/baselines/megatron.cpp" "src/CMakeFiles/stronghold.dir/baselines/megatron.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/megatron.cpp.o.d"
+  "/root/repo/src/baselines/pipeline.cpp" "src/CMakeFiles/stronghold.dir/baselines/pipeline.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/pipeline.cpp.o.d"
+  "/root/repo/src/baselines/strategy.cpp" "src/CMakeFiles/stronghold.dir/baselines/strategy.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/strategy.cpp.o.d"
+  "/root/repo/src/baselines/stronghold_strategy.cpp" "src/CMakeFiles/stronghold.dir/baselines/stronghold_strategy.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/stronghold_strategy.cpp.o.d"
+  "/root/repo/src/baselines/zero_infinity.cpp" "src/CMakeFiles/stronghold.dir/baselines/zero_infinity.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/zero_infinity.cpp.o.d"
+  "/root/repo/src/baselines/zero_offload.cpp" "src/CMakeFiles/stronghold.dir/baselines/zero_offload.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/baselines/zero_offload.cpp.o.d"
+  "/root/repo/src/core/buffer_pool.cpp" "src/CMakeFiles/stronghold.dir/core/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/buffer_pool.cpp.o.d"
+  "/root/repo/src/core/byte_budget_pool.cpp" "src/CMakeFiles/stronghold.dir/core/byte_budget_pool.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/byte_budget_pool.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/stronghold.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/stronghold.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/layer_store.cpp" "src/CMakeFiles/stronghold.dir/core/layer_store.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/layer_store.cpp.o.d"
+  "/root/repo/src/core/monolithic.cpp" "src/CMakeFiles/stronghold.dir/core/monolithic.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/monolithic.cpp.o.d"
+  "/root/repo/src/core/optimizer_pool.cpp" "src/CMakeFiles/stronghold.dir/core/optimizer_pool.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/optimizer_pool.cpp.o.d"
+  "/root/repo/src/core/window_model.cpp" "src/CMakeFiles/stronghold.dir/core/window_model.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/core/window_model.cpp.o.d"
+  "/root/repo/src/data/bpe.cpp" "src/CMakeFiles/stronghold.dir/data/bpe.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/data/bpe.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/stronghold.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/data/text_corpus.cpp" "src/CMakeFiles/stronghold.dir/data/text_corpus.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/data/text_corpus.cpp.o.d"
+  "/root/repo/src/dist/comm_volume.cpp" "src/CMakeFiles/stronghold.dir/dist/comm_volume.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/dist/comm_volume.cpp.o.d"
+  "/root/repo/src/dist/dp_trainer.cpp" "src/CMakeFiles/stronghold.dir/dist/dp_trainer.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/dist/dp_trainer.cpp.o.d"
+  "/root/repo/src/dist/process_group.cpp" "src/CMakeFiles/stronghold.dir/dist/process_group.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/dist/process_group.cpp.o.d"
+  "/root/repo/src/hw/memory_pool.cpp" "src/CMakeFiles/stronghold.dir/hw/memory_pool.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/hw/memory_pool.cpp.o.d"
+  "/root/repo/src/hw/transfer.cpp" "src/CMakeFiles/stronghold.dir/hw/transfer.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/hw/transfer.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/stronghold.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/block.cpp" "src/CMakeFiles/stronghold.dir/nn/block.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/block.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/stronghold.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/gpt.cpp" "src/CMakeFiles/stronghold.dir/nn/gpt.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/gpt.cpp.o.d"
+  "/root/repo/src/nn/head.cpp" "src/CMakeFiles/stronghold.dir/nn/head.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/head.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/CMakeFiles/stronghold.dir/nn/layernorm.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/stronghold.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/stronghold.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/moe.cpp" "src/CMakeFiles/stronghold.dir/nn/moe.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/nn/moe.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/CMakeFiles/stronghold.dir/optim/optimizer.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/optim/optimizer.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/stronghold.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/stronghold.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/des_replay.cpp" "src/CMakeFiles/stronghold.dir/sim/des_replay.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/des_replay.cpp.o.d"
+  "/root/repo/src/sim/event_engine.cpp" "src/CMakeFiles/stronghold.dir/sim/event_engine.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/event_engine.cpp.o.d"
+  "/root/repo/src/sim/hardware.cpp" "src/CMakeFiles/stronghold.dir/sim/hardware.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/hardware.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/stronghold.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/stronghold.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/storage/swap_file.cpp" "src/CMakeFiles/stronghold.dir/storage/swap_file.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/storage/swap_file.cpp.o.d"
+  "/root/repo/src/tensor/dropout.cpp" "src/CMakeFiles/stronghold.dir/tensor/dropout.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/tensor/dropout.cpp.o.d"
+  "/root/repo/src/tensor/half.cpp" "src/CMakeFiles/stronghold.dir/tensor/half.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/tensor/half.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/stronghold.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/CMakeFiles/stronghold.dir/tensor/rng.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/stronghold.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/stronghold.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpe.dir/test_bpe.cpp.o"
+  "CMakeFiles/test_bpe.dir/test_bpe.cpp.o.d"
+  "test_bpe"
+  "test_bpe.pdb"
+  "test_bpe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

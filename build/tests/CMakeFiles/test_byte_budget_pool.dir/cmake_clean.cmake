@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byte_budget_pool.dir/test_byte_budget_pool.cpp.o"
+  "CMakeFiles/test_byte_budget_pool.dir/test_byte_budget_pool.cpp.o.d"
+  "test_byte_budget_pool"
+  "test_byte_budget_pool.pdb"
+  "test_byte_budget_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byte_budget_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

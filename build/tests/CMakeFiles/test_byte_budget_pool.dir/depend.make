@@ -1,0 +1,2 @@
+# Empty dependencies file for test_byte_budget_pool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint.dir/test_checkpoint.cpp.o"
+  "CMakeFiles/test_checkpoint.dir/test_checkpoint.cpp.o.d"
+  "test_checkpoint"
+  "test_checkpoint.pdb"
+  "test_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_trainer.dir/test_dp_trainer.cpp.o"
+  "CMakeFiles/test_dp_trainer.dir/test_dp_trainer.cpp.o.d"
+  "test_dp_trainer"
+  "test_dp_trainer.pdb"
+  "test_dp_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dropout.dir/test_dropout.cpp.o"
+  "CMakeFiles/test_dropout.dir/test_dropout.cpp.o.d"
+  "test_dropout"
+  "test_dropout.pdb"
+  "test_dropout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dropout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_matrix.dir/test_engine_matrix.cpp.o"
+  "CMakeFiles/test_engine_matrix.dir/test_engine_matrix.cpp.o.d"
+  "test_engine_matrix"
+  "test_engine_matrix.pdb"
+  "test_engine_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grad_accumulation.dir/test_grad_accumulation.cpp.o"
+  "CMakeFiles/test_grad_accumulation.dir/test_grad_accumulation.cpp.o.d"
+  "test_grad_accumulation"
+  "test_grad_accumulation.pdb"
+  "test_grad_accumulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grad_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moe.dir/test_moe.cpp.o"
+  "CMakeFiles/test_moe.dir/test_moe.cpp.o.d"
+  "test_moe"
+  "test_moe.pdb"
+  "test_moe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_des.dir/test_pipeline_des.cpp.o"
+  "CMakeFiles/test_pipeline_des.dir/test_pipeline_des.cpp.o.d"
+  "test_pipeline_des"
+  "test_pipeline_des.pdb"
+  "test_pipeline_des[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_clip.dir/test_schedule_clip.cpp.o"
+  "CMakeFiles/test_schedule_clip.dir/test_schedule_clip.cpp.o.d"
+  "test_schedule_clip"
+  "test_schedule_clip.pdb"
+  "test_schedule_clip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/test_storage.cpp.o"
+  "CMakeFiles/test_storage.dir/test_storage.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_model.dir/test_window_model.cpp.o"
+  "CMakeFiles/test_window_model.dir/test_window_model.cpp.o.d"
+  "test_window_model"
+  "test_window_model.pdb"
+  "test_window_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
