@@ -1,0 +1,114 @@
+// Serving throughput/latency bench: continuous batching through the
+// STRONGHOLD working window vs. offered load and KV-arena budget.
+//
+// Prints a fixed-width table and writes machine-readable BENCH_serve.json
+// (tokens/sec, p50/p99 request latency, preemption counts) to seed the
+// serving perf trajectory across PRs.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+struct Row {
+  std::size_t offered = 0;
+  std::size_t kv_budget = 0;
+  std::size_t max_batch = 0;
+  double tokens_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t steps = 0;
+  std::size_t preemptions = 0;
+};
+
+Row run_load(sh::core::StrongholdEngine& engine, std::size_t offered,
+             std::size_t kv_budget, std::size_t max_batch) {
+  sh::serve::SchedulerConfig scfg;
+  scfg.max_batch = max_batch;
+  scfg.arena.chunk_tokens = 8;
+  scfg.arena.budget_bytes = kv_budget;
+  sh::serve::Scheduler sched(engine, scfg);
+
+  for (std::size_t i = 0; i < offered; ++i) {
+    sh::serve::Request r;
+    r.prompt = {static_cast<std::int32_t>(1 + (7 * i) % 31),
+                static_cast<std::int32_t>(2 + (5 * i) % 29)};
+    r.max_new_tokens = 24;
+    r.sampling.temperature = 0.8f;
+    r.sampling.top_k = 16;
+    r.sampling.seed = 1000 + i;
+    sched.submit(r);
+  }
+  sched.run_to_completion();
+
+  const auto& es = sched.serve_engine().stats();
+  Row row;
+  row.offered = offered;
+  row.kv_budget = kv_budget;
+  row.max_batch = max_batch;
+  row.tokens_per_s = es.tokens_per_s();
+  row.p50_ms = sched.serve_engine().latency_percentile(0.5) * 1e3;
+  row.p99_ms = sched.serve_engine().latency_percentile(0.99) * 1e3;
+  row.steps = es.steps;
+  row.preemptions = sched.arena_stats().preemptions;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  sh::bench::header("sh::serve — continuous batching on the working window");
+
+  sh::nn::GptConfig mcfg;
+  mcfg.vocab = 64;
+  mcfg.max_seq = 32;
+  mcfg.hidden = 64;
+  mcfg.heads = 4;
+  mcfg.layers = 6;
+  sh::nn::GptModel model(mcfg);
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 2;
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+
+  // KV bytes/token = 2 * layers * hidden * 4 = 3072; a 32-token sequence
+  // needs 98304 B. The tight budget forces preemption under load.
+  const std::size_t tight = 400 * 1024;
+  const std::size_t roomy = std::size_t{16} << 20;
+  std::vector<Row> rows;
+  sh::bench::row("%8s %10s %6s %12s %10s %10s %7s %7s", "offered", "kv_budget",
+                 "batch", "tokens/s", "p50_ms", "p99_ms", "steps", "preempt");
+  for (const std::size_t offered : {1u, 4u, 8u, 16u, 32u}) {
+    for (const std::size_t budget : {tight, roomy}) {
+      const Row r = run_load(engine, offered, budget, /*max_batch=*/16);
+      rows.push_back(r);
+      sh::bench::row("%8zu %10zu %6zu %12.1f %10.2f %10.2f %7zu %7zu",
+                     r.offered, r.kv_budget, r.max_batch, r.tokens_per_s,
+                     r.p50_ms, r.p99_ms, r.steps, r.preemptions);
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_serve.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"rows\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"offered\": %zu, \"kv_budget_bytes\": %zu, "
+                   "\"max_batch\": %zu, \"tokens_per_s\": %.2f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"steps\": %zu, "
+                   "\"preemptions\": %zu}%s\n",
+                   r.offered, r.kv_budget, r.max_batch, r.tokens_per_s,
+                   r.p50_ms, r.p99_ms, r.steps, r.preemptions,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_serve.json\n");
+  }
+  return 0;
+}

@@ -4,6 +4,7 @@
 // the corresponding paper figure.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
 

@@ -1,0 +1,80 @@
+// sh::serve demo: a model trained through the STRONGHOLD offload engine
+// serves a burst of concurrent generation requests with continuous batching,
+// a byte-budgeted KV arena (tight enough to force preemption) and per-request
+// deterministic sampling. Prints the schedule's throughput, latency
+// percentiles and the serve-step/request Gantt trace.
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "serve/scheduler.hpp"
+
+int main() {
+  sh::nn::GptConfig mcfg;
+  mcfg.vocab = 64;
+  mcfg.max_seq = 24;
+  mcfg.hidden = 32;
+  mcfg.heads = 4;
+  mcfg.layers = 4;
+  sh::nn::GptModel model(mcfg);
+
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 2;
+  ecfg.adam.lr = 5e-3f;
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(7);
+
+  // A few training steps so generation has structure to imitate.
+  sh::data::SyntheticCorpus corpus(mcfg.vocab, 11);
+  for (int i = 0; i < 30; ++i) {
+    engine.train_step(corpus.next_batch(4, mcfg.max_seq));
+  }
+
+  sh::serve::SchedulerConfig scfg;
+  scfg.max_batch = 8;
+  scfg.arena.chunk_tokens = 4;
+  // 2 * layers * hidden * 4 = 1024 bytes/token; 12 in-flight sequences at
+  // full depth would need ~200 KiB — the 64 KiB budget forces preemption.
+  scfg.arena.budget_bytes = 64 * 1024;
+  sh::serve::Scheduler sched(engine, scfg);
+
+  std::printf("submitting 12 requests (greedy and sampled)...\n");
+  for (int i = 0; i < 12; ++i) {
+    sh::serve::Request r;
+    r.prompt = {static_cast<std::int32_t>((3 + 5 * i) % mcfg.vocab),
+                static_cast<std::int32_t>((1 + 7 * i) % mcfg.vocab)};
+    r.max_new_tokens = 14;
+    if (i % 2 == 0) {
+      r.sampling.temperature = 0.9f;
+      r.sampling.top_k = 12;
+      r.sampling.top_p = 0.95f;
+      r.sampling.seed = 40 + i;
+    }  // odd requests stay greedy
+    const auto id = sched.submit(r);
+    std::printf("  request %llu: prompt [%d %d] %s\n",
+                static_cast<unsigned long long>(id), r.prompt[0], r.prompt[1],
+                i % 2 == 0 ? "sampled" : "greedy");
+  }
+
+  sched.run_to_completion();
+
+  const auto ss = sched.stats();
+  const auto& as = sched.arena_stats();
+  const auto& es = sched.serve_engine().stats();
+  std::printf("\nfinished %zu requests in %zu steps\n", ss.finished, ss.steps);
+  std::printf("tokens/sec        : %.0f\n", es.tokens_per_s());
+  std::printf("latency p50 / p99 : %.2f ms / %.2f ms\n",
+              sched.serve_engine().latency_percentile(0.5) * 1e3,
+              sched.serve_engine().latency_percentile(0.99) * 1e3);
+  std::printf("KV arena          : peak %zu B of %zu B, %zu preemptions, "
+              "%zu resumes\n",
+              as.peak_bytes, scfg.arena.budget_bytes, as.preemptions,
+              as.resumes);
+
+  std::printf("\ntokens of request 1: ");
+  for (const auto t : sched.result(1)) std::printf("%d ", t);
+  std::printf("\n\nserving trace:\n");
+  sched.serve_engine().trace().render(std::cout, 100);
+  return 0;
+}

@@ -725,35 +725,44 @@ void StrongholdEngine::maybe_update_window() {
   window_frozen_ = true;
 }
 
-tensor::Tensor StrongholdEngine::inference(std::span<const std::int32_t> ids,
-                                           const nn::BatchShape& shape,
-                                           const ActivationObserver& observer) {
+void StrongholdEngine::stream_layers(const LayerVisitor& visit) {
   const std::size_t blocks = num_blocks();
   normalize_residency();
-
-  auto& emb_layer = static_cast<nn::Embedding&>(model_.layer(0));
-  LayerState& emb = store_.state(0);
   std::vector<float> scratch(
       static_cast<std::size_t>(store_.max_layer_params()), 0.0f);
-  emb_layer.bind(pinned_emb_, scratch.data());
-  emb_layer.set_ids({ids.begin(), ids.end()});
-  tensor::Tensor x = emb_layer.forward({}, shape);
-  (void)emb;
+
+  model_.layer(0).bind(pinned_emb_, scratch.data());
+  visit(0, model_.layer(0));
 
   for (std::size_t b = 1; b <= blocks; ++b) {
     LayerState& st = block(b);
     wait_ready(st);
     if (b + window_ <= blocks) prefetch(b + window_);
     model_.layer(b).bind(st.gpu_slot, scratch.data());
-    x = model_.layer(b).forward(x, shape);
-    if (observer) observer(b, x);
+    visit(b, model_.layer(b));
     if (b + window_ <= blocks) evict_after_forward(st);
   }
 
-  LayerState& head = store_.state(head_index());
   model_.layer(head_index()).bind(pinned_head_, scratch.data());
-  (void)head;
-  return model_.layer(head_index()).forward(x, shape);
+  visit(head_index(), model_.layer(head_index()));
+}
+
+tensor::Tensor StrongholdEngine::inference(std::span<const std::int32_t> ids,
+                                           const nn::BatchShape& shape,
+                                           const ActivationObserver& observer) {
+  const std::size_t blocks = num_blocks();
+  tensor::Tensor x;
+  stream_layers([&](std::size_t unit, nn::Layer& layer) {
+    if (unit == 0) {
+      auto& emb = static_cast<nn::Embedding&>(layer);
+      emb.set_ids({ids.begin(), ids.end()});
+      x = emb.forward({}, shape);
+    } else {
+      x = layer.forward(x, shape);
+      if (unit <= blocks && observer) observer(unit, x);
+    }
+  });
+  return x;
 }
 
 void StrongholdEngine::quiesce_and_sync_masters() {
@@ -816,31 +825,24 @@ tensor::Tensor StrongholdEngine::decode_step(Decoder& decoder,
     throw std::out_of_range("decode_step: decoder capacity exceeded");
   }
   const std::size_t blocks = num_blocks();
-  normalize_residency();
   const nn::BatchShape shape{decoder.batch_, n_new, /*training=*/false,
                              /*step=*/0, /*row_offset=*/0,
                              /*pos_offset=*/decoder.pos_};
 
-  auto& emb_layer = static_cast<nn::Embedding&>(model_.layer(0));
-  std::vector<float> scratch(
-      static_cast<std::size_t>(store_.max_layer_params()), 0.0f);
-  emb_layer.bind(pinned_emb_, scratch.data());
-  emb_layer.set_ids({ids.begin(), ids.end()});
-  tensor::Tensor x = emb_layer.forward({}, shape);
-
-  for (std::size_t b = 1; b <= blocks; ++b) {
-    LayerState& st = block(b);
-    wait_ready(st);
-    if (b + window_ <= blocks) prefetch(b + window_);
-    model_.layer(b).bind(st.gpu_slot, scratch.data());
-    x = model_.layer(b).forward_incremental(x, shape, decoder.caches_[b - 1]);
-    if (b + window_ <= blocks) evict_after_forward(st);
-  }
-
-  model_.layer(head_index()).bind(pinned_head_, scratch.data());
-  auto logits = model_.layer(head_index()).forward(x, shape);
+  tensor::Tensor x;
+  stream_layers([&](std::size_t unit, nn::Layer& layer) {
+    if (unit == 0) {
+      auto& emb = static_cast<nn::Embedding&>(layer);
+      emb.set_ids({ids.begin(), ids.end()});
+      x = emb.forward({}, shape);
+    } else if (unit <= blocks) {
+      x = layer.forward_incremental(x, shape, decoder.caches_[unit - 1]);
+    } else {
+      x = layer.forward(x, shape);
+    }
+  });
   decoder.pos_ += n_new;
-  return logits;
+  return x;
 }
 
 std::vector<std::int32_t> StrongholdEngine::generate_incremental(

@@ -157,6 +157,18 @@ class StrongholdEngine {
                            const nn::BatchShape& shape,
                            const ActivationObserver& observer = {});
 
+  /// Layer-streaming FP hook (Section VI-D3 serving): streams every model
+  /// unit's parameters through the working window exactly once — pinned
+  /// embedding, blocks prefetched/evicted FP-style, pinned head — and
+  /// invokes `visit(unit, layer)` while each unit is bound to resident
+  /// memory. The callback may run the unit any number of times before it is
+  /// evicted, which is what lets a serving batch amortize one weight
+  /// transfer across many resident sequences (sh::serve builds on this).
+  /// Unit 0 is the embedding, units 1..num_blocks the transformer blocks,
+  /// and the last unit the LM head.
+  using LayerVisitor = std::function<void(std::size_t unit, nn::Layer& layer)>;
+  void stream_layers(const LayerVisitor& visit);
+
   /// Greedy autoregressive generation: extends `prompt` by `new_tokens`
   /// tokens using repeated FP-only passes through the working window. The
   /// context is the last max_seq tokens.

@@ -1,0 +1,35 @@
+#include "nn/decode_batch.hpp"
+
+#include <stdexcept>
+
+#include "nn/embedding.hpp"
+
+namespace sh::nn {
+
+void apply_unit_multi(Layer& layer, std::size_t unit, std::size_t num_blocks,
+                      std::span<DecodeSlot> slots) {
+  if (unit == 0) {
+    auto& emb = static_cast<Embedding&>(layer);
+    for (DecodeSlot& slot : slots) {
+      emb.set_ids(slot.ids);
+      slot.x = emb.forward({}, slot.shape());
+    }
+    return;
+  }
+  if (unit <= num_blocks) {
+    for (DecodeSlot& slot : slots) {
+      KvCache& cache = slot.caches[unit - 1];
+      if (cache.length != slot.pos) {
+        throw std::logic_error(
+            "apply_unit_multi: KV cache length does not match slot position");
+      }
+      slot.x = layer.forward_incremental(slot.x, slot.shape(), cache);
+    }
+    return;
+  }
+  for (DecodeSlot& slot : slots) {
+    slot.x = layer.forward(slot.x, slot.shape());
+  }
+}
+
+}  // namespace sh::nn

@@ -1,0 +1,50 @@
+// Multi-sequence KV-cached decode over a single resident layer.
+//
+// Continuous-batching serving (sh::serve) keeps many sequences in flight at
+// once, each with its own KV cache and its own position. STRONGHOLD's window
+// streaming pays the host->device transfer of a layer's weights exactly once
+// per step; this helper then applies that resident layer to EVERY in-flight
+// sequence before the window moves on, amortizing the transfer across the
+// batch. Each sequence runs as its own batch-of-one pass, so the arithmetic
+// per sequence is bit-identical to decoding that sequence alone — the
+// identity the serving equivalence tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace sh::nn {
+
+/// One in-flight sequence's state while a decode step flows through the
+/// layer stack. `x` carries the activation from unit to unit.
+struct DecodeSlot {
+  /// New token ids fed this step (one for decode, the prompt for prefill).
+  std::vector<std::int32_t> ids;
+  /// Absolute position of ids.front() within the sequence.
+  std::int64_t pos = 0;
+  /// Per-block KV caches, one per transformer block.
+  std::span<KvCache> caches;
+  /// Activation [tokens, features]; updated in place by apply_unit_multi.
+  tensor::Tensor x;
+
+  BatchShape shape() const noexcept {
+    return BatchShape{/*batch=*/1,
+                      /*seq=*/static_cast<std::int64_t>(ids.size()),
+                      /*training=*/false,
+                      /*step=*/0,
+                      /*row_offset=*/0,
+                      /*pos_offset=*/pos};
+  }
+};
+
+/// Applies model unit `unit` (0 = embedding, 1..num_blocks = transformer
+/// blocks, num_blocks+1 = LM head) to every slot while the unit's weights
+/// are resident. Blocks run the KV-cached incremental forward against each
+/// slot's own cache; the embedding sources activations from slot.ids.
+void apply_unit_multi(Layer& layer, std::size_t unit, std::size_t num_blocks,
+                      std::span<DecodeSlot> slots);
+
+}  // namespace sh::nn

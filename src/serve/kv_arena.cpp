@@ -1,0 +1,170 @@
+#include "serve/kv_arena.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sh::serve {
+
+namespace {
+
+/// Copies `length` positions of every head from `src` (capacity src_cap)
+/// into `dst` (capacity dst_cap). Layout: [1, heads, capacity, head_dim].
+void copy_rows(const float* src, std::int64_t src_cap, float* dst,
+               std::int64_t dst_cap, std::int64_t heads, std::int64_t head_dim,
+               std::int64_t length) {
+  for (std::int64_t h = 0; h < heads; ++h) {
+    std::memcpy(dst + h * dst_cap * head_dim, src + h * src_cap * head_dim,
+                sizeof(float) * static_cast<std::size_t>(length * head_dim));
+  }
+}
+
+}  // namespace
+
+KvArena::KvArena(const nn::GptConfig& model, KvArenaConfig config)
+    : blocks_(model.layers),
+      heads_(model.heads),
+      head_dim_(model.hidden / model.heads),
+      cfg_(config) {
+  if (cfg_.chunk_tokens <= 0) {
+    throw std::invalid_argument("KvArena: chunk_tokens must be positive");
+  }
+}
+
+std::int64_t KvArena::round_to_chunk(std::int64_t tokens) const {
+  const std::int64_t chunks =
+      (tokens + cfg_.chunk_tokens - 1) / cfg_.chunk_tokens;
+  return std::max<std::int64_t>(chunks, 1) * cfg_.chunk_tokens;
+}
+
+std::size_t KvArena::bytes_for(std::int64_t tokens) const {
+  const std::int64_t cap = round_to_chunk(tokens);
+  return sizeof(float) *
+         static_cast<std::size_t>(2 * blocks_ * heads_ * cap * head_dim_);
+}
+
+KvArena::Slab KvArena::make_slab(std::int64_t capacity) const {
+  Slab slab;
+  slab.capacity = capacity;
+  slab.caches.resize(static_cast<std::size_t>(blocks_));
+  for (nn::KvCache& c : slab.caches) {
+    c.k = tensor::Tensor::zeros({1, heads_, capacity, head_dim_});
+    c.v = tensor::Tensor::zeros({1, heads_, capacity, head_dim_});
+    c.capacity = capacity;
+    c.length = 0;
+  }
+  return slab;
+}
+
+void KvArena::charge(std::size_t bytes) {
+  stats_.bytes_in_use += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+}
+
+bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
+  auto it = slabs_.find(id);
+  if (it == slabs_.end()) {
+    if (preempted(id)) {
+      throw std::logic_error("KvArena: reserve on a preempted sequence");
+    }
+    const std::size_t bytes = bytes_for(tokens);
+    if (stats_.bytes_in_use + bytes > cfg_.budget_bytes) return false;
+    Slab slab = make_slab(round_to_chunk(tokens));
+    slabs_.emplace(id, std::move(slab));
+    charge(bytes);
+    ++stats_.admissions;
+    return true;
+  }
+
+  Slab& slab = it->second;
+  if (tokens <= slab.capacity) return true;
+  const std::size_t old_bytes = bytes_for(slab.capacity);
+  const std::size_t new_bytes = bytes_for(tokens);
+  if (stats_.bytes_in_use + (new_bytes - old_bytes) > cfg_.budget_bytes) {
+    return false;
+  }
+  Slab grown = make_slab(round_to_chunk(tokens));
+  for (std::size_t b = 0; b < slab.caches.size(); ++b) {
+    const nn::KvCache& src = slab.caches[b];
+    nn::KvCache& dst = grown.caches[b];
+    copy_rows(src.k.data(), src.capacity, dst.k.data(), dst.capacity, heads_,
+              head_dim_, src.length);
+    copy_rows(src.v.data(), src.capacity, dst.v.data(), dst.capacity, heads_,
+              head_dim_, src.length);
+    dst.length = src.length;
+  }
+  slab = std::move(grown);
+  charge(new_bytes - old_bytes);
+  ++stats_.grows;
+  return true;
+}
+
+void KvArena::preempt(std::uint64_t id) {
+  auto it = slabs_.find(id);
+  if (it == slabs_.end()) {
+    throw std::logic_error("KvArena: preempt of a non-resident sequence");
+  }
+  const Slab& slab = it->second;
+  Saved saved;
+  saved.length = slab.caches.empty() ? 0 : slab.caches.front().length;
+  saved.k.resize(slab.caches.size());
+  saved.v.resize(slab.caches.size());
+  for (std::size_t b = 0; b < slab.caches.size(); ++b) {
+    const nn::KvCache& c = slab.caches[b];
+    const auto n = static_cast<std::size_t>(heads_ * c.length * head_dim_);
+    saved.k[b].resize(n);
+    saved.v[b].resize(n);
+    copy_rows(c.k.data(), c.capacity, saved.k[b].data(), c.length, heads_,
+              head_dim_, c.length);
+    copy_rows(c.v.data(), c.capacity, saved.v[b].data(), c.length, heads_,
+              head_dim_, c.length);
+  }
+  stats_.bytes_in_use -= bytes_for(slab.capacity);
+  slabs_.erase(it);
+  saved_.emplace(id, std::move(saved));
+  ++stats_.preemptions;
+}
+
+bool KvArena::try_resume(std::uint64_t id, std::int64_t tokens) {
+  auto it = saved_.find(id);
+  if (it == saved_.end()) {
+    throw std::logic_error("KvArena: resume of a non-preempted sequence");
+  }
+  const Saved& saved = it->second;
+  const std::int64_t need = std::max(tokens, saved.length);
+  const std::size_t bytes = bytes_for(need);
+  if (stats_.bytes_in_use + bytes > cfg_.budget_bytes) return false;
+  Slab slab = make_slab(round_to_chunk(need));
+  for (std::size_t b = 0; b < slab.caches.size(); ++b) {
+    nn::KvCache& c = slab.caches[b];
+    copy_rows(saved.k[b].data(), saved.length, c.k.data(), c.capacity, heads_,
+              head_dim_, saved.length);
+    copy_rows(saved.v[b].data(), saved.length, c.v.data(), c.capacity, heads_,
+              head_dim_, saved.length);
+    c.length = saved.length;
+  }
+  slabs_.emplace(id, std::move(slab));
+  charge(bytes);
+  saved_.erase(it);
+  ++stats_.resumes;
+  return true;
+}
+
+void KvArena::release(std::uint64_t id) {
+  auto it = slabs_.find(id);
+  if (it == slabs_.end()) {
+    throw std::logic_error("KvArena: release of a non-resident sequence");
+  }
+  stats_.bytes_in_use -= bytes_for(it->second.capacity);
+  slabs_.erase(it);
+  ++stats_.releases;
+}
+
+std::span<nn::KvCache> KvArena::caches(std::uint64_t id) {
+  auto it = slabs_.find(id);
+  if (it == slabs_.end()) {
+    throw std::logic_error("KvArena: caches of a non-resident sequence");
+  }
+  return it->second.caches;
+}
+
+}  // namespace sh::serve

@@ -1,0 +1,105 @@
+// Byte-budgeted pool of per-sequence KV-cache slabs with admission control
+// and preempt-to-CPU/resume.
+//
+// Serving-side analogue of the training engine's ByteBudgetPool discipline:
+// the "GPU" KV footprint of all resident sequences is capped by a byte
+// budget. Capacity is reserved in fixed token chunks, so a sequence's
+// footprint grows as it decodes; when a growth request cannot be satisfied
+// the scheduler preempts a victim, which compacts that sequence's live KV
+// rows into a CPU-side save and frees its arena bytes. Resuming reallocates
+// a slab (possibly with a different capacity) and restores the rows with a
+// bit-exact copy, so a preempted request's token stream is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/gpt.hpp"
+#include "nn/module.hpp"
+
+namespace sh::serve {
+
+struct KvArenaConfig {
+  /// Cap on the summed K+V bytes of all resident sequences.
+  std::size_t budget_bytes = std::size_t{1} << 30;
+  /// Reservation granularity in tokens; capacities round up to a multiple.
+  std::int64_t chunk_tokens = 16;
+};
+
+struct KvArenaStats {
+  std::size_t bytes_in_use = 0;
+  std::size_t peak_bytes = 0;
+  std::size_t admissions = 0;
+  std::size_t grows = 0;
+  std::size_t preemptions = 0;
+  std::size_t resumes = 0;
+  std::size_t releases = 0;
+};
+
+class KvArena {
+ public:
+  KvArena(const nn::GptConfig& model, KvArenaConfig config);
+
+  /// Bytes a resident sequence with `tokens` of context occupies (capacity
+  /// rounded up to the chunk size; K and V over every block).
+  std::size_t bytes_for(std::int64_t tokens) const;
+  /// Whether a sequence needing `tokens` could EVER be resident — the
+  /// admission-control feasibility check applied at submit time.
+  bool fits_budget(std::int64_t tokens) const {
+    return bytes_for(tokens) <= cfg_.budget_bytes;
+  }
+
+  /// Ensures sequence `id` has a resident slab covering `tokens`; allocates
+  /// on first call, grows (copying live rows) when the chunk boundary is
+  /// crossed. Returns false — with no state change — when the budget cannot
+  /// absorb the new bytes.
+  bool try_reserve(std::uint64_t id, std::int64_t tokens);
+
+  /// Compacts the live KV rows of resident sequence `id` into a CPU-side
+  /// save and frees its arena bytes.
+  void preempt(std::uint64_t id);
+
+  /// Restores a preempted sequence into a fresh slab covering `tokens`.
+  /// Returns false (sequence stays saved) when the budget has no room.
+  bool try_resume(std::uint64_t id, std::int64_t tokens);
+
+  /// Frees a resident sequence's slab (request finished or aborted).
+  void release(std::uint64_t id);
+
+  bool resident(std::uint64_t id) const { return slabs_.contains(id); }
+  bool preempted(std::uint64_t id) const { return saved_.contains(id); }
+
+  /// Per-block caches of a resident sequence, in block order.
+  std::span<nn::KvCache> caches(std::uint64_t id);
+
+  const KvArenaStats& stats() const noexcept { return stats_; }
+  std::size_t budget_bytes() const noexcept { return cfg_.budget_bytes; }
+
+ private:
+  struct Slab {
+    std::vector<nn::KvCache> caches;  // one per block
+    std::int64_t capacity = 0;        // tokens
+  };
+  /// Compacted CPU copy of a preempted sequence's live rows.
+  struct Saved {
+    std::vector<std::vector<float>> k, v;  // [block][length * hidden]
+    std::int64_t length = 0;
+  };
+
+  std::int64_t round_to_chunk(std::int64_t tokens) const;
+  Slab make_slab(std::int64_t capacity) const;
+  void charge(std::size_t bytes);
+
+  std::int64_t blocks_;
+  std::int64_t heads_;
+  std::int64_t head_dim_;
+  KvArenaConfig cfg_;
+  std::unordered_map<std::uint64_t, Slab> slabs_;
+  std::unordered_map<std::uint64_t, Saved> saved_;
+  KvArenaStats stats_;
+};
+
+}  // namespace sh::serve

@@ -1,0 +1,65 @@
+// Request and sequence state for the sh::serve continuous-batching runtime.
+//
+// A Request is what a client submits: a prompt, a generation budget and
+// sampling parameters (including a per-request RNG seed, so a request's
+// token stream is a deterministic function of the request alone — never of
+// how it was batched, scheduled or preempted alongside other traffic).
+// A Sequence is the scheduler's in-flight view of a request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/sampler.hpp"
+#include "tensor/rng.hpp"
+
+namespace sh::serve {
+
+struct Request {
+  /// Client-chosen identifier; 0 lets the scheduler assign one.
+  std::uint64_t id = 0;
+  std::vector<std::int32_t> prompt;
+  std::size_t max_new_tokens = 0;
+  SamplingParams sampling{};
+};
+
+enum class SeqStatus {
+  Queued,     ///< submitted, not yet admitted (no KV reserved)
+  Running,    ///< KV-resident, decoded every step
+  Preempted,  ///< KV saved to CPU under arena pressure; resumes later
+  Finished,   ///< all tokens produced; KV released
+};
+
+/// Scheduler-side state of one in-flight request. The per-request RNG is
+/// seeded from the request's sampling seed and consumed only by that
+/// request's sampling, so preemption/resume and batch composition never
+/// perturb the stream.
+struct Sequence {
+  Request request;
+  SeqStatus status = SeqStatus::Queued;
+  /// Prompt followed by generated tokens (same layout as
+  /// StrongholdEngine::generate_incremental's return value).
+  std::vector<std::int32_t> tokens;
+  /// Tokens already absorbed into the KV caches.
+  std::int64_t pos = 0;
+  /// Sampled token not yet fed back (decode-phase input); -1 before prefill.
+  std::int32_t pending = -1;
+  std::size_t generated = 0;
+  tensor::Rng rng{0};
+  /// Admission order; the youngest (largest) sequence is the preemption
+  /// victim under KV pressure.
+  std::uint64_t admit_order = 0;
+  double submit_time = 0.0;
+  double finish_time = 0.0;
+
+  bool prefill_pending() const noexcept { return pos == 0; }
+  std::int64_t prompt_len() const noexcept {
+    return static_cast<std::int64_t>(request.prompt.size());
+  }
+  /// Tokens the KV cache must hold after the next step.
+  std::int64_t next_step_tokens() const noexcept {
+    return prefill_pending() ? prompt_len() : pos + 1;
+  }
+};
+
+}  // namespace sh::serve

@@ -1,0 +1,74 @@
+#include "serve/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sh::serve {
+
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingParams& params, tensor::Rng& rng) {
+  if (logits.empty()) {
+    throw std::invalid_argument("sample_token: empty logits");
+  }
+  if (params.greedy()) {
+    return static_cast<std::int32_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+
+  const std::size_t vocab = logits.size();
+  // Stable softmax at the requested temperature.
+  const float max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probs(vocab);
+  double total = 0.0;
+  for (std::size_t i = 0; i < vocab; ++i) {
+    probs[i] = std::exp(static_cast<double>(logits[i] - max_logit) /
+                        static_cast<double>(params.temperature));
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+
+  // Probability-sorted candidate order; ties broken toward the lower index
+  // so the candidate set is deterministic.
+  std::vector<std::int32_t> order(vocab);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return probs[static_cast<std::size_t>(a)] >
+                            probs[static_cast<std::size_t>(b)];
+                   });
+
+  std::size_t keep = vocab;
+  if (params.top_k > 0) {
+    keep = std::min<std::size_t>(keep,
+                                 static_cast<std::size_t>(params.top_k));
+  }
+  if (params.top_p < 1.0f) {
+    // Smallest prefix whose mass reaches top_p (always at least one token).
+    double mass = 0.0;
+    std::size_t nucleus = 0;
+    while (nucleus < keep) {
+      mass += probs[static_cast<std::size_t>(order[nucleus])];
+      ++nucleus;
+      if (mass >= static_cast<double>(params.top_p)) break;
+    }
+    keep = nucleus;
+  }
+
+  double kept_mass = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    kept_mass += probs[static_cast<std::size_t>(order[i])];
+  }
+  // One uniform draw walks the renormalized cumulative distribution.
+  const double u = rng.next_uniform() * kept_mass;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < keep; ++i) {
+    cum += probs[static_cast<std::size_t>(order[i])];
+    if (u < cum) return order[i];
+  }
+  return order[keep - 1];
+}
+
+}  // namespace sh::serve

@@ -1,0 +1,33 @@
+// Token sampling for the serving runtime: greedy, temperature, top-k and
+// top-p (nucleus), all deterministic under a fixed per-request seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/rng.hpp"
+
+namespace sh::serve {
+
+struct SamplingParams {
+  /// 0 = greedy argmax (ties broken toward the lowest index, matching
+  /// StrongholdEngine::generate_incremental); otherwise softmax temperature.
+  float temperature = 0.0f;
+  /// Keep only the k most probable tokens before drawing (0 = disabled).
+  std::int32_t top_k = 0;
+  /// Nucleus sampling: keep the smallest prefix of the probability-sorted
+  /// vocabulary whose mass reaches top_p (1 = disabled).
+  float top_p = 1.0f;
+  /// Seed of the per-request RNG stream.
+  std::uint64_t seed = 0;
+
+  bool greedy() const noexcept { return temperature <= 0.0f; }
+};
+
+/// Draws one token from `logits` (one row, vocab-sized). Greedy consumes no
+/// randomness; stochastic modes consume exactly one uniform draw from `rng`,
+/// so a request's RNG stream advances one draw per generated token.
+std::int32_t sample_token(std::span<const float> logits,
+                          const SamplingParams& params, tensor::Rng& rng);
+
+}  // namespace sh::serve

@@ -1,0 +1,196 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sh::serve {
+
+Scheduler::Scheduler(core::StrongholdEngine& engine, SchedulerConfig config)
+    : engine_(engine),
+      cfg_(config),
+      arena_(engine.model().config(), config.arena),
+      serve_(engine) {
+  if (cfg_.max_batch == 0) {
+    throw std::invalid_argument("Scheduler: max_batch must be >= 1");
+  }
+}
+
+std::uint64_t Scheduler::submit(Request request) {
+  if (request.prompt.empty()) {
+    throw std::invalid_argument("Scheduler::submit: prompt empty");
+  }
+  if (request.max_new_tokens == 0) {
+    throw std::invalid_argument("Scheduler::submit: max_new_tokens == 0");
+  }
+  const auto total = static_cast<std::int64_t>(request.prompt.size() +
+                                               request.max_new_tokens);
+  if (total > engine_.model().config().max_seq) {
+    throw std::invalid_argument(
+        "Scheduler::submit: prompt + new tokens exceed max_seq");
+  }
+  // The deepest KV reservation this request will ever need (the last sampled
+  // token is returned, never fed back).
+  if (!arena_.fits_budget(total - 1)) {
+    throw std::invalid_argument(
+        "Scheduler::submit: request KV footprint exceeds the arena budget");
+  }
+  if (request.id == 0) request.id = next_id_++;
+  const std::uint64_t id = request.id;
+  if (sequences_.contains(id) || results_.contains(id)) {
+    throw std::invalid_argument("Scheduler::submit: duplicate request id");
+  }
+
+  Sequence s;
+  s.tokens = request.prompt;
+  s.rng = tensor::Rng(request.sampling.seed);
+  s.submit_time = serve_.now();
+  s.request = std::move(request);
+  sequences_.emplace(id, std::move(s));
+  queue_.push_back(id);
+  ++stats_.submitted;
+  return id;
+}
+
+std::vector<std::uint64_t> Scheduler::running_by_age() const {
+  std::vector<std::uint64_t> ids = running_;
+  std::sort(ids.begin(), ids.end(), [&](std::uint64_t a, std::uint64_t b) {
+    return sequences_.at(a).admit_order < sequences_.at(b).admit_order;
+  });
+  return ids;
+}
+
+void Scheduler::resume_preempted() {
+  std::sort(preempted_.begin(), preempted_.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              return sequences_.at(a).admit_order <
+                     sequences_.at(b).admit_order;
+            });
+  while (!preempted_.empty() && running_.size() < cfg_.max_batch) {
+    const std::uint64_t id = preempted_.front();
+    Sequence& s = seq(id);
+    if (!arena_.try_resume(id, s.next_step_tokens())) break;
+    preempted_.erase(preempted_.begin());
+    s.status = SeqStatus::Running;
+    running_.push_back(id);
+    ++stats_.resumes;
+  }
+}
+
+void Scheduler::reserve_running() {
+  auto preempt_one = [&](std::uint64_t id) {
+    arena_.preempt(id);
+    Sequence& s = seq(id);
+    s.status = SeqStatus::Preempted;
+    std::erase(running_, id);
+    preempted_.push_back(id);
+    ++stats_.preemptions;
+  };
+
+  for (std::uint64_t id : running_by_age()) {
+    Sequence& s = seq(id);
+    if (s.status != SeqStatus::Running) continue;  // already a victim
+    while (!arena_.try_reserve(id, s.next_step_tokens())) {
+      // Victim: the youngest OTHER resident sequence. The oldest sequence
+      // therefore always keeps its reservation and the schedule progresses.
+      std::uint64_t victim = id;
+      std::uint64_t victim_order = 0;
+      for (std::uint64_t other : running_) {
+        const Sequence& o = sequences_.at(other);
+        if (other != id && o.admit_order >= victim_order) {
+          victim = other;
+          victim_order = o.admit_order;
+        }
+      }
+      preempt_one(victim);
+      if (victim == id) break;  // no other victim: wait preempted
+    }
+  }
+}
+
+void Scheduler::admit_queued() {
+  while (!queue_.empty() && running_.size() < cfg_.max_batch) {
+    const std::uint64_t id = queue_.front();
+    Sequence& s = seq(id);
+    if (!arena_.try_reserve(id, s.prompt_len())) break;
+    queue_.pop_front();
+    s.status = SeqStatus::Running;
+    s.admit_order = next_admit_order_++;
+    running_.push_back(id);
+  }
+}
+
+void Scheduler::advance_batch() {
+  const std::vector<std::uint64_t> ordered = running_by_age();
+  if (ordered.empty()) return;
+
+  std::vector<ServeEngine::SeqInput> inputs;
+  inputs.reserve(ordered.size());
+  for (std::uint64_t id : ordered) {
+    Sequence& s = seq(id);
+    ServeEngine::SeqInput in;
+    if (s.prefill_pending()) {
+      in.ids = s.request.prompt;
+    } else {
+      in.ids = {&s.pending, 1};
+    }
+    in.pos = s.pos;
+    in.caches = arena_.caches(id);
+    inputs.push_back(in);
+  }
+
+  const auto logits = serve_.step(inputs);
+
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const std::uint64_t id = ordered[i];
+    Sequence& s = seq(id);
+    s.pos += static_cast<std::int64_t>(inputs[i].ids.size());
+    const std::int32_t token =
+        sample_token(logits[i], s.request.sampling, s.rng);
+    s.tokens.push_back(token);
+    ++s.generated;
+    if (s.generated == s.request.max_new_tokens) {
+      finish(id);
+    } else {
+      s.pending = token;
+    }
+  }
+}
+
+void Scheduler::finish(std::uint64_t id) {
+  Sequence& s = seq(id);
+  s.status = SeqStatus::Finished;
+  s.finish_time = serve_.now();
+  serve_.record_request(id, s.submit_time, s.finish_time);
+  arena_.release(id);
+  std::erase(running_, id);
+  results_.emplace(id, std::move(s.tokens));
+  sequences_.erase(id);
+  ++stats_.finished;
+}
+
+bool Scheduler::step() {
+  if (queue_.empty() && running_.empty() && preempted_.empty()) return false;
+  resume_preempted();
+  reserve_running();
+  admit_queued();
+  advance_batch();
+  ++stats_.steps;
+  return true;
+}
+
+void Scheduler::run_to_completion() {
+  while (step()) {
+  }
+}
+
+const std::vector<std::int32_t>& Scheduler::result(std::uint64_t id) const {
+  auto it = results_.find(id);
+  if (it == results_.end()) {
+    throw std::out_of_range("Scheduler::result: request not finished");
+  }
+  return it->second;
+}
+
+SchedulerStats Scheduler::stats() const { return stats_; }
+
+}  // namespace sh::serve

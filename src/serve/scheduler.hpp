@@ -1,0 +1,99 @@
+// Continuous (iteration-level) batching scheduler over the serving runtime.
+//
+// Each step() is one model iteration: preempted sequences resume when KV
+// bytes free up (oldest first), running sequences reserve KV room for their
+// next token — preempting the YOUNGEST other resident sequence under arena
+// pressure — queued requests are admitted FCFS into the spare capacity, and
+// the whole resident batch then advances one layer-streamed pass. Finished
+// sequences retire immediately, releasing their KV for the next admission.
+//
+// Invariants:
+//  * A request's token stream equals running it alone through
+//    StrongholdEngine::generate_incremental with the same seed (greedy) —
+//    batching, admission order and preempt/resume never perturb tokens.
+//  * The oldest resident sequence is never chosen as a preemption victim,
+//    so the schedule always makes progress and every request completes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/kv_arena.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_engine.hpp"
+
+namespace sh::serve {
+
+struct SchedulerConfig {
+  /// Maximum resident (decoding) sequences per step.
+  std::size_t max_batch = 16;
+  KvArenaConfig arena{};
+};
+
+struct SchedulerStats {
+  std::size_t submitted = 0;
+  std::size_t finished = 0;
+  std::size_t steps = 0;
+  /// Scheduling preemption decisions (equals the arena's preemption count).
+  std::size_t preemptions = 0;
+  std::size_t resumes = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(core::StrongholdEngine& engine, SchedulerConfig config);
+
+  /// Enqueues a request; returns its id (assigned when request.id == 0).
+  /// Rejects (throws std::invalid_argument) requests whose context exceeds
+  /// the model's max_seq or whose full KV footprint exceeds the arena
+  /// budget — such a request could never run.
+  std::uint64_t submit(Request request);
+
+  /// Runs one continuous-batching iteration. Returns false when no work
+  /// remains (queue empty, nothing resident or preempted).
+  bool step();
+
+  /// Steps until all submitted requests have finished.
+  void run_to_completion();
+
+  /// Finished request's tokens: prompt followed by generated tokens (the
+  /// same layout StrongholdEngine::generate_incremental returns).
+  const std::vector<std::int32_t>& result(std::uint64_t id) const;
+  bool finished(std::uint64_t id) const { return results_.contains(id); }
+
+  SchedulerStats stats() const;
+  const KvArenaStats& arena_stats() const noexcept { return arena_.stats(); }
+  ServeEngine& serve_engine() noexcept { return serve_; }
+  const ServeEngine& serve_engine() const noexcept { return serve_; }
+
+ private:
+  Sequence& seq(std::uint64_t id) { return sequences_.at(id); }
+  /// Resident ids in admission order (oldest first).
+  std::vector<std::uint64_t> running_by_age() const;
+  void resume_preempted();
+  void reserve_running();
+  void admit_queued();
+  void advance_batch();
+  void finish(std::uint64_t id);
+
+  core::StrongholdEngine& engine_;
+  SchedulerConfig cfg_;
+  KvArena arena_;
+  ServeEngine serve_;
+
+  std::map<std::uint64_t, Sequence> sequences_;  // all non-finished
+  std::deque<std::uint64_t> queue_;              // submitted, not admitted
+  std::vector<std::uint64_t> running_;           // resident, admission order
+  std::vector<std::uint64_t> preempted_;         // victim order
+  std::map<std::uint64_t, std::vector<std::int32_t>> results_;
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_admit_order_ = 0;
+  SchedulerStats stats_;
+};
+
+}  // namespace sh::serve

@@ -1,0 +1,97 @@
+#include "serve/serve_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace sh::serve {
+
+namespace {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(core::StrongholdEngine& engine)
+    : engine_(engine), epoch_(wall_seconds()) {}
+
+double ServeEngine::now() const { return wall_seconds() - epoch_; }
+
+std::vector<std::vector<float>> ServeEngine::step(
+    std::span<const SeqInput> seqs) {
+  if (seqs.empty()) return {};
+  const std::size_t blocks = engine_.model().num_layers() - 2;
+  const std::int64_t vocab = engine_.model().config().vocab;
+
+  std::vector<nn::DecodeSlot> slots(seqs.size());
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const SeqInput& in = seqs[i];
+    if (in.ids.empty()) {
+      throw std::invalid_argument("ServeEngine::step: sequence with no ids");
+    }
+    if (in.caches.size() != blocks) {
+      throw std::invalid_argument(
+          "ServeEngine::step: cache count does not match block count");
+    }
+    slots[i].ids.assign(in.ids.begin(), in.ids.end());
+    slots[i].pos = in.pos;
+    slots[i].caches = in.caches;
+  }
+
+  const double t0 = now();
+  engine_.stream_layers([&](std::size_t unit, nn::Layer& layer) {
+    nn::apply_unit_multi(layer, unit, blocks, slots);
+  });
+  const double t1 = now();
+
+  std::vector<std::vector<float>> last_logits(slots.size());
+  std::size_t new_tokens = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const tensor::Tensor& logits = slots[i].x;
+    const std::int64_t rows = logits.shape().dim(0);
+    last_logits[i].resize(static_cast<std::size_t>(vocab));
+    std::copy_n(logits.data() + (rows - 1) * vocab, vocab,
+                last_logits[i].data());
+    const std::size_t n = slots[i].ids.size();
+    new_tokens += n;
+    if (slots[i].pos == 0) {
+      stats_.prefill_tokens += n;
+    } else {
+      stats_.decode_tokens += n;
+    }
+  }
+
+  ++stats_.steps;
+  stats_.sequence_steps += slots.size();
+  stats_.elapsed_s += t1 - t0;
+  trace_.record("serve",
+                "s" + std::to_string(slots.size()) + "/t" +
+                    std::to_string(new_tokens),
+                {t0, t1});
+  return last_logits;
+}
+
+void ServeEngine::record_request(std::uint64_t id, double submit_t,
+                                 double finish_t) {
+  latencies_.push_back(finish_t - submit_t);
+  trace_.record("request", "r" + std::to_string(id), {submit_t, finish_t});
+}
+
+double ServeEngine::latency_percentile(double q) const {
+  if (latencies_.empty()) return 0.0;
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace sh::serve

@@ -1,0 +1,90 @@
+// Sampler unit tests: greedy/argmax agreement, top-k and top-p support
+// restriction and mass, and determinism under a fixed seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "serve/sampler.hpp"
+
+namespace sh::serve {
+namespace {
+
+TEST(Sampler, GreedyMatchesFirstArgmax) {
+  tensor::Rng rng(1);
+  SamplingParams greedy;  // temperature 0
+  const std::vector<float> logits = {0.5f, 2.0f, -1.0f, 2.0f, 1.0f};
+  // Ties break toward the lowest index, matching std::max_element.
+  EXPECT_EQ(sample_token(logits, greedy, rng), 1);
+  // Greedy consumes no randomness: the stream is untouched.
+  tensor::Rng fresh(1);
+  EXPECT_EQ(rng.next_u64(), fresh.next_u64());
+}
+
+TEST(Sampler, TopKRestrictsSupportAndPreservesRatios) {
+  SamplingParams p;
+  p.temperature = 1.0f;
+  p.top_k = 3;
+  // softmax of {3,2,1,0,-1}: top-3 = tokens {0,1,2}.
+  const std::vector<float> logits = {3.0f, 2.0f, 1.0f, 0.0f, -1.0f};
+  tensor::Rng rng(42);
+  std::map<std::int32_t, int> counts;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[sample_token(logits, p, rng)];
+  for (const auto& [token, count] : counts) {
+    EXPECT_LT(token, 3) << "sampled a token outside top-k";
+    EXPECT_GT(count, 0);
+  }
+  // Renormalized expected mass of token 0 within {0,1,2}:
+  // e^3 / (e^3 + e^2 + e^1) ≈ 0.665.
+  const double p0 = static_cast<double>(counts[0]) / draws;
+  EXPECT_NEAR(p0, 0.665, 0.02);
+}
+
+TEST(Sampler, TopPKeepsSmallestNucleus) {
+  SamplingParams p;
+  p.temperature = 1.0f;
+  p.top_p = 0.6f;
+  // softmax of {2,1,0,-1}: probs ≈ {0.644, 0.237, 0.087, 0.032}; the 0.6
+  // nucleus is exactly {token 0}.
+  const std::vector<float> logits = {2.0f, 1.0f, 0.0f, -1.0f};
+  tensor::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sample_token(logits, p, rng), 0);
+  }
+  // A wider nucleus admits the second token too (cumulative mass after
+  // token 1 is ≈ 0.881 ≥ 0.85).
+  p.top_p = 0.85f;
+  bool saw1 = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = sample_token(logits, p, rng);
+    EXPECT_LE(t, 1) << "token outside the 0.85 nucleus";
+    saw1 |= (t == 1);
+  }
+  EXPECT_TRUE(saw1);
+}
+
+TEST(Sampler, DeterministicUnderFixedSeed) {
+  SamplingParams p;
+  p.temperature = 0.8f;
+  p.top_k = 8;
+  p.top_p = 0.95f;
+  std::vector<float> logits(16);
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = std::sin(static_cast<float>(i) * 1.7f);
+  }
+  tensor::Rng a(123), b(123), c(456);
+  std::vector<std::int32_t> sa, sb, sc;
+  for (int i = 0; i < 64; ++i) {
+    sa.push_back(sample_token(logits, p, a));
+    sb.push_back(sample_token(logits, p, b));
+    sc.push_back(sample_token(logits, p, c));
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+}  // namespace
+}  // namespace sh::serve
