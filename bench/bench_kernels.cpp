@@ -1,0 +1,255 @@
+// Kernel-substrate bench: blocked/packed GEMM (tensor/gemm.cpp) vs the
+// seed's naive row-streaming matmul (matmul_ref) on the GEMM shapes the GPT
+// blocks actually produce, plus fused-epilogue savings and genuine
+// before/after end-to-end train_step time (the reference kernel is swapped
+// in at runtime via set_use_reference_gemm).
+//
+// Prints a fixed-width table and writes BENCH_kernels.json so the perf
+// trajectory is tracked per-PR (CI runs `bench_kernels --smoke` and uploads
+// the JSON as an artifact).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "nn/gpt.hpp"
+#include "tensor/matmul_ref.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Calls `fn` repeatedly until ~`budget_s` elapses (at least twice, first
+/// call treated as warm-up) and returns the best per-call seconds.
+template <typename Fn>
+double time_best(double budget_s, Fn&& fn) {
+  fn();  // warm-up
+  double best = 1e30;
+  double spent = 0.0;
+  int reps = 0;
+  while (spent < budget_s || reps < 1) {
+    const auto t0 = Clock::now();
+    fn();
+    const double dt = seconds_since(t0);
+    best = dt < best ? dt : best;
+    spent += dt;
+    ++reps;
+  }
+  return best;
+}
+
+struct GemmShape {
+  const char* name;  // which GPT-block GEMM this is
+  std::int64_t m, n, k;
+  bool ta, tb;
+};
+
+struct GemmRow {
+  GemmShape shape;
+  double gflops_ref = 0.0;
+  double gflops_blocked = 0.0;
+  double speedup() const { return gflops_blocked / gflops_ref; }
+};
+
+GemmRow run_gemm_shape(const GemmShape& s, double budget_s) {
+  sh::tensor::Rng rng(7);
+  std::vector<float> a(static_cast<std::size_t>(s.m * s.k));
+  std::vector<float> b(static_cast<std::size_t>(s.k * s.n));
+  std::vector<float> c(static_cast<std::size_t>(s.m * s.n));
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(b, 1.0f);
+
+  const double flops = 2.0 * s.m * s.n * s.k;
+  GemmRow row{s, 0.0, 0.0};
+  const double t_ref = time_best(budget_s, [&] {
+    sh::tensor::matmul_ref(a.data(), b.data(), c.data(), s.m, s.n, s.k, s.ta,
+                           s.tb);
+  });
+  const double t_new = time_best(budget_s, [&] {
+    sh::tensor::matmul(a.data(), b.data(), c.data(), s.m, s.n, s.k, s.ta,
+                       s.tb);
+  });
+  row.gflops_ref = flops / t_ref * 1e-9;
+  row.gflops_blocked = flops / t_new * 1e-9;
+  return row;
+}
+
+struct FusedRow {
+  std::int64_t m, n, k;
+  double unfused_ms = 0.0;
+  double fused_ms = 0.0;
+  double speedup() const { return unfused_ms / fused_ms; }
+};
+
+FusedRow run_fused(std::int64_t m, std::int64_t n, std::int64_t k,
+                   double budget_s) {
+  sh::tensor::Rng rng(11);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> w(static_cast<std::size_t>(n * k));
+  std::vector<float> bias(static_cast<std::size_t>(n));
+  std::vector<float> pre(static_cast<std::size_t>(m * n));
+  std::vector<float> out(static_cast<std::size_t>(m * n));
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(w, 1.0f);
+  rng.fill_uniform(bias, 1.0f);
+
+  auto unfused = [&] {
+    sh::tensor::matmul(a.data(), w.data(), pre.data(), m, n, k, false, true);
+    sh::tensor::add_bias(pre.data(), bias.data(), pre.data(), m, n);
+    sh::tensor::gelu_forward(pre.data(), out.data(), m * n);
+  };
+  auto fused = [&] {
+    sh::tensor::matmul_bias_gelu(a.data(), w.data(), bias.data(), pre.data(),
+                                 out.data(), m, n, k, false, true);
+  };
+  // Two alternating rounds, best of each: clock-frequency drift over the
+  // run otherwise penalises whichever variant is timed last.
+  FusedRow row{m, n, k, 1e30, 1e30};
+  for (int round = 0; round < 2; ++round) {
+    row.unfused_ms =
+        std::min(row.unfused_ms, 1e3 * time_best(budget_s / 2, unfused));
+    row.fused_ms =
+        std::min(row.fused_ms, 1e3 * time_best(budget_s / 2, fused));
+  }
+  return row;
+}
+
+struct StepRow {
+  double ref_ms = 0.0;
+  double blocked_ms = 0.0;
+  double speedup() const { return ref_ms / blocked_ms; }
+};
+
+StepRow run_end_to_end(bool smoke) {
+  sh::nn::GptConfig mcfg;
+  mcfg.vocab = 128;
+  mcfg.max_seq = smoke ? 16 : 64;
+  mcfg.hidden = smoke ? 64 : 256;
+  mcfg.heads = 4;
+  mcfg.layers = smoke ? 2 : 4;
+  sh::nn::GptModel model(mcfg);
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 2;
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+
+  sh::data::SyntheticCorpus corpus(mcfg.vocab, 99);
+  const auto batch = corpus.next_batch(smoke ? 2 : 4, mcfg.max_seq);
+  const int steps = smoke ? 2 : 4;
+
+  auto run_steps = [&] {
+    for (int i = 0; i < steps; ++i) engine.train_step(batch);
+  };
+  StepRow row;
+  sh::tensor::set_use_reference_gemm(true);
+  run_steps();  // warm-up (fills caches, engine warm-up iterations)
+  auto t0 = Clock::now();
+  run_steps();
+  row.ref_ms = 1e3 * seconds_since(t0) / steps;
+  sh::tensor::set_use_reference_gemm(false);
+  run_steps();
+  t0 = Clock::now();
+  run_steps();
+  row.blocked_ms = 1e3 * seconds_since(t0) / steps;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double budget = smoke ? 0.05 : 0.4;
+
+  // GEMM shapes from one GPT block at (tokens T, hidden H, seq S, head_dim
+  // D): qkv/proj/fc1/fc2 forwards (x @ W^T), the dW = dY^T @ X weight-grad
+  // GEMM, and the per-head attention score/context products.
+  const std::int64_t H = smoke ? 128 : 512;
+  const std::int64_t T = smoke ? 64 : 256;
+  const std::int64_t S = smoke ? 32 : 128;
+  const std::int64_t D = smoke ? 32 : 64;
+  const GemmShape shapes[] = {
+      {"qkv  y=xW^T", T, 3 * H, H, false, true},
+      {"proj y=xW^T", T, H, H, false, true},
+      {"fc1  y=xW^T", T, 4 * H, H, false, true},
+      {"fc2  y=xW^T", T, H, 4 * H, false, true},
+      {"dW=dY^T X  ", 4 * H, H, T, true, false},
+      {"dX=dY W    ", T, H, 4 * H, false, false},
+      {"scores qk^T", S, S, D, false, true},
+      {"ctx   p v  ", S, D, S, false, false},
+  };
+
+  sh::bench::header("kernel substrate — blocked GEMM vs naive (matmul_ref)");
+  sh::bench::row("%-12s %6s %6s %6s %3s %3s %12s %12s %9s", "shape", "m", "n",
+                 "k", "ta", "tb", "ref GFLOPS", "new GFLOPS", "speedup");
+  std::vector<GemmRow> rows;
+  for (const auto& s : shapes) {
+    rows.push_back(run_gemm_shape(s, budget));
+    const auto& r = rows.back();
+    sh::bench::row("%-12s %6lld %6lld %6lld %3d %3d %12.2f %12.2f %8.2fx",
+                   r.shape.name, static_cast<long long>(r.shape.m),
+                   static_cast<long long>(r.shape.n),
+                   static_cast<long long>(r.shape.k), r.shape.ta, r.shape.tb,
+                   r.gflops_ref, r.gflops_blocked, r.speedup());
+  }
+
+  sh::bench::header("fused epilogue — matmul_bias_gelu vs 3-pass composition");
+  const FusedRow fused = run_fused(T, 4 * H, H, budget);
+  sh::bench::row("%-12s %6lld %6lld %6lld %12.3f %12.3f %8.2fx", "fc1+gelu",
+                 static_cast<long long>(fused.m),
+                 static_cast<long long>(fused.n),
+                 static_cast<long long>(fused.k), fused.unfused_ms,
+                 fused.fused_ms, fused.speedup());
+
+  sh::bench::header("end-to-end train_step — reference vs blocked kernels");
+  const StepRow step = run_end_to_end(smoke);
+  sh::bench::row("%-12s %12.2f ms %12.2f ms %8.2fx", "train_step", step.ref_ms,
+                 step.blocked_ms, step.speedup());
+
+  std::FILE* f = std::fopen("BENCH_kernels.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"smoke\": %s,\n",
+                 smoke ? "true" : "false");
+    std::fprintf(f, "  \"gemm\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"m\": %lld, \"n\": %lld, "
+                   "\"k\": %lld, \"ta\": %d, \"tb\": %d, "
+                   "\"gflops_ref\": %.3f, \"gflops_blocked\": %.3f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.shape.name, static_cast<long long>(r.shape.m),
+                   static_cast<long long>(r.shape.n),
+                   static_cast<long long>(r.shape.k), r.shape.ta, r.shape.tb,
+                   r.gflops_ref, r.gflops_blocked, r.speedup(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"fused_bias_gelu\": {\"m\": %lld, \"n\": %lld, "
+                 "\"k\": %lld, \"unfused_ms\": %.4f, \"fused_ms\": %.4f, "
+                 "\"speedup\": %.3f},\n",
+                 static_cast<long long>(fused.m),
+                 static_cast<long long>(fused.n),
+                 static_cast<long long>(fused.k), fused.unfused_ms,
+                 fused.fused_ms, fused.speedup());
+    std::fprintf(f,
+                 "  \"train_step\": {\"ref_ms\": %.3f, \"blocked_ms\": %.3f, "
+                 "\"speedup\": %.3f}\n}\n",
+                 step.ref_ms, step.blocked_ms, step.speedup());
+    std::fclose(f);
+    std::printf("\nwrote BENCH_kernels.json\n");
+  }
+  return 0;
+}

@@ -31,14 +31,36 @@ tensor::Tensor Linear::forward(const tensor::Tensor& x,
   const std::int64_t rows = x.shape().dim(0);
   cached_input_ = x.clone();
   auto y = tensor::Tensor::zeros({rows, out_features_});
-  tensor::matmul(x.data(), weight_.data(), y.data(), rows, out_features_,
-                 in_features_, /*transpose_a=*/false, /*transpose_b=*/true);
-  tensor::add_bias(y.data(), bias_.data(), y.data(), rows, out_features_);
+  tensor::matmul_bias(x.data(), weight_.data(), bias_.data(), y.data(), rows,
+                      out_features_, in_features_, /*transpose_a=*/false,
+                      /*transpose_b=*/true);
+  return y;
+}
+
+tensor::Tensor Linear::forward_gelu(const tensor::Tensor& x,
+                                    const BatchShape& shape,
+                                    tensor::Tensor& pre_act) {
+  (void)shape;
+  const std::int64_t rows = x.shape().dim(0);
+  cached_input_ = x.clone();
+  pre_act = tensor::Tensor::zeros({rows, out_features_});
+  auto y = tensor::Tensor::zeros({rows, out_features_});
+  tensor::matmul_bias_gelu(x.data(), weight_.data(), bias_.data(),
+                           pre_act.data(), y.data(), rows, out_features_,
+                           in_features_, /*transpose_a=*/false,
+                           /*transpose_b=*/true);
   return y;
 }
 
 tensor::Tensor Linear::backward(const tensor::Tensor& grad_out,
                                 const BatchShape& shape) {
+  tensor::bias_grad(grad_out.data(), bias_grad_.data(),
+                    grad_out.shape().dim(0), out_features_);
+  return backward_skip_bias(grad_out, shape);
+}
+
+tensor::Tensor Linear::backward_skip_bias(const tensor::Tensor& grad_out,
+                                          const BatchShape& shape) {
   (void)shape;
   const std::int64_t rows = grad_out.shape().dim(0);
   auto grad_in = tensor::Tensor::zeros({rows, in_features_});
@@ -49,7 +71,6 @@ tensor::Tensor Linear::backward(const tensor::Tensor& grad_out,
   tensor::matmul(grad_out.data(), cached_input_.data(), weight_grad_.data(),
                  out_features_, in_features_, rows, /*transpose_a=*/true,
                  /*transpose_b=*/false, 1.0f, 1.0f);
-  tensor::bias_grad(grad_out.data(), bias_grad_.data(), rows, out_features_);
   return grad_in;
 }
 

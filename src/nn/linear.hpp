@@ -20,6 +20,21 @@ class Linear final : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_out,
                           const BatchShape& shape) override;
 
+  /// Fused forward + GELU epilogue (one GEMM pass, no separate bias/GELU
+  /// sweeps): returns gelu(x W^T + b) and stores the pre-activation into
+  /// `pre_act` for the backward pass. Caches x like forward().
+  tensor::Tensor forward_gelu(const tensor::Tensor& x, const BatchShape& shape,
+                              tensor::Tensor& pre_act);
+
+  /// Backward without the bias-grad reduction — for callers (Mlp) that have
+  /// already accumulated dBias via a fused kernel. Otherwise identical to
+  /// backward().
+  tensor::Tensor backward_skip_bias(const tensor::Tensor& grad_out,
+                                    const BatchShape& shape);
+
+  /// Raw dBias accumulator ([out_features]) for fused upstream reductions.
+  float* bias_grad_data() { return bias_grad_.data(); }
+
   std::int64_t in_features() const noexcept { return in_features_; }
   std::int64_t out_features() const noexcept { return out_features_; }
 

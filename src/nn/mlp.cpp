@@ -23,10 +23,9 @@ void Mlp::init(tensor::Rng& rng) {
 }
 
 tensor::Tensor Mlp::forward(const tensor::Tensor& x, const BatchShape& shape) {
-  cached_pre_gelu_ = fc1_.forward(x, shape);
-  auto h = tensor::Tensor::zeros(cached_pre_gelu_.shape());
-  tensor::gelu_forward(cached_pre_gelu_.data(), h.data(),
-                       cached_pre_gelu_.numel());
+  // Fused GEMM + bias + GELU epilogue; the pre-activation is stored for
+  // backward during the same pass.
+  auto h = fc1_.forward_gelu(x, shape, cached_pre_gelu_);
   return fc2_.forward(h, shape);
 }
 
@@ -34,9 +33,13 @@ tensor::Tensor Mlp::backward(const tensor::Tensor& grad_out,
                              const BatchShape& shape) {
   auto grad_h = fc2_.backward(grad_out, shape);
   auto grad_pre = tensor::Tensor::zeros(grad_h.shape());
-  tensor::gelu_backward(cached_pre_gelu_.data(), grad_h.data(),
-                        grad_pre.data(), grad_h.numel());
-  return fc1_.backward(grad_pre, shape);
+  // Fused GELU backward + fc1 dBias reduction in one pass over grad_h;
+  // fc1's backward then skips its own bias_grad sweep.
+  tensor::gelu_backward_bias_grad(cached_pre_gelu_.data(), grad_h.data(),
+                                  grad_pre.data(), fc1_.bias_grad_data(),
+                                  grad_h.shape().dim(0),
+                                  grad_h.shape().dim(1));
+  return fc1_.backward_skip_bias(grad_pre, shape);
 }
 
 }  // namespace sh::nn

@@ -26,10 +26,19 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   }
   std::atomic<std::size_t> next{begin};
   auto body = [&] {
-    for (;;) {
-      const std::size_t lo = next.fetch_add(chunk);
-      if (lo >= end) return;
-      fn(lo, std::min(lo + chunk, end));
+    // Bounded chunk claim: a blind fetch_add would keep pushing the counter
+    // past `end` on every idle worker pass and could wrap it back into
+    // [begin, end) near SIZE_MAX, re-running chunks. The compare-exchange
+    // clamps the claimed upper bound at `end`, so the counter never exceeds
+    // it and each index is claimed exactly once.
+    std::size_t lo = next.load(std::memory_order_relaxed);
+    while (lo < end) {
+      const std::size_t hi = std::min(end - lo, chunk) + lo;
+      if (next.compare_exchange_weak(lo, hi, std::memory_order_relaxed)) {
+        fn(lo, hi);
+        lo = next.load(std::memory_order_relaxed);
+      }
+      // On CAS failure `lo` was reloaded with the current counter.
     }
   };
   const std::size_t tasks = std::min(workers - 1, (n + chunk - 1) / chunk - 1);

@@ -1,0 +1,29 @@
+// Scalar GELU forward/grad shared by the elementwise kernels (ops.cpp) and
+// the fused GEMM epilogues (gemm.cpp). Both TUs compile with
+// -ffp-contract=off, so the expression trees below evaluate identically in
+// either context — which is what makes "fused epilogue == unfused
+// composition" an exact-equality invariant rather than a tolerance test.
+#pragma once
+
+#include <cmath>
+
+namespace sh::tensor::detail {
+
+inline float gelu_scalar(float x) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  const float k = 0.7978845608028654f;
+  const float inner = k * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+inline float gelu_grad_scalar(float x) {
+  const float k = 0.7978845608028654f;
+  const float x3 = x * x * x;
+  const float inner = k * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+}  // namespace sh::tensor::detail

@@ -1,0 +1,271 @@
+// Blocked, packed GEMM with fused epilogues — the compute substrate every
+// dense layer (Linear/Mlp/Attention/LmHead) runs on.
+//
+// Structure (BLIS-style, see DESIGN.md "Kernel substrate"):
+//   jc over N in NC  ->  pc over K in KC  ->  ic over M in MC (parallel)
+// B panels (KC x NC) and A panels (MC x KC) are packed on the fly into
+// contiguous, zero-padded NR-wide / MR-tall strips; both transpose flags are
+// normalised away at pack time, so all four transpose combinations feed the
+// same register-tiled MR x NR micro-kernel.
+//
+// Determinism: threads partition row panels of C, so every output element is
+// owned by exactly one thread and accumulates in a fixed order — KC blocks
+// ascending (partials staged in C between blocks), k ascending inside the
+// micro-kernel — independent of thread count. Monolithic and offloaded
+// training paths both ride these kernels, which keeps them bit-identical.
+#include <algorithm>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "tensor/matmul_ref.hpp"
+#include "tensor/ops.hpp"
+
+namespace sh::tensor {
+
+namespace {
+
+// Register micro-tile: MR x NR accumulators (6 x 16 floats) live in
+// registers across the whole KC loop. NR = 16 spans one AVX-512 vector or
+// two AVX2 vectors; MR = 6 gives enough independent accumulator chains to
+// hide vector-add latency while fitting the AVX2 register file (12 ymm
+// accumulators + B vectors + broadcast).
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+// Cache blocking: the packed A panel (MC x KC = 96 KiB) targets L2, the
+// packed B strip touched by one micro-kernel call (KC x NR = 16 KiB) L1,
+// and the full packed B panel (KC x NC = 512 KiB) L2/L3.
+constexpr std::int64_t kMC = 96;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;
+
+bool g_use_ref_gemm = false;
+
+/// Packs op(A)[i0:i0+mc, p0:p0+kc] into MR-row strips: strip r-index varies
+/// fastest, zero-padded past mc so the micro-kernel never branches on edges.
+void pack_a(const float* a, float* ap, std::int64_t i0, std::int64_t mc,
+            std::int64_t p0, std::int64_t kc, bool transpose_a, std::int64_t m,
+            std::int64_t k) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ir);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        const std::int64_t i = i0 + ir + r;
+        *ap++ = r < mr ? (transpose_a ? a[(p0 + p) * m + i]
+                                      : a[i * k + (p0 + p)])
+                       : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[p0:p0+kc, j0:j0+nc] into NR-column strips, zero-padded past nc.
+void pack_b(const float* b, float* bp, std::int64_t p0, std::int64_t kc,
+            std::int64_t j0, std::int64_t nc, bool transpose_b, std::int64_t k,
+            std::int64_t n) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jr);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        const std::int64_t jj = j0 + jr + j;
+        *bp++ = j < nr ? (transpose_b ? b[jj * k + (p0 + p)]
+                                      : b[(p0 + p) * n + jj])
+                       : 0.0f;
+      }
+    }
+  }
+}
+
+/// acc[r, j] += sum_p ap[p, r] * bp[p, j] over a full KC strip. Both panels
+/// are contiguous and edge-padded, so this is a branch-free hot loop.
+///
+/// On GCC/Clang the NR lanes are expressed as a portable vector-extension
+/// type so the row accumulators provably stay in SIMD registers for the
+/// whole KC loop (plain scalar loops get SLP-vectorized across the *rows*,
+/// 4 lanes wide, which is ~4x slower). Lane j of row r performs exactly the
+/// scalar sequence acc += a*b over ascending p, so results are identical to
+/// the scalar fallback and independent of vector width.
+#if defined(__GNUC__) || defined(__clang__)
+// One 16-lane vector per micro-tile row. GCC/Clang lower this to a single
+// zmm on AVX-512, two ymm on AVX2, or four xmm on SSE — the source stays
+// width-agnostic and lane j of row r always performs the scalar sequence
+// acc += a * b over ascending p, so results are identical everywhere.
+using V16f __attribute__((vector_size(kNR * sizeof(float)), aligned(4),
+                          may_alias)) = float;
+
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  V16f c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMR;
+    const V16f b = *reinterpret_cast<const V16f*>(bp + p * kNR);
+    c0 += av[0] * b;
+    c1 += av[1] * b;
+    c2 += av[2] * b;
+    c3 += av[3] * b;
+    c4 += av[4] * b;
+    c5 += av[5] * b;
+  }
+  auto* out = reinterpret_cast<V16f*>(acc);
+  out[0] = c0;
+  out[1] = c1;
+  out[2] = c2;
+  out[3] = c3;
+  out[4] = c4;
+  out[5] = c5;
+}
+#else
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMR;
+    const float* bv = bp + p * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float ar = av[r];
+      float* accr = acc + r * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) accr[j] += ar * bv[j];
+    }
+  }
+}
+#endif
+
+/// Writes the valid mr x nr corner of a micro-tile back into C, folding in
+/// alpha/beta. The per-row loops are branch-free so both cases vectorize.
+inline void write_tile(const float* acc, float* c, std::int64_t ldc,
+                       std::int64_t mr, std::int64_t nr, float alpha,
+                       float beta) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* accr = acc + r * kNR;
+    float* crow = c + r * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = alpha * accr[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * accr[j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+/// Fused bias epilogue over the finished rows x cols slab of C (row stride
+/// ldc), applied per row panel right after its last KC block while the slab
+/// is still cache-resident — the bias add comes for free against the GEMM's
+/// own writeback traffic. The expression matches add_bias element-for-
+/// element, so fused == unfused exactly.
+///
+/// Deliberately NOT extended with a per-panel tanh/GELU pass: interleaving
+/// scalar-heavy tanhf bursts with 512-bit GEMM panels runs the tanh work at
+/// the AVX-512 licensed frequency and measured ~10% slower end-to-end than a
+/// single solid GELU sweep after the GEMM (see DESIGN.md).
+inline void apply_bias_epilogue(float* c, const float* bias, std::int64_t ldc,
+                                std::int64_t rows, std::int64_t cols) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < cols; ++j) crow[j] += bias[j];
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool transpose_a, bool transpose_b,
+          float alpha, float beta, const float* bias) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    // Degenerate GEMM: C = beta * C, bias epilogue still applies.
+    for (std::int64_t r = 0; r < m; ++r) {
+      float* crow = c + r * n;
+      for (std::int64_t j = 0; j < n; ++j) {
+        float v = beta != 0.0f ? beta * crow[j] : 0.0f;
+        if (bias != nullptr) v += bias[j];
+        crow[j] = v;
+      }
+    }
+    return;
+  }
+
+  std::vector<float> bpack;
+  for (std::int64_t jc = 0; jc < n; jc += kNC) {
+    const std::int64_t nc = std::min(kNC, n - jc);
+    const std::int64_t nc_pad = (nc + kNR - 1) / kNR * kNR;
+    for (std::int64_t pc = 0; pc < k; pc += kKC) {
+      const std::int64_t kc = std::min(kKC, k - pc);
+      bpack.resize(static_cast<std::size_t>(nc_pad * kc));
+      pack_b(b, bpack.data(), pc, kc, jc, nc, transpose_b, k, n);
+      const bool last = pc + kc == k;
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+      const std::int64_t row_panels = (m + kMC - 1) / kMC;
+      sh::parallel::parallel_for(
+          0, static_cast<std::size_t>(row_panels), 1,
+          [&](std::size_t lo, std::size_t hi) {
+            thread_local std::vector<float> apack;
+            for (std::size_t panel = lo; panel < hi; ++panel) {
+              const std::int64_t ic = static_cast<std::int64_t>(panel) * kMC;
+              const std::int64_t mc = std::min(kMC, m - ic);
+              const std::int64_t mc_pad = (mc + kMR - 1) / kMR * kMR;
+              apack.resize(static_cast<std::size_t>(mc_pad * kc));
+              pack_a(a, apack.data(), ic, mc, pc, kc, transpose_a, m, k);
+              for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+                const std::int64_t nr = std::min(kNR, nc - jr);
+                for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+                  const std::int64_t mr = std::min(kMR, mc - ir);
+                  float acc[kMR * kNR] = {};
+                  micro_kernel(kc, apack.data() + ir * kc,
+                               bpack.data() + jr * kc, acc);
+                  write_tile(acc, c + (ic + ir) * n + jc + jr, n, mr, nr,
+                             alpha, beta_eff);
+                }
+              }
+              if (last && bias != nullptr) {
+                // The panel's [mc x nc] slab of C is finished and still
+                // cache-resident: fold in the bias before moving on.
+                apply_bias_epilogue(c + ic * n + jc, bias + jc, n, mc, nc);
+              }
+            }
+          });
+    }
+  }
+}
+
+}  // namespace
+
+void set_use_reference_gemm(bool enabled) { g_use_ref_gemm = enabled; }
+bool use_reference_gemm() { return g_use_ref_gemm; }
+
+void matmul(const float* a, const float* b, float* c, std::int64_t m,
+            std::int64_t n, std::int64_t k, bool transpose_a, bool transpose_b,
+            float alpha, float beta) {
+  if (g_use_ref_gemm) {
+    matmul_ref(a, b, c, m, n, k, transpose_a, transpose_b, alpha, beta);
+    return;
+  }
+  gemm(a, b, c, m, n, k, transpose_a, transpose_b, alpha, beta, nullptr);
+}
+
+void matmul_bias(const float* a, const float* b, const float* bias, float* c,
+                 std::int64_t m, std::int64_t n, std::int64_t k,
+                 bool transpose_a, bool transpose_b) {
+  if (g_use_ref_gemm) {
+    matmul_ref(a, b, c, m, n, k, transpose_a, transpose_b);
+    add_bias(c, bias, c, m, n);
+    return;
+  }
+  gemm(a, b, c, m, n, k, transpose_a, transpose_b, 1.0f, 0.0f, bias);
+}
+
+void matmul_bias_gelu(const float* a, const float* b, const float* bias,
+                      float* pre, float* out, std::int64_t m, std::int64_t n,
+                      std::int64_t k, bool transpose_a, bool transpose_b) {
+  if (g_use_ref_gemm) {
+    matmul_ref(a, b, out, m, n, k, transpose_a, transpose_b);
+    add_bias(out, bias, out, m, n);
+    if (pre != nullptr) std::copy_n(out, m * n, pre);
+    gelu_forward(out, out, m * n);
+    return;
+  }
+  // Bias fused into the GEMM writeback; GELU as one solid sweep afterwards
+  // (2 passes over the activation instead of the unfused 3). gelu_forward is
+  // the same code the unfused composition runs, so fused == unfused exactly.
+  float* pre_or_out = pre != nullptr ? pre : out;
+  gemm(a, b, pre_or_out, m, n, k, transpose_a, transpose_b, 1.0f, 0.0f, bias);
+  gelu_forward(pre_or_out, out, m * n);
+}
+
+}  // namespace sh::tensor

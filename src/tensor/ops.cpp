@@ -5,71 +5,22 @@
 #include <limits>
 
 #include "parallel/parallel_for.hpp"
+#include "tensor/gelu_scalar.hpp"
 
 namespace sh::tensor {
 
+// matmul / matmul_bias / matmul_bias_gelu live in gemm.cpp (blocked GEMM).
+
 namespace {
 constexpr std::size_t kRowGrain = 4;
+// Column-slice grain for column-partitioned reductions (bias_grad,
+// embedding_scatter_add): wide enough that each slice spans whole cache
+// lines, so threads never write-share a line.
+constexpr std::size_t kColGrain = 64;
 
-inline float gelu_scalar(float x) {
-  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
-  const float k = 0.7978845608028654f;
-  const float inner = k * (x + 0.044715f * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
-}
-
-inline float gelu_grad_scalar(float x) {
-  const float k = 0.7978845608028654f;
-  const float x3 = x * x * x;
-  const float inner = k * (x + 0.044715f * x3);
-  const float t = std::tanh(inner);
-  const float sech2 = 1.0f - t * t;
-  return 0.5f * (1.0f + t) +
-         0.5f * x * sech2 * k * (1.0f + 3.0f * 0.044715f * x * x);
-}
+using detail::gelu_grad_scalar;
+using detail::gelu_scalar;
 }  // namespace
-
-void matmul(const float* a, const float* b, float* c, std::int64_t m,
-            std::int64_t n, std::int64_t k, bool transpose_a, bool transpose_b,
-            float alpha, float beta) {
-  auto a_at = [&](std::int64_t i, std::int64_t p) {
-    return transpose_a ? a[p * m + i] : a[i * k + p];
-  };
-  sh::parallel::parallel_for(
-      0, static_cast<std::size_t>(m), kRowGrain,
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t iu = lo; iu < hi; ++iu) {
-          const auto i = static_cast<std::int64_t>(iu);
-          float* crow = c + i * n;
-          if (beta == 0.0f) {
-            std::fill_n(crow, n, 0.0f);
-          } else if (beta != 1.0f) {
-            for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-          }
-          if (!transpose_b) {
-            // Stream over B rows for cache-friendly access.
-            for (std::int64_t p = 0; p < k; ++p) {
-              const float av = alpha * a_at(i, p);
-              if (av == 0.0f) continue;
-              const float* brow = b + p * n;
-              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-            }
-          } else {
-            for (std::int64_t j = 0; j < n; ++j) {
-              const float* brow = b + j * k;
-              float acc = 0.0f;
-              if (!transpose_a) {
-                const float* arow = a + i * k;
-                for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-              } else {
-                for (std::int64_t p = 0; p < k; ++p) acc += a_at(i, p) * brow[p];
-              }
-              crow[j] += alpha * acc;
-            }
-          }
-        }
-      });
-}
 
 void add_bias(const float* in, const float* bias, float* out, std::int64_t rows,
               std::int64_t cols) {
@@ -87,10 +38,16 @@ void add_bias(const float* in, const float* bias, float* out, std::int64_t rows,
 
 void bias_grad(const float* grad, float* bg, std::int64_t rows,
                std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* g = grad + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) bg[c] += g[c];
-  }
+  // Each thread owns a disjoint column slice and sums rows in ascending
+  // order — race-free and bit-identical to the serial loop.
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(cols), kColGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* g = grad + r * cols;
+          for (std::size_t c = lo; c < hi; ++c) bg[c] += g[c];
+        }
+      });
 }
 
 void gelu_forward(const float* in, float* out, std::int64_t n) {
@@ -109,6 +66,28 @@ void gelu_backward(const float* in, const float* grad_out, float* grad_in,
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           grad_in[i] = grad_out[i] * gelu_grad_scalar(in[i]);
+        }
+      });
+}
+
+void gelu_backward_bias_grad(const float* in, const float* grad_out,
+                             float* grad_in, float* bg, std::int64_t rows,
+                             std::int64_t cols) {
+  // Column-partitioned like bias_grad so the bg accumulation is race-free;
+  // grad_in entries are written exactly once each. Per element the math is
+  // gelu_backward's followed by bias_grad's, so the fusion is exact.
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(cols), kColGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* x = in + r * cols;
+          const float* go = grad_out + r * cols;
+          float* gi = grad_in + r * cols;
+          for (std::size_t c = lo; c < hi; ++c) {
+            const float g = go[c] * gelu_grad_scalar(x[c]);
+            gi[c] = g;
+            bg[c] += g;
+          }
         }
       });
 }
@@ -261,11 +240,18 @@ void embedding_gather(const float* table, const std::int32_t* ids, float* out,
 void embedding_scatter_add(const float* grad, const std::int32_t* ids,
                            float* table_grad, std::int64_t rows,
                            std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* dst = table_grad + static_cast<std::int64_t>(ids[r]) * cols;
-    const float* src = grad + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) dst[c] += src[c];
-  }
+  // Duplicate ids make row-parallel scatter racy, so threads partition the
+  // *columns*: each owns a disjoint column slice of every table row and
+  // walks rows in ascending order — race-free and deterministic.
+  sh::parallel::parallel_for(
+      0, static_cast<std::size_t>(cols), kColGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          float* dst = table_grad + static_cast<std::int64_t>(ids[r]) * cols;
+          const float* src = grad + r * cols;
+          for (std::size_t c = lo; c < hi; ++c) dst[c] += src[c];
+        }
+      });
 }
 
 float cross_entropy(const float* logits, const std::int32_t* targets,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "tensor/matmul_ref.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
 #include "testing/util.hpp"
@@ -62,6 +63,171 @@ INSTANTIATE_TEST_SUITE_P(
                       MatmulCase{16, 16, 16, true, false, 1.0f, 1.0f},
                       MatmulCase{33, 17, 29, false, false, 1.0f, 0.0f},
                       MatmulCase{64, 2, 3, true, true, -1.0f, 2.0f}));
+
+// --- Blocked GEMM vs the preserved naive kernel (matmul_ref) ---------------
+//
+// Programmatic sweep: every transpose combination x alpha/beta in {0, 1, 0.5}
+// x shapes chosen to straddle the blocking constants (MC=96, KC=256, NC=512)
+// and the 6x16 micro-tile, so edge-padded tiles, multi-KC accumulation and
+// multi-panel parallel paths are all exercised. The two kernels sum in a
+// different order, so comparison is allclose, not bitwise.
+std::vector<MatmulCase> gemm_vs_ref_cases() {
+  const std::int64_t shapes[][3] = {
+      {1, 1, 1},        // single element
+      {5, 7, 3},        // smaller than one micro-tile
+      {6, 16, 8},       // exactly one micro-tile
+      {13, 33, 17},     // ragged edges in every dimension
+      {97, 45, 19},     // m spans two MC row panels
+      {33, 129, 300},   // k spans two KC blocks
+      {100, 520, 260},  // all three blocked dimensions span two blocks
+  };
+  const float scalars[] = {0.0f, 1.0f, 0.5f};
+  std::vector<MatmulCase> cases;
+  for (const auto& s : shapes) {
+    for (int ta = 0; ta < 2; ++ta) {
+      for (int tb = 0; tb < 2; ++tb) {
+        for (float alpha : scalars) {
+          for (float beta : scalars) {
+            cases.push_back(
+                {s[0], s[1], s[2], ta != 0, tb != 0, alpha, beta});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class GemmVsRefTest : public ::testing::TestWithParam<MatmulCase> {};
+
+TEST_P(GemmVsRefTest, MatchesNaiveKernel) {
+  const auto& p = GetParam();
+  Rng rng(321);
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> b(static_cast<std::size_t>(p.k * p.n));
+  std::vector<float> c(static_cast<std::size_t>(p.m * p.n));
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(b, 1.0f);
+  rng.fill_uniform(c, 1.0f);
+  std::vector<float> expect = c;
+  matmul_ref(a.data(), b.data(), expect.data(), p.m, p.n, p.k, p.ta, p.tb,
+             p.alpha, p.beta);
+  matmul(a.data(), b.data(), c.data(), p.m, p.n, p.k, p.ta, p.tb, p.alpha,
+         p.beta);
+  sh::testing::expect_allclose(c, expect, 1e-4f, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GemmVsRefTest,
+                         ::testing::ValuesIn(gemm_vs_ref_cases()));
+
+TEST(Gemm, ReferenceFallbackTogglesAtRuntime) {
+  Rng rng(77);
+  std::vector<float> a(19 * 23), b(23 * 31), c_ref(19 * 31), c_flag(19 * 31);
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(b, 1.0f);
+  matmul_ref(a.data(), b.data(), c_ref.data(), 19, 31, 23, false, false);
+  set_use_reference_gemm(true);
+  matmul(a.data(), b.data(), c_flag.data(), 19, 31, 23, false, false);
+  set_use_reference_gemm(false);
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_EQ(c_flag[i], c_ref[i]) << "at " << i;
+  }
+}
+
+// --- Fused epilogues: bitwise-identical to their unfused compositions ------
+//
+// These are EXPECT_EQ, not allclose: the fused entry points are required to
+// produce the exact floats of the unfused op sequence (DESIGN.md "Kernel
+// substrate"), which is what lets layers adopt them without perturbing the
+// monolithic-vs-offloaded bit-identity invariant.
+
+struct FusedCase {
+  std::int64_t m, n, k;
+  bool ta, tb;
+};
+
+class FusedEpilogueTest : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedEpilogueTest, MatmulBiasMatchesUnfusedExactly) {
+  const auto& p = GetParam();
+  Rng rng(55);
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> b(static_cast<std::size_t>(p.k * p.n));
+  std::vector<float> bias(static_cast<std::size_t>(p.n));
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(b, 1.0f);
+  rng.fill_uniform(bias, 1.0f);
+  std::vector<float> expect(static_cast<std::size_t>(p.m * p.n));
+  std::vector<float> got(expect.size());
+  matmul(a.data(), b.data(), expect.data(), p.m, p.n, p.k, p.ta, p.tb);
+  add_bias(expect.data(), bias.data(), expect.data(), p.m, p.n);
+  matmul_bias(a.data(), b.data(), bias.data(), got.data(), p.m, p.n, p.k,
+              p.ta, p.tb);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "at " << i;
+  }
+}
+
+TEST_P(FusedEpilogueTest, MatmulBiasGeluMatchesUnfusedExactly) {
+  const auto& p = GetParam();
+  Rng rng(56);
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> b(static_cast<std::size_t>(p.k * p.n));
+  std::vector<float> bias(static_cast<std::size_t>(p.n));
+  rng.fill_uniform(a, 1.0f);
+  rng.fill_uniform(b, 1.0f);
+  rng.fill_uniform(bias, 1.0f);
+  const std::size_t size = static_cast<std::size_t>(p.m * p.n);
+  std::vector<float> expect_pre(size), expect_out(size);
+  matmul(a.data(), b.data(), expect_pre.data(), p.m, p.n, p.k, p.ta, p.tb);
+  add_bias(expect_pre.data(), bias.data(), expect_pre.data(), p.m, p.n);
+  gelu_forward(expect_pre.data(), expect_out.data(), p.m * p.n);
+
+  std::vector<float> pre(size), out(size);
+  matmul_bias_gelu(a.data(), b.data(), bias.data(), pre.data(), out.data(),
+                   p.m, p.n, p.k, p.ta, p.tb);
+  for (std::size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(pre[i], expect_pre[i]) << "pre at " << i;
+    EXPECT_EQ(out[i], expect_out[i]) << "out at " << i;
+  }
+
+  // Null pre-activation variant writes only the activation.
+  std::vector<float> out2(size);
+  matmul_bias_gelu(a.data(), b.data(), bias.data(), nullptr, out2.data(), p.m,
+                   p.n, p.k, p.ta, p.tb);
+  for (std::size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(out2[i], expect_out[i]) << "out2 at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusedEpilogueTest,
+    ::testing::Values(FusedCase{3, 5, 2, false, false},
+                      FusedCase{13, 33, 17, false, true},
+                      FusedCase{97, 45, 19, true, false},
+                      FusedCase{100, 520, 260, false, true}));
+
+TEST(Ops, GeluBackwardBiasGradMatchesUnfusedExactly) {
+  const std::int64_t rows = 37, cols = 130;
+  const std::size_t size = static_cast<std::size_t>(rows * cols);
+  Rng rng(57);
+  std::vector<float> x(size), gout(size);
+  rng.fill_uniform(x, 2.0f);
+  rng.fill_uniform(gout, 1.0f);
+  // bias_grad accumulates, so both paths start from the same non-zero state.
+  std::vector<float> expect_gin(size), expect_bg(cols, 0.25f);
+  gelu_backward(x.data(), gout.data(), expect_gin.data(), rows * cols);
+  bias_grad(expect_gin.data(), expect_bg.data(), rows, cols);
+  std::vector<float> gin(size), bg(cols, 0.25f);
+  gelu_backward_bias_grad(x.data(), gout.data(), gin.data(), bg.data(), rows,
+                          cols);
+  for (std::size_t i = 0; i < size; ++i) {
+    EXPECT_EQ(gin[i], expect_gin[i]) << "gin at " << i;
+  }
+  for (std::size_t j = 0; j < expect_bg.size(); ++j) {
+    EXPECT_EQ(bg[j], expect_bg[j]) << "bg at " << j;
+  }
+}
 
 TEST(Ops, AddBiasBroadcastsOverRows) {
   std::vector<float> in = {1, 2, 3, 4};

@@ -89,6 +89,23 @@ TEST(ParallelFor, SumMatchesSerial) {
   EXPECT_EQ(sum.load(), 10000LL * 10001 / 2);
 }
 
+TEST(ParallelFor, RangeNearSizeMaxDoesNotOverflow) {
+  // The old claim loop advanced a shared counter with fetch_add, which
+  // wrapped past `end` when the range sat near SIZE_MAX; the bounded
+  // compare-exchange claim must cover exactly [begin, end) instead.
+  ThreadPool pool(3);
+  constexpr std::size_t begin = SIZE_MAX - 1000;
+  constexpr std::size_t end = SIZE_MAX - 500;
+  std::vector<std::atomic<int>> hits(end - begin);
+  parallel_for(pool, begin, end, 7, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_GE(lo, begin);
+    ASSERT_LE(hi, end);
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i - begin].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1u); }
 
 }  // namespace
