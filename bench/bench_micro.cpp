@@ -71,8 +71,24 @@ void BM_BufferPoolRecycle(benchmark::State& state) {
     benchmark::DoNotOptimize(s);
     pool.release(s);
   }
+  state.counters["peak_bytes"] = static_cast<double>(gpu.peak_bytes());
 }
 BENCHMARK(BM_BufferPoolRecycle)->Arg(2)->Arg(8);
+
+// Reservation charge/uncharge round-trip on the accounted device arena —
+// the hot path serve::KvArena takes per chunk reservation. The peak_bytes
+// counter lands in the benchmark JSON (one peak convention across sh::mem).
+void BM_DeviceArenaChargeCycle(benchmark::State& state) {
+  sh::mem::DeviceArena arena("gpu", std::size_t{1} << 24);
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    bool ok = arena.try_charge(sh::mem::DeviceArena::kKv, bytes);
+    benchmark::DoNotOptimize(ok);
+    arena.uncharge(sh::mem::DeviceArena::kKv, bytes);
+  }
+  state.counters["peak_bytes"] = static_cast<double>(arena.peak_bytes());
+}
+BENCHMARK(BM_DeviceArenaChargeCycle)->Arg(1 << 10)->Arg(1 << 20);
 
 void BM_TransferEngineCopy(benchmark::State& state) {
   sh::hw::TransferEngine eng("h2d");

@@ -23,6 +23,8 @@ struct Row {
   double p99_ms = 0.0;
   std::size_t steps = 0;
   std::size_t preemptions = 0;
+  std::size_t kv_peak_bytes = 0;   // KvArena peak (sh::mem convention)
+  std::size_t gpu_peak_bytes = 0;  // engine device-arena peak, all regions
 };
 
 Row run_load(sh::core::StrongholdEngine& engine, std::size_t offered,
@@ -55,6 +57,9 @@ Row run_load(sh::core::StrongholdEngine& engine, std::size_t offered,
   row.p99_ms = sched.serve_engine().latency_percentile(0.99) * 1e3;
   row.steps = es.steps;
   row.preemptions = sched.arena_stats().preemptions;
+  row.kv_peak_bytes = sched.arena_stats().peak_bytes;
+  // Cumulative across rows: the engine (and its arena) is shared.
+  row.gpu_peak_bytes = engine.device_arena().peak_bytes();
   return row;
 }
 
@@ -101,9 +106,11 @@ int main() {
                    "    {\"offered\": %zu, \"kv_budget_bytes\": %zu, "
                    "\"max_batch\": %zu, \"tokens_per_s\": %.2f, "
                    "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"steps\": %zu, "
-                   "\"preemptions\": %zu}%s\n",
+                   "\"preemptions\": %zu, \"kv_peak_bytes\": %zu, "
+                   "\"gpu_peak_bytes\": %zu}%s\n",
                    r.offered, r.kv_budget, r.max_batch, r.tokens_per_s,
                    r.p50_ms, r.p99_ms, r.steps, r.preemptions,
+                   r.kv_peak_bytes, r.gpu_peak_bytes,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -53,14 +53,21 @@ int main() {
   baselines::StrongholdStrategy sh_strategy;
   const auto d = sh_strategy.window_decision(w, v100);
   const auto cap = sh_strategy.capacity(w, v100);
+  const double gib = 1024.0 * 1024 * 1024;
   std::printf(
       "\nSTRONGHOLD plan for the 20.5B model at batch 8:\n"
       "  window m = %zu (feasible=%d, memory allows up to %zu)\n"
       "  GPU footprint %.1f GiB of 32, CPU pinned %.1f GiB\n"
       "  concurrent streams: %d\n",
       d.m, static_cast<int>(d.feasible), d.max_m_by_memory,
-      cap.gpu_bytes / (1024.0 * 1024 * 1024),
-      cap.cpu_bytes / (1024.0 * 1024 * 1024),
+      cap.gpu_bytes / gib, cap.cpu_bytes / gib,
       sh_strategy.stream_count(w, v100));
+  // Per-region breakdown (mem::DeviceArena convention): window decisions
+  // should be judged against the full device footprint, not just parameters.
+  std::printf(
+      "  GPU regions: window %.2f GiB, kv %.2f GiB, activations %.2f GiB, "
+      "workspace %.2f GiB\n",
+      cap.gpu_regions.window / gib, cap.gpu_regions.kv / gib,
+      cap.gpu_regions.activations / gib, cap.gpu_regions.workspace / gib);
   return 0;
 }

@@ -22,6 +22,15 @@ int main() {
   sh::core::EngineConfig ecfg;
   ecfg.window = 2;
   ecfg.adam.lr = 5e-3f;
+  // Size the simulated GPU so that, after the pinned layers and working
+  // window are reserved, exactly 64 KiB of capacity remains: the scheduler's
+  // default KV budget is that residual, so training and serving share one
+  // accounted device budget (and the tight residual forces preemption).
+  {
+    sh::nn::GptModel probe(mcfg);
+    sh::core::StrongholdEngine probe_engine(probe, ecfg);
+    ecfg.gpu_memory_bytes = probe_engine.device_arena().used() + 64 * 1024;
+  }
   sh::core::StrongholdEngine engine(model, ecfg);
   engine.init_params(7);
 
@@ -34,9 +43,10 @@ int main() {
   sh::serve::SchedulerConfig scfg;
   scfg.max_batch = 8;
   scfg.arena.chunk_tokens = 4;
-  // 2 * layers * hidden * 4 = 1024 bytes/token; 12 in-flight sequences at
-  // full depth would need ~200 KiB — the 64 KiB budget forces preemption.
-  scfg.arena.budget_bytes = 64 * 1024;
+  // budget_bytes stays 0: the KV budget defaults to the device arena's
+  // residual (the 64 KiB left beyond the window). 2 * layers * hidden * 4 =
+  // 1024 bytes/token; 12 in-flight sequences at full depth would need
+  // ~200 KiB — the residual budget forces preemption.
   sh::serve::Scheduler sched(engine, scfg);
 
   std::printf("submitting 12 requests (greedy and sampled)...\n");
@@ -67,10 +77,20 @@ int main() {
   std::printf("latency p50 / p99 : %.2f ms / %.2f ms\n",
               sched.serve_engine().latency_percentile(0.5) * 1e3,
               sched.serve_engine().latency_percentile(0.99) * 1e3);
-  std::printf("KV arena          : peak %zu B of %zu B, %zu preemptions, "
-              "%zu resumes\n",
-              as.peak_bytes, scfg.arena.budget_bytes, as.preemptions,
+  std::printf("KV arena          : peak %zu B of %zu B (residual default), "
+              "%zu preemptions, %zu resumes\n",
+              as.peak_bytes, sched.kv_budget_bytes(), as.preemptions,
               as.resumes);
+  const auto arena_stats = engine.device_arena().stats();
+  std::printf("device arena      : peak %zu B of %zu B capacity, "
+              "%zu pressure events (%zu released / %zu stalled)\n",
+              arena_stats.peak_bytes, arena_stats.capacity,
+              arena_stats.pressure_events, arena_stats.pressure_releases,
+              arena_stats.pressure_stalls);
+  for (const auto& [region, rs] : arena_stats.regions) {
+    std::printf("  region %-12s: in use %zu B, peak %zu B\n", region.c_str(),
+                rs.bytes_in_use, rs.peak_bytes);
+  }
 
   std::printf("\ntokens of request 1: ");
   for (const auto t : sched.result(1)) std::printf("%d ", t);

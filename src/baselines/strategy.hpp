@@ -29,6 +29,16 @@ struct CapacityReport {
   double cpu_bytes = 0.0;
   double nvme_bytes = 0.0;
   std::string limiter;  // which budget failed (empty when fits)
+  /// GPU footprint broken down by mem::DeviceArena region convention
+  /// (window / kv / activations / workspace). Strategies that fill it make
+  /// the components sum to gpu_bytes; left zero otherwise.
+  struct GpuRegions {
+    double window = 0.0;       // pinned layers + working-window slots
+    double kv = 0.0;           // serving KV state (0 for pure training)
+    double activations = 0.0;  // transient working activations
+    double workspace = 0.0;    // runtime reserved / framework overhead
+  };
+  GpuRegions gpu_regions{};
 };
 
 /// One simulated training iteration.

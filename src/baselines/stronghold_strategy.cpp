@@ -40,9 +40,11 @@ CapacityReport StrongholdStrategy::capacity(
   CapacityReport r;
   // Minimum viable window: two slots (one computing, one prefetching), plus
   // transient working activations of the layer being computed.
-  r.gpu_bytes = pinned_bytes(w) + 2.0 * slot_bytes(w) +
-                sim::working_activation_bytes(w.model, w.batch) +
-                machine.gpu.runtime_reserved_bytes;
+  r.gpu_regions.window = pinned_bytes(w) + 2.0 * slot_bytes(w);
+  r.gpu_regions.activations = sim::working_activation_bytes(w.model, w.batch);
+  r.gpu_regions.workspace = machine.gpu.runtime_reserved_bytes;
+  r.gpu_bytes =
+      r.gpu_regions.window + r.gpu_regions.activations + r.gpu_regions.workspace;
   const double state = sim::total_state_bytes(w.model);
   // Offloaded activation checkpoints ride along with the layer states.
   const double ckpt = static_cast<double>(w.model.layers) *

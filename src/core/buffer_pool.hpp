@@ -1,65 +1,13 @@
-// User-level GPU working-window buffer management (Section III-E3).
-//
-// Frameworks cache n*k per-tensor buffers, which cannot work when the model
-// exceeds GPU memory. STRONGHOLD instead reserves m+1 fixed slots once at
-// warm-up (m = working window) and recycles them round-robin: a prefetched
-// layer takes the slot most recently vacated by an evicted layer. Reserved
-// buffers may grow but never shrink. Released slots are poisoned with NaN so
-// a layer computing from a stale window slot fails loudly.
+// Compatibility shim: BufferPool is now an allocation policy over
+// mem::DeviceArena. See mem/pool_policies.hpp for the class (round-robin
+// slot recycling, NaN poisoning, grow-never-shrink — Section III-E3).
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <mutex>
-#include <vector>
-
-#include "hw/memory_pool.hpp"
+#include "hw/memory_pool.hpp"  // transitive hw:: aliases, as before
+#include "mem/pool_policies.hpp"
 
 namespace sh::core {
 
-class BufferPool {
- public:
-  /// Reserves `num_slots` buffers of `slot_floats` floats from `gpu`.
-  BufferPool(hw::MemoryPool& gpu, std::size_t slot_floats,
-             std::size_t num_slots);
-  ~BufferPool();
-
-  BufferPool(const BufferPool&) = delete;
-  BufferPool& operator=(const BufferPool&) = delete;
-
-  /// Takes the next free slot in round-robin order; blocks until one frees.
-  float* acquire();
-
-  /// Non-blocking variant; returns nullptr when all slots are busy.
-  float* try_acquire();
-
-  /// Returns a slot to the free queue (poisoning its contents).
-  void release(float* slot);
-
-  /// Grows the pool to at least `num_slots` slots of at least `slot_floats`
-  /// floats. Shrinking is never performed (paper: buffers grow, not shrink).
-  /// All slots must be free when growing the slot size.
-  void grow(std::size_t slot_floats, std::size_t num_slots);
-
-  std::size_t slot_floats() const;
-  std::size_t num_slots() const;
-  std::size_t free_slots() const;
-  std::size_t total_acquisitions() const;
-
-  /// True if `ptr` is one of this pool's slots (any state).
-  bool owns(const float* ptr) const;
-
- private:
-  void release_all_to_gpu();
-
-  hw::MemoryPool& gpu_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t slot_floats_;
-  std::vector<float*> slots_;      // all slots, in reservation order
-  std::deque<float*> free_queue_;  // round-robin free list
-  std::size_t acquisitions_ = 0;
-};
+using BufferPool = ::sh::mem::BufferPool;
 
 }  // namespace sh::core

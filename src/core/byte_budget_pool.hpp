@@ -1,66 +1,13 @@
-// Fixed-size GPU working buffer with a dynamically varying number of layers
-// (Section III-D, final paragraph).
-//
-// The default BufferPool reserves uniform slots sized for the largest layer,
-// which wastes memory when layer sizes are heterogeneous (e.g. MoE blocks
-// next to dense blocks). This pool instead reserves ONE fixed GPU buffer and
-// sub-allocates exact-size regions from it with a first-fit free list —
-// the number of resident layers then adapts to their sizes.
+// Compatibility shim: ByteBudgetPool is now an allocation policy over
+// mem::DeviceArena. See mem/pool_policies.hpp for the class (single slab,
+// first-fit coalescing free list — Section III-D, final paragraph).
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <map>
-#include <mutex>
-
-#include "hw/memory_pool.hpp"
+#include "hw/memory_pool.hpp"  // transitive hw:: aliases, as before
+#include "mem/pool_policies.hpp"
 
 namespace sh::core {
 
-class ByteBudgetPool {
- public:
-  /// Reserves a single `budget_floats` buffer from `gpu`.
-  ByteBudgetPool(hw::MemoryPool& gpu, std::size_t budget_floats);
-  ~ByteBudgetPool();
-
-  ByteBudgetPool(const ByteBudgetPool&) = delete;
-  ByteBudgetPool& operator=(const ByteBudgetPool&) = delete;
-
-  /// Carves a `floats`-sized region out of the buffer (first fit); blocks
-  /// until a large-enough contiguous region frees up. Throws OomError if the
-  /// request exceeds the whole budget (it could never be satisfied).
-  float* acquire(std::size_t floats);
-
-  /// Non-blocking variant: nullptr when no region currently fits.
-  float* try_acquire(std::size_t floats);
-
-  /// Returns a region (poisoning it) and coalesces with free neighbours.
-  void release(float* ptr);
-
-  std::size_t budget_floats() const noexcept { return budget_; }
-  std::size_t floats_in_use() const;
-  std::size_t peak_floats_in_use() const;
-  std::size_t live_regions() const;
-  std::size_t total_acquisitions() const;
-
-  /// Largest currently-free contiguous region (fragmentation diagnostics).
-  std::size_t largest_free_region() const;
-
- private:
-  std::size_t largest_free_locked() const;
-  float* take_first_fit_locked(std::size_t floats);
-
-  hw::MemoryPool& gpu_;
-  float* base_ = nullptr;
-  std::size_t budget_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  // offset -> size, for allocated and free regions.
-  std::map<std::size_t, std::size_t> allocated_;
-  std::map<std::size_t, std::size_t> free_;
-  std::size_t in_use_ = 0;
-  std::size_t peak_ = 0;
-  std::size_t acquisitions_ = 0;
-};
+using ByteBudgetPool = ::sh::mem::ByteBudgetPool;
 
 }  // namespace sh::core

@@ -76,7 +76,7 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   } else {
     // Warm-up window: the largest that provably fits, per Section III-B.
     if (fit < 2 && blocks > 1) {
-      throw hw::OomError("gpu", 2 * slot_bytes, gpu_pool_.free_bytes());
+      throw mem::OomError("gpu", 2 * slot_bytes, gpu_pool_.free_bytes());
     }
     window_ = std::min<std::size_t>(blocks, fit > 0 ? fit - 1 : 0);
     window_ = std::max<std::size_t>(window_, 1);
@@ -84,7 +84,7 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   const std::size_t slots =
       window_ < blocks ? window_ + 1 : blocks;  // +1 prefetch stage slot
   slot_floats_ = slot_floats;
-  // Throws hw::OomError when the requested window cannot be reserved.
+  // Throws mem::OomError when the requested window cannot be reserved.
   if (cfg_.window_mode == WindowMode::UniformSlots) {
     pool_ = std::make_unique<UniformSlotAllocator>(gpu_pool_, slot_floats,
                                                    slots);
@@ -133,6 +133,9 @@ StrongholdEngine::~StrongholdEngine() {
   opts_.wait_all();
   h2d_.wait_all();
   d2h_.wait_all();
+  // The drained queues above may have enqueued swap-tier write-backs that
+  // still reference layer masters; those must land before LayerStore dies.
+  if (swap_) swap_->wait_all();
   // Return pinned buffers; BufferPool returns its slots on destruction.
   pool_.reset();
   gpu_pool_.deallocate(pinned_emb_);
@@ -142,10 +145,10 @@ StrongholdEngine::~StrongholdEngine() {
 void StrongholdEngine::setup_pinned_layers() {
   LayerState& emb = store_.state(0);
   LayerState& head = store_.state(head_index());
-  pinned_emb_ =
-      gpu_pool_.allocate_floats(2 * static_cast<std::size_t>(emb.params));
-  pinned_head_ =
-      gpu_pool_.allocate_floats(2 * static_cast<std::size_t>(head.params));
+  pinned_emb_ = gpu_pool_.allocate_floats(
+      2 * static_cast<std::size_t>(emb.params), mem::DeviceArena::kWindow);
+  pinned_head_ = gpu_pool_.allocate_floats(
+      2 * static_cast<std::size_t>(head.params), mem::DeviceArena::kWindow);
   emb.gpu_slot = pinned_emb_;
   head.gpu_slot = pinned_head_;
 }
@@ -198,6 +201,17 @@ void StrongholdEngine::prefetch(std::size_t index) {
     // on-demand fetch when the layer is actually needed.
     slot = pool_->try_acquire(need);
     if (slot == nullptr) {
+      // Report through the shared pressure layer first: a registered
+      // callback (e.g. serve preempt-to-CPU on a co-located arena) may free
+      // capacity and earn one retry.
+      if (gpu_pool_.signal_pressure(mem::DeviceArena::kWindow,
+                                    need * sizeof(float))) {
+        slot = pool_->try_acquire(need);
+      }
+    }
+    if (slot == nullptr) {
+      const double t = now_seconds();
+      trace_span("mem", "defer", t, t);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.deferred_prefetches;
       return;
@@ -529,6 +543,9 @@ float StrongholdEngine::train_step(const data::Batch& batch) {
   };
 
   auto executor_fn = [&](std::size_t e) {
+    // Activation tensors this executor allocates are soft-charged to the
+    // arena's "activations" region — accounting only, numerics untouched.
+    mem::ScopedTensorCharge charge(gpu_pool_, mem::DeviceArena::kActivations);
     nn::GptModel& mdl = e == 0 ? model_ : *replicas_[e - 1];
     // Per-executor batch context: the row offset keys the deterministic
     // dropout masks so the micro-batch split draws the same masks the whole
@@ -727,6 +744,7 @@ void StrongholdEngine::maybe_update_window() {
 
 void StrongholdEngine::stream_layers(const LayerVisitor& visit) {
   const std::size_t blocks = num_blocks();
+  mem::ScopedTensorCharge charge(gpu_pool_, mem::DeviceArena::kActivations);
   normalize_residency();
   std::vector<float> scratch(
       static_cast<std::size_t>(store_.max_layer_params()), 0.0f);
@@ -796,6 +814,10 @@ StrongholdEngine::Decoder::Decoder(StrongholdEngine& engine,
   }
   const std::int64_t heads = cfg.heads;
   const std::int64_t head_dim = cfg.hidden / cfg.heads;
+  // Session KV caches are device-resident state: soft-charge them to the
+  // arena's "kv" region for the lifetime of the decoder.
+  mem::ScopedTensorCharge kv_charge(engine.gpu_pool_,
+                                    mem::DeviceArena::kKv);
   caches_.resize(engine.num_blocks());
   for (auto& c : caches_) {
     c.k = tensor::Tensor::zeros({batch, heads, capacity, head_dim});
@@ -941,7 +963,8 @@ EngineStats StrongholdEngine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   EngineStats s = stats_;
   s.window = window_;
-  s.gpu_high_water_bytes = gpu_pool_.high_water();
+  s.gpu_high_water_bytes = gpu_pool_.peak_bytes();
+  s.arena = gpu_pool_.stats();
   return s;
 }
 

@@ -40,8 +40,9 @@
 #include "core/optimizer_pool.hpp"
 #include "core/window_model.hpp"
 #include "data/synthetic.hpp"
-#include "hw/memory_pool.hpp"
+#include "hw/memory_pool.hpp"  // hw:: compat aliases over sh::mem
 #include "hw/transfer.hpp"
+#include "mem/device_arena.hpp"
 #include "nn/gpt.hpp"
 #include "optim/optimizer.hpp"
 #include "optim/schedule.hpp"
@@ -128,9 +129,15 @@ struct EngineStats {
   std::size_t d2h_bytes = 0;
   std::size_t optimizer_updates = 0;
   std::size_t swap_backed_layers = 0;
+  /// Peak device bytes (== device_arena().peak_bytes(); name kept for
+  /// compatibility). Includes soft-charged activation/KV bytes, so it may
+  /// exceed gpu_memory_bytes when a pass overcommits gracefully.
   std::size_t gpu_high_water_bytes = 0;
   float loss_scale = 1.0f;          // fp16: current dynamic loss scale
   std::size_t skipped_updates = 0;  // fp16: steps dropped due to overflow
+  /// Full per-region accounting of the device arena (window / kv /
+  /// activations / workspace, pressure counters).
+  mem::ArenaStats arena{};
 };
 
 class StrongholdEngine {
@@ -222,6 +229,13 @@ class StrongholdEngine {
   std::size_t window() const noexcept { return window_; }
   const nn::GptModel& model() const noexcept { return model_; }
 
+  /// The accounted device-memory arena every GPU-resident byte of this
+  /// engine is charged to. Co-located subsystems (sh::serve) draw their
+  /// budgets from the same arena so one gpu_memory_bytes capacity governs
+  /// training and serving together.
+  mem::DeviceArena& device_arena() noexcept { return gpu_pool_; }
+  const mem::DeviceArena& device_arena() const noexcept { return gpu_pool_; }
+
   /// Wall-clock execution trace (only populated with record_trace). Call
   /// after quiescing (end of a train_step is fine; spans from in-flight
   /// background work land when it completes).
@@ -270,7 +284,7 @@ class StrongholdEngine {
   EngineConfig cfg_;
   std::unique_ptr<storage::SwapFile> swap_;
   LayerStore store_;
-  hw::MemoryPool gpu_pool_;
+  mem::DeviceArena gpu_pool_;
   hw::TransferEngine h2d_;
   hw::TransferEngine d2h_;
   optim::Adam adam_proto_;

@@ -10,10 +10,12 @@
 
 #include <memory>
 
-#include "core/buffer_pool.hpp"
-#include "core/byte_budget_pool.hpp"
+#include "mem/pool_policies.hpp"
 
 namespace sh::core {
+
+using BufferPool = ::sh::mem::BufferPool;
+using ByteBudgetPool = ::sh::mem::ByteBudgetPool;
 
 class SlotAllocator {
  public:
@@ -42,9 +44,9 @@ class SlotAllocator {
 
 class UniformSlotAllocator final : public SlotAllocator {
  public:
-  UniformSlotAllocator(hw::MemoryPool& gpu, std::size_t slot_floats,
+  UniformSlotAllocator(mem::DeviceArena& arena, std::size_t slot_floats,
                        std::size_t slots)
-      : pool_(gpu, slot_floats, slots) {}
+      : pool_(arena, slot_floats, slots) {}
 
   float* acquire(std::size_t floats) override {
     if (floats > pool_.slot_floats()) {
@@ -72,8 +74,8 @@ class UniformSlotAllocator final : public SlotAllocator {
 
 class BudgetSlotAllocator final : public SlotAllocator {
  public:
-  BudgetSlotAllocator(hw::MemoryPool& gpu, std::size_t budget_floats)
-      : pool_(gpu, budget_floats) {}
+  BudgetSlotAllocator(mem::DeviceArena& arena, std::size_t budget_floats)
+      : pool_(arena, budget_floats) {}
 
   float* acquire(std::size_t floats) override { return pool_.acquire(floats); }
   float* try_acquire(std::size_t floats) override {

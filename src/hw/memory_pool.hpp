@@ -1,64 +1,14 @@
-// Capacity-enforced memory pools standing in for device memories.
-//
-// The numeric training path allocates real host memory through these pools,
-// but each pool enforces a configurable capacity and throws OomError on
-// exhaustion — giving the offload engine a faithful "GPU memory" to manage.
-// (Use-after-evict poisoning lives in core::BufferPool, which recycles slots
-// rather than freeing them.)
+// Compatibility shim: the capacity-enforced device pool grew into the
+// accounted sh::mem subsystem. hw::MemoryPool is now mem::DeviceArena — the
+// same allocate_floats/deallocate/OomError surface, plus named regions,
+// reservation charging, and the pressure layer. See mem/device_arena.hpp.
 #pragma once
 
-#include <cstddef>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
-#include <string>
-#include <unordered_map>
+#include "mem/device_arena.hpp"
 
 namespace sh::hw {
 
-class OomError : public std::runtime_error {
- public:
-  OomError(const std::string& pool, std::size_t requested_bytes,
-           std::size_t free_bytes);
-
-  std::size_t requested_bytes() const noexcept { return requested_; }
-  std::size_t free_bytes() const noexcept { return free_; }
-
- private:
-  std::size_t requested_;
-  std::size_t free_;
-};
-
-class MemoryPool {
- public:
-  /// `capacity_bytes` bounds the sum of live allocations.
-  MemoryPool(std::string name, std::size_t capacity_bytes);
-  ~MemoryPool();
-
-  MemoryPool(const MemoryPool&) = delete;
-  MemoryPool& operator=(const MemoryPool&) = delete;
-
-  /// Allocates `n` floats; throws OomError if the pool would overflow.
-  float* allocate_floats(std::size_t n);
-
-  /// Releases a block returned by allocate_floats.
-  void deallocate(float* ptr);
-
-  const std::string& name() const noexcept { return name_; }
-  std::size_t capacity() const noexcept { return capacity_; }
-  std::size_t used() const;
-  std::size_t free_bytes() const;
-  std::size_t high_water() const;
-  std::size_t live_allocations() const;
-
- private:
-  std::string name_;
-  std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::size_t used_ = 0;
-  std::size_t high_water_ = 0;
-  std::unordered_map<float*, std::unique_ptr<float[]>> blocks_;
-  std::unordered_map<float*, std::size_t> sizes_;
-};
+using OomError = ::sh::mem::OomError;
+using MemoryPool = ::sh::mem::DeviceArena;
 
 }  // namespace sh::hw

@@ -1,0 +1,277 @@
+#include "mem/device_arena.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace sh::mem {
+namespace detail {
+
+struct RegionInfo {
+  std::size_t hard = 0;
+  std::size_t soft = 0;
+  std::size_t peak = 0;
+  std::size_t live_allocations = 0;
+  std::size_t total_charges = 0;
+  std::size_t pressure_events = 0;
+};
+
+struct BackedBlock {
+  std::unique_ptr<float[]> storage;
+  std::string region;
+  std::size_t bytes = 0;
+};
+
+// All accounting state lives behind a shared_ptr so that soft-charge deleters
+// captured inside tensor storage stay valid after the DeviceArena dies.
+struct Ledger {
+  Ledger(std::string n, std::size_t cap) : name(std::move(n)), capacity(cap) {}
+
+  const std::string name;
+  const std::size_t capacity;
+
+  mutable std::mutex mu;
+  std::size_t hard = 0;  // backed + reserved bytes (capacity-enforced)
+  std::size_t soft = 0;  // overcommittable tensor-hook bytes
+  std::size_t peak = 0;  // high-water of hard + soft
+  std::size_t pressure_events = 0;
+  std::size_t pressure_releases = 0;
+  std::size_t pressure_stalls = 0;
+  std::map<std::string, RegionInfo> regions;
+  std::unordered_map<float*, BackedBlock> blocks;
+
+  // Callbacks use their own mutex: signal_pressure must snapshot them while
+  // a callback (e.g. KvArena preempt) re-enters the accounting lock above.
+  std::mutex cb_mu;
+  std::uint64_t next_cb_id = 1;
+  std::vector<std::pair<std::uint64_t, DeviceArena::PressureCallback>>
+      callbacks;
+
+  // Callers hold `mu`.
+  void note_peak_locked() {
+    peak = std::max(peak, hard + soft);
+    for (auto& [name_, r] : regions) {
+      r.peak = std::max(r.peak, r.hard + r.soft);
+    }
+  }
+
+  void record_pressure_locked(const std::string& region, std::size_t) {
+    ++pressure_events;
+    ++regions[region].pressure_events;
+  }
+};
+
+void ledger_charge_soft(Ledger& ledger, const std::string& region,
+                        std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(ledger.mu);
+  RegionInfo& r = ledger.regions[region];
+  ledger.soft += bytes;
+  r.soft += bytes;
+  ++r.total_charges;
+  if (ledger.hard + ledger.soft > ledger.capacity) {
+    ledger.record_pressure_locked(region, bytes);
+  }
+  ledger.note_peak_locked();
+}
+
+void ledger_uncharge_soft(Ledger& ledger, const std::string& region,
+                          std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(ledger.mu);
+  RegionInfo& r = ledger.regions[region];
+  ledger.soft -= std::min(ledger.soft, bytes);
+  r.soft -= std::min(r.soft, bytes);
+}
+
+namespace {
+thread_local const ChargeScope* g_charge_scope = nullptr;
+}  // namespace
+
+const ChargeScope* current_tensor_charge() noexcept { return g_charge_scope; }
+
+}  // namespace detail
+
+OomError::OomError(const std::string& pool, std::size_t requested_bytes,
+                   std::size_t free_bytes)
+    : std::runtime_error("OOM in pool '" + pool + "': requested " +
+                         std::to_string(requested_bytes) + " bytes, " +
+                         std::to_string(free_bytes) + " free"),
+      pool_(pool),
+      requested_(requested_bytes),
+      free_(free_bytes) {}
+
+DeviceArena::DeviceArena(std::string name, std::size_t capacity_bytes)
+    : ledger_(std::make_shared<detail::Ledger>(std::move(name),
+                                               capacity_bytes)) {}
+
+DeviceArena::~DeviceArena() = default;
+
+float* DeviceArena::allocate_floats(std::size_t n, const std::string& region) {
+  const std::size_t bytes = n * sizeof(float);
+  // Bounded retry: each failed admission runs the pressure layer once; a
+  // callback that frees bytes earns another attempt. The cap guards against
+  // a callback that keeps claiming success without making room.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(ledger_->mu);
+      if (ledger_->hard + bytes <= ledger_->capacity) {
+        detail::BackedBlock block;
+        block.storage = std::make_unique<float[]>(n);
+        block.region = region;
+        block.bytes = bytes;
+        float* ptr = block.storage.get();
+        detail::RegionInfo& r = ledger_->regions[region];
+        ledger_->hard += bytes;
+        r.hard += bytes;
+        ++r.live_allocations;
+        ++r.total_charges;
+        ledger_->note_peak_locked();
+        ledger_->blocks.emplace(ptr, std::move(block));
+        return ptr;
+      }
+    }
+    if (!signal_pressure(region, bytes)) break;
+  }
+  std::size_t free = 0;
+  {
+    std::lock_guard<std::mutex> lock(ledger_->mu);
+    free = ledger_->capacity - std::min(ledger_->capacity, ledger_->hard);
+  }
+  throw OomError(ledger_->name, bytes, free);
+}
+
+void DeviceArena::deallocate(float* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  auto it = ledger_->blocks.find(ptr);
+  if (it == ledger_->blocks.end()) {
+    throw std::logic_error("DeviceArena '" + ledger_->name +
+                           "': deallocate of unknown pointer");
+  }
+  detail::RegionInfo& r = ledger_->regions[it->second.region];
+  ledger_->hard -= it->second.bytes;
+  r.hard -= it->second.bytes;
+  --r.live_allocations;
+  ledger_->blocks.erase(it);
+}
+
+bool DeviceArena::try_charge(const std::string& region, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  if (ledger_->hard + bytes > ledger_->capacity) return false;
+  detail::RegionInfo& r = ledger_->regions[region];
+  ledger_->hard += bytes;
+  r.hard += bytes;
+  ++r.total_charges;
+  ledger_->note_peak_locked();
+  return true;
+}
+
+void DeviceArena::uncharge(const std::string& region, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  auto it = ledger_->regions.find(region);
+  if (it == ledger_->regions.end() || it->second.hard < bytes ||
+      ledger_->hard < bytes) {
+    throw std::logic_error("DeviceArena '" + ledger_->name +
+                           "': uncharge exceeds charged bytes in region '" +
+                           region + "'");
+  }
+  ledger_->hard -= bytes;
+  it->second.hard -= bytes;
+}
+
+std::uint64_t DeviceArena::add_pressure_callback(PressureCallback cb) {
+  std::lock_guard<std::mutex> lock(ledger_->cb_mu);
+  const std::uint64_t id = ledger_->next_cb_id++;
+  ledger_->callbacks.emplace_back(id, std::move(cb));
+  return id;
+}
+
+void DeviceArena::remove_pressure_callback(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(ledger_->cb_mu);
+  std::erase_if(ledger_->callbacks,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+bool DeviceArena::signal_pressure(const std::string& region,
+                                  std::size_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(ledger_->mu);
+    ledger_->record_pressure_locked(region, bytes);
+  }
+  // Snapshot under cb_mu, invoke with no lock held: callbacks free capacity
+  // by calling back into this arena (deallocate/uncharge).
+  std::vector<std::pair<std::uint64_t, PressureCallback>> cbs;
+  {
+    std::lock_guard<std::mutex> lock(ledger_->cb_mu);
+    cbs = ledger_->callbacks;
+  }
+  for (auto& [id, cb] : cbs) {
+    if (cb(region, bytes)) {
+      std::lock_guard<std::mutex> lock(ledger_->mu);
+      ++ledger_->pressure_releases;
+      return true;
+    }
+  }
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  ++ledger_->pressure_stalls;
+  return false;
+}
+
+const std::string& DeviceArena::name() const noexcept { return ledger_->name; }
+
+std::size_t DeviceArena::capacity() const noexcept {
+  return ledger_->capacity;
+}
+
+std::size_t DeviceArena::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->hard + ledger_->soft;
+}
+
+std::size_t DeviceArena::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->peak;
+}
+
+std::size_t DeviceArena::free_bytes() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->capacity - std::min(ledger_->capacity, ledger_->hard);
+}
+
+std::size_t DeviceArena::live_allocations() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  return ledger_->blocks.size();
+}
+
+ArenaStats DeviceArena::stats() const {
+  std::lock_guard<std::mutex> lock(ledger_->mu);
+  ArenaStats s;
+  s.capacity = ledger_->capacity;
+  s.bytes_in_use = ledger_->hard + ledger_->soft;
+  s.peak_bytes = ledger_->peak;
+  s.pressure_events = ledger_->pressure_events;
+  s.pressure_releases = ledger_->pressure_releases;
+  s.pressure_stalls = ledger_->pressure_stalls;
+  for (const auto& [name, r] : ledger_->regions) {
+    RegionStats rs;
+    rs.bytes_in_use = r.hard + r.soft;
+    rs.peak_bytes = r.peak;
+    rs.soft_bytes = r.soft;
+    rs.live_allocations = r.live_allocations;
+    rs.total_charges = r.total_charges;
+    rs.pressure_events = r.pressure_events;
+    s.regions.emplace(name, rs);
+  }
+  return s;
+}
+
+ScopedTensorCharge::ScopedTensorCharge(DeviceArena& arena, std::string region)
+    : scope_{arena.ledger(), std::move(region)},
+      prev_(detail::g_charge_scope) {
+  detail::g_charge_scope = &scope_;
+}
+
+ScopedTensorCharge::~ScopedTensorCharge() { detail::g_charge_scope = prev_; }
+
+}  // namespace sh::mem

@@ -1,0 +1,176 @@
+// sh::mem — the one accounted device-memory subsystem.
+//
+// A DeviceArena is the capacity-enforced stand-in for a GPU memory device
+// (promoted from the old hw::MemoryPool). Every device-resident byte of a
+// training or serving pass is charged to the arena under a named region:
+//
+//   "window"       layer parameters + gradients streaming through the
+//                  STRONGHOLD working window, plus the pinned embedding/head
+//   "kv"           KV-cache state (serve::KvArena slabs, decoder sessions)
+//   "activations"  forward/backward activations and kernel temporaries
+//   "workspace"    everything else (default for untagged allocations)
+//
+// Three accounting channels feed the same ledger:
+//   * backed allocations (allocate_floats/deallocate) — real storage,
+//     capacity-enforced; throws OomError after the pressure layer fails;
+//   * reservations (try_charge/uncharge) — capacity-enforced byte accounting
+//     without storage, used by serve::KvArena so KV budgets and the training
+//     window draw from one device capacity;
+//   * soft charges (ScopedTensorCharge + Tensor::zeros) — activation and KV
+//     tensors allocated inside engine/serve passes. Soft bytes are counted
+//     in bytes_in_use()/peak_bytes() and raise pressure events when demand
+//     exceeds capacity, but never fail: an over-budget pass degrades
+//     (deferred prefetch, preempt-to-CPU) instead of aborting mid-kernel.
+//
+// The pressure layer unifies graceful degradation: when an enforced request
+// cannot be met, the arena invokes registered callbacks (outside its lock)
+// until one frees bytes. The training engine's deferred-prefetch path and
+// the serve scheduler's preempt-to-CPU path are two instances of this one
+// mechanism; stalls and releases are counted in ArenaStats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace sh::mem {
+
+class OomError : public std::runtime_error {
+ public:
+  OomError(const std::string& pool, std::size_t requested_bytes,
+           std::size_t free_bytes);
+
+  /// Name of the pool/region that could not satisfy the request.
+  const std::string& pool() const noexcept { return pool_; }
+  std::size_t requested_bytes() const noexcept { return requested_; }
+  std::size_t free_bytes() const noexcept { return free_; }
+
+ private:
+  std::string pool_;
+  std::size_t requested_;
+  std::size_t free_;
+};
+
+/// Accounting of one named sub-reservation of the arena.
+struct RegionStats {
+  std::size_t bytes_in_use = 0;     ///< hard + soft bytes currently charged
+  std::size_t peak_bytes = 0;       ///< high-water of bytes_in_use
+  std::size_t soft_bytes = 0;       ///< overcommittable (tensor-hook) share
+  std::size_t live_allocations = 0; ///< backed blocks currently live
+  std::size_t total_charges = 0;    ///< lifetime allocs + charges
+  std::size_t pressure_events = 0;  ///< requests that exceeded free capacity
+};
+
+struct ArenaStats {
+  std::size_t capacity = 0;
+  std::size_t bytes_in_use = 0;  ///< hard + soft over all regions
+  std::size_t peak_bytes = 0;
+  std::size_t pressure_events = 0;    ///< demand exceeded free capacity
+  std::size_t pressure_releases = 0;  ///< a callback freed bytes
+  std::size_t pressure_stalls = 0;    ///< no callback could free (degrade)
+  std::map<std::string, RegionStats> regions;
+};
+
+namespace detail {
+struct Ledger;  // shared accounting state; outlives the arena for deleters
+void ledger_charge_soft(Ledger& ledger, const std::string& region,
+                        std::size_t bytes);
+void ledger_uncharge_soft(Ledger& ledger, const std::string& region,
+                          std::size_t bytes);
+
+struct ChargeScope {
+  std::shared_ptr<Ledger> ledger;
+  std::string region;
+};
+/// Thread-local scope consulted by tensor::Tensor::zeros (nullptr = off).
+const ChargeScope* current_tensor_charge() noexcept;
+}  // namespace detail
+
+class DeviceArena {
+ public:
+  static constexpr const char* kWindow = "window";
+  static constexpr const char* kKv = "kv";
+  static constexpr const char* kActivations = "activations";
+  static constexpr const char* kWorkspace = "workspace";
+
+  /// `capacity_bytes` bounds the sum of enforced (backed + reserved) bytes.
+  DeviceArena(std::string name, std::size_t capacity_bytes);
+  ~DeviceArena();
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Allocates `n` floats charged to `region`. On exhaustion the pressure
+  /// layer runs first; throws OomError only when no callback can free bytes.
+  float* allocate_floats(std::size_t n, const std::string& region = kWorkspace);
+
+  /// Releases a block returned by allocate_floats.
+  void deallocate(float* ptr);
+
+  /// Reserves `bytes` of capacity in `region` without backing storage.
+  /// Returns false (no state change, no pressure signal) when the free
+  /// capacity cannot absorb it — the caller owns the degradation decision.
+  bool try_charge(const std::string& region, std::size_t bytes);
+
+  /// Returns bytes reserved with try_charge.
+  void uncharge(const std::string& region, std::size_t bytes);
+
+  /// A pressure callback attempts to free capacity (evict, preempt, spill)
+  /// and returns whether it did. Invoked outside the arena lock.
+  using PressureCallback =
+      std::function<bool(const std::string& region, std::size_t bytes)>;
+  std::uint64_t add_pressure_callback(PressureCallback cb);
+  void remove_pressure_callback(std::uint64_t id);
+
+  /// Records a pressure event for `region` and invokes callbacks until one
+  /// frees bytes. Returns whether any did (false = the caller should take
+  /// its own graceful-degradation path, e.g. defer a prefetch).
+  bool signal_pressure(const std::string& region, std::size_t bytes);
+
+  const std::string& name() const noexcept;
+  std::size_t capacity() const noexcept;
+  /// Hard + soft bytes currently charged, over all regions.
+  std::size_t bytes_in_use() const;
+  /// High-water mark of bytes_in_use() — the one peak convention of sh::mem.
+  std::size_t peak_bytes() const;
+  /// Capacity remaining for enforced requests (soft bytes do not consume it).
+  std::size_t free_bytes() const;
+  std::size_t live_allocations() const;
+  ArenaStats stats() const;
+
+  // hw::MemoryPool-compatible aliases (pre-sh::mem spelling).
+  std::size_t used() const { return bytes_in_use(); }
+  std::size_t high_water() const { return peak_bytes(); }
+
+  /// Shared accounting handle; lets tensor deleters outlive the arena.
+  const std::shared_ptr<detail::Ledger>& ledger() const noexcept {
+    return ledger_;
+  }
+
+ private:
+  std::shared_ptr<detail::Ledger> ledger_;
+};
+
+/// RAII scope: while alive ON THIS THREAD, every owning tensor::Tensor
+/// allocation is soft-charged to `region` of `arena` (and uncharged when the
+/// tensor's storage dies, on any thread, even after the arena is gone). The
+/// hook only touches accounting — buffer contents and numerics are
+/// bit-identical with and without it.
+class ScopedTensorCharge {
+ public:
+  ScopedTensorCharge(DeviceArena& arena, std::string region);
+  ~ScopedTensorCharge();
+
+  ScopedTensorCharge(const ScopedTensorCharge&) = delete;
+  ScopedTensorCharge& operator=(const ScopedTensorCharge&) = delete;
+
+ private:
+  detail::ChargeScope scope_;
+  const detail::ChargeScope* prev_;
+};
+
+}  // namespace sh::mem

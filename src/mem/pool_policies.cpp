@@ -1,0 +1,230 @@
+#include "mem/pool_policies.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sh::mem {
+
+BufferPool::BufferPool(DeviceArena& arena, std::size_t slot_floats,
+                       std::size_t num_slots, std::string region)
+    : arena_(arena), region_(std::move(region)), slot_floats_(slot_floats) {
+  if (slot_floats == 0 || num_slots == 0) {
+    throw std::invalid_argument("BufferPool: slots must be non-empty");
+  }
+  slots_.reserve(num_slots);
+  for (std::size_t i = 0; i < num_slots; ++i) {
+    float* s = arena_.allocate_floats(slot_floats_, region_);
+    slots_.push_back(s);
+    free_queue_.push_back(s);
+  }
+}
+
+BufferPool::~BufferPool() { release_all_to_arena(); }
+
+void BufferPool::release_all_to_arena() {
+  for (float* s : slots_) arena_.deallocate(s);
+  slots_.clear();
+  free_queue_.clear();
+}
+
+float* BufferPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !free_queue_.empty(); });
+  float* s = free_queue_.front();
+  free_queue_.pop_front();
+  ++acquisitions_;
+  return s;
+}
+
+float* BufferPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_queue_.empty()) return nullptr;
+  float* s = free_queue_.front();
+  free_queue_.pop_front();
+  ++acquisitions_;
+  return s;
+}
+
+void BufferPool::release(float* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(slots_.begin(), slots_.end(), slot) == slots_.end()) {
+    throw std::logic_error("BufferPool: releasing a foreign pointer");
+  }
+  if (std::find(free_queue_.begin(), free_queue_.end(), slot) !=
+      free_queue_.end()) {
+    throw std::logic_error("BufferPool: double release");
+  }
+  // Poison so stale layer views read NaN instead of old parameters.
+  std::fill_n(slot, slot_floats_, std::numeric_limits<float>::quiet_NaN());
+  free_queue_.push_back(slot);
+  cv_.notify_one();
+}
+
+void BufferPool::grow(std::size_t slot_floats, std::size_t num_slots) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot_floats > slot_floats_) {
+    if (free_queue_.size() != slots_.size()) {
+      throw std::logic_error("BufferPool: cannot resize slots while in use");
+    }
+    for (float*& s : slots_) arena_.deallocate(s);
+    slots_.clear();
+    free_queue_.clear();
+    slot_floats_ = slot_floats;
+    const std::size_t count = std::max(num_slots, std::size_t{1});
+    for (std::size_t i = 0; i < count; ++i) {
+      float* s = arena_.allocate_floats(slot_floats_, region_);
+      slots_.push_back(s);
+      free_queue_.push_back(s);
+    }
+    cv_.notify_all();
+    return;
+  }
+  while (slots_.size() < num_slots) {
+    float* s = arena_.allocate_floats(slot_floats_, region_);
+    slots_.push_back(s);
+    free_queue_.push_back(s);
+    cv_.notify_one();
+  }
+}
+
+std::size_t BufferPool::slot_floats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot_floats_;
+}
+
+std::size_t BufferPool::num_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::size_t BufferPool::free_slots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_queue_.size();
+}
+
+std::size_t BufferPool::total_acquisitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquisitions_;
+}
+
+bool BufferPool::owns(const float* ptr) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::find(slots_.begin(), slots_.end(), ptr) != slots_.end();
+}
+
+ByteBudgetPool::ByteBudgetPool(DeviceArena& arena, std::size_t budget_floats,
+                               std::string region)
+    : arena_(arena), budget_(budget_floats) {
+  if (budget_floats == 0) {
+    throw std::invalid_argument("ByteBudgetPool: empty budget");
+  }
+  base_ = arena_.allocate_floats(budget_, region);
+  free_[0] = budget_;
+}
+
+ByteBudgetPool::~ByteBudgetPool() { arena_.deallocate(base_); }
+
+float* ByteBudgetPool::take_first_fit_locked(std::size_t floats) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < floats) continue;
+    const std::size_t offset = it->first;
+    const std::size_t remaining = it->second - floats;
+    free_.erase(it);
+    if (remaining > 0) free_[offset + floats] = remaining;
+    allocated_[offset] = floats;
+    in_use_ += floats;
+    peak_ = std::max(peak_, in_use_);
+    ++acquisitions_;
+    return base_ + offset;
+  }
+  return nullptr;
+}
+
+float* ByteBudgetPool::acquire(std::size_t floats) {
+  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
+  if (floats > budget_) {
+    throw OomError("window-budget", floats * sizeof(float),
+                   budget_ * sizeof(float));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (float* p = take_first_fit_locked(floats)) return p;
+    cv_.wait(lock);
+  }
+}
+
+float* ByteBudgetPool::try_acquire(std::size_t floats) {
+  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
+  if (floats > budget_) {
+    throw OomError("window-budget", floats * sizeof(float),
+                   budget_ * sizeof(float));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return take_first_fit_locked(floats);
+}
+
+void ByteBudgetPool::release(float* ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto offset = static_cast<std::size_t>(ptr - base_);
+  auto it = allocated_.find(offset);
+  if (ptr < base_ || it == allocated_.end()) {
+    throw std::logic_error("ByteBudgetPool: releasing unknown region");
+  }
+  const std::size_t size = it->second;
+  std::fill_n(ptr, size, std::numeric_limits<float>::quiet_NaN());
+  allocated_.erase(it);
+  in_use_ -= size;
+
+  // Insert and coalesce with neighbours.
+  auto inserted = free_.emplace(offset, size).first;
+  if (inserted != free_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != free_.end() &&
+      inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_.erase(next);
+  }
+  cv_.notify_all();
+}
+
+std::size_t ByteBudgetPool::floats_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_use_;
+}
+
+std::size_t ByteBudgetPool::peak_floats_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::size_t ByteBudgetPool::live_regions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_.size();
+}
+
+std::size_t ByteBudgetPool::total_acquisitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquisitions_;
+}
+
+std::size_t ByteBudgetPool::largest_free_locked() const {
+  std::size_t best = 0;
+  for (const auto& [off, size] : free_) best = std::max(best, size);
+  return best;
+}
+
+std::size_t ByteBudgetPool::largest_free_region() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return largest_free_locked();
+}
+
+}  // namespace sh::mem

@@ -1,0 +1,131 @@
+// Allocation policies over a mem::DeviceArena.
+//
+// BufferPool — user-level GPU working-window buffer management (STRONGHOLD
+// Section III-E3). Frameworks cache n*k per-tensor buffers, which cannot
+// work when the model exceeds GPU memory. STRONGHOLD instead reserves m+1
+// fixed slots once at warm-up (m = working window) and recycles them
+// round-robin: a prefetched layer takes the slot most recently vacated by an
+// evicted layer. Reserved buffers may grow but never shrink. Released slots
+// are poisoned with NaN so a layer computing from a stale window slot fails
+// loudly.
+//
+// ByteBudgetPool — fixed-size GPU working buffer with a dynamically varying
+// number of layers (Section III-D, final paragraph). Uniform slots sized for
+// the largest layer waste memory when layer sizes are heterogeneous (e.g.
+// MoE blocks next to dense blocks). This pool instead reserves ONE fixed
+// buffer and sub-allocates exact-size regions from it with a first-fit
+// coalescing free list — the number of resident layers then adapts to their
+// sizes.
+//
+// Both are policies, not owners: every byte they hand out is backed by (and
+// charged to a region of) the DeviceArena passed at construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mem/device_arena.hpp"
+
+namespace sh::mem {
+
+class BufferPool {
+ public:
+  /// Reserves `num_slots` buffers of `slot_floats` floats from `arena`,
+  /// charged to `region`.
+  BufferPool(DeviceArena& arena, std::size_t slot_floats,
+             std::size_t num_slots,
+             std::string region = DeviceArena::kWindow);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Takes the next free slot in round-robin order; blocks until one frees.
+  float* acquire();
+
+  /// Non-blocking variant; returns nullptr when all slots are busy.
+  float* try_acquire();
+
+  /// Returns a slot to the free queue (poisoning its contents).
+  void release(float* slot);
+
+  /// Grows the pool to at least `num_slots` slots of at least `slot_floats`
+  /// floats. Shrinking is never performed (paper: buffers grow, not shrink).
+  /// All slots must be free when growing the slot size.
+  void grow(std::size_t slot_floats, std::size_t num_slots);
+
+  std::size_t slot_floats() const;
+  std::size_t num_slots() const;
+  std::size_t free_slots() const;
+  std::size_t total_acquisitions() const;
+
+  /// True if `ptr` is one of this pool's slots (any state).
+  bool owns(const float* ptr) const;
+
+ private:
+  void release_all_to_arena();
+
+  DeviceArena& arena_;
+  const std::string region_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t slot_floats_;
+  std::vector<float*> slots_;      // all slots, in reservation order
+  std::deque<float*> free_queue_;  // round-robin free list
+  std::size_t acquisitions_ = 0;
+};
+
+class ByteBudgetPool {
+ public:
+  /// Reserves a single `budget_floats` buffer from `arena`, charged to
+  /// `region`.
+  ByteBudgetPool(DeviceArena& arena, std::size_t budget_floats,
+                 std::string region = DeviceArena::kWindow);
+  ~ByteBudgetPool();
+
+  ByteBudgetPool(const ByteBudgetPool&) = delete;
+  ByteBudgetPool& operator=(const ByteBudgetPool&) = delete;
+
+  /// Carves a `floats`-sized region out of the buffer (first fit); blocks
+  /// until a large-enough contiguous region frees up. Throws OomError if the
+  /// request exceeds the whole budget (it could never be satisfied).
+  float* acquire(std::size_t floats);
+
+  /// Non-blocking variant: nullptr when no region currently fits.
+  float* try_acquire(std::size_t floats);
+
+  /// Returns a region (poisoning it) and coalesces with free neighbours.
+  void release(float* ptr);
+
+  std::size_t budget_floats() const noexcept { return budget_; }
+  std::size_t floats_in_use() const;
+  std::size_t peak_floats_in_use() const;
+  std::size_t live_regions() const;
+  std::size_t total_acquisitions() const;
+
+  /// Largest currently-free contiguous region (fragmentation diagnostics).
+  std::size_t largest_free_region() const;
+
+ private:
+  std::size_t largest_free_locked() const;
+  float* take_first_fit_locked(std::size_t floats);
+
+  DeviceArena& arena_;
+  float* base_ = nullptr;
+  std::size_t budget_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // offset -> size, for allocated and free regions.
+  std::map<std::size_t, std::size_t> allocated_;
+  std::map<std::size_t, std::size_t> free_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t acquisitions_ = 0;
+};
+
+}  // namespace sh::mem

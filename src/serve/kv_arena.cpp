@@ -1,5 +1,6 @@
 #include "serve/kv_arena.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -20,13 +21,39 @@ void copy_rows(const float* src, std::int64_t src_cap, float* dst,
 
 }  // namespace
 
-KvArena::KvArena(const nn::GptConfig& model, KvArenaConfig config)
+KvArena::KvArena(const nn::GptConfig& model, KvArenaConfig config,
+                 mem::DeviceArena* device)
     : blocks_(model.layers),
       heads_(model.heads),
       head_dim_(model.hidden / model.heads),
       cfg_(config) {
   if (cfg_.chunk_tokens <= 0) {
     throw std::invalid_argument("KvArena: chunk_tokens must be positive");
+  }
+  if (device != nullptr) {
+    device_ = device;
+    // Default budget: whatever the device has left after the working window
+    // and pinned layers were reserved. Explicit budgets are clamped to that
+    // residual so fits_budget stays a true feasibility check.
+    const std::size_t residual = device_->free_bytes();
+    budget_ = cfg_.budget_bytes == 0
+                  ? residual
+                  : std::min(cfg_.budget_bytes, residual);
+  } else {
+    if (cfg_.budget_bytes == 0) {
+      throw std::invalid_argument(
+          "KvArena: budget_bytes must be set without a shared device arena");
+    }
+    owned_ = std::make_unique<mem::DeviceArena>("kv", cfg_.budget_bytes);
+    device_ = owned_.get();
+    budget_ = cfg_.budget_bytes;
+  }
+}
+
+KvArena::~KvArena() {
+  // Return outstanding reservations (resident slabs) to a shared arena.
+  if (stats_.bytes_in_use > 0) {
+    device_->uncharge(mem::DeviceArena::kKv, stats_.bytes_in_use);
   }
 }
 
@@ -55,9 +82,17 @@ KvArena::Slab KvArena::make_slab(std::int64_t capacity) const {
   return slab;
 }
 
-void KvArena::charge(std::size_t bytes) {
+bool KvArena::try_charge(std::size_t bytes) {
+  if (stats_.bytes_in_use + bytes > budget_) return false;
+  if (!device_->try_charge(mem::DeviceArena::kKv, bytes)) return false;
   stats_.bytes_in_use += bytes;
   stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+  return true;
+}
+
+void KvArena::uncharge(std::size_t bytes) {
+  device_->uncharge(mem::DeviceArena::kKv, bytes);
+  stats_.bytes_in_use -= bytes;
 }
 
 bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
@@ -66,11 +101,9 @@ bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
     if (preempted(id)) {
       throw std::logic_error("KvArena: reserve on a preempted sequence");
     }
-    const std::size_t bytes = bytes_for(tokens);
-    if (stats_.bytes_in_use + bytes > cfg_.budget_bytes) return false;
+    if (!try_charge(bytes_for(tokens))) return false;
     Slab slab = make_slab(round_to_chunk(tokens));
     slabs_.emplace(id, std::move(slab));
-    charge(bytes);
     ++stats_.admissions;
     return true;
   }
@@ -79,9 +112,7 @@ bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
   if (tokens <= slab.capacity) return true;
   const std::size_t old_bytes = bytes_for(slab.capacity);
   const std::size_t new_bytes = bytes_for(tokens);
-  if (stats_.bytes_in_use + (new_bytes - old_bytes) > cfg_.budget_bytes) {
-    return false;
-  }
+  if (!try_charge(new_bytes - old_bytes)) return false;
   Slab grown = make_slab(round_to_chunk(tokens));
   for (std::size_t b = 0; b < slab.caches.size(); ++b) {
     const nn::KvCache& src = slab.caches[b];
@@ -93,7 +124,6 @@ bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
     dst.length = src.length;
   }
   slab = std::move(grown);
-  charge(new_bytes - old_bytes);
   ++stats_.grows;
   return true;
 }
@@ -118,7 +148,7 @@ void KvArena::preempt(std::uint64_t id) {
     copy_rows(c.v.data(), c.capacity, saved.v[b].data(), c.length, heads_,
               head_dim_, c.length);
   }
-  stats_.bytes_in_use -= bytes_for(slab.capacity);
+  uncharge(bytes_for(slab.capacity));
   slabs_.erase(it);
   saved_.emplace(id, std::move(saved));
   ++stats_.preemptions;
@@ -131,8 +161,7 @@ bool KvArena::try_resume(std::uint64_t id, std::int64_t tokens) {
   }
   const Saved& saved = it->second;
   const std::int64_t need = std::max(tokens, saved.length);
-  const std::size_t bytes = bytes_for(need);
-  if (stats_.bytes_in_use + bytes > cfg_.budget_bytes) return false;
+  if (!try_charge(bytes_for(need))) return false;
   Slab slab = make_slab(round_to_chunk(need));
   for (std::size_t b = 0; b < slab.caches.size(); ++b) {
     nn::KvCache& c = slab.caches[b];
@@ -143,7 +172,6 @@ bool KvArena::try_resume(std::uint64_t id, std::int64_t tokens) {
     c.length = saved.length;
   }
   slabs_.emplace(id, std::move(slab));
-  charge(bytes);
   saved_.erase(it);
   ++stats_.resumes;
   return true;
@@ -154,7 +182,7 @@ void KvArena::release(std::uint64_t id) {
   if (it == slabs_.end()) {
     throw std::logic_error("KvArena: release of a non-resident sequence");
   }
-  stats_.bytes_in_use -= bytes_for(it->second.capacity);
+  uncharge(bytes_for(it->second.capacity));
   slabs_.erase(it);
   ++stats_.releases;
 }

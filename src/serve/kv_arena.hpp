@@ -13,18 +13,23 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "mem/device_arena.hpp"
 #include "nn/gpt.hpp"
 #include "nn/module.hpp"
 
 namespace sh::serve {
 
 struct KvArenaConfig {
-  /// Cap on the summed K+V bytes of all resident sequences.
-  std::size_t budget_bytes = std::size_t{1} << 30;
+  /// Cap on the summed K+V bytes of all resident sequences. 0 = derive the
+  /// budget from the residual free capacity of the shared device arena at
+  /// construction (the engine's gpu_memory_bytes minus the working window);
+  /// a standalone KvArena (no shared arena) must set it explicitly.
+  std::size_t budget_bytes = 0;
   /// Reservation granularity in tokens; capacities round up to a multiple.
   std::int64_t chunk_tokens = 16;
 };
@@ -41,7 +46,15 @@ struct KvArenaStats {
 
 class KvArena {
  public:
-  KvArena(const nn::GptConfig& model, KvArenaConfig config);
+  /// With `device` set, every KV byte is reserved (hard-charged) against
+  /// that shared mem::DeviceArena's "kv" region, so training-window and KV
+  /// bytes draw from one GPU capacity; budget_bytes == 0 then resolves to
+  /// the arena's residual free capacity (explicit budgets are clamped to
+  /// it). Without `device` the arena owns a private DeviceArena of exactly
+  /// budget_bytes, which must be non-zero.
+  KvArena(const nn::GptConfig& model, KvArenaConfig config,
+          mem::DeviceArena* device = nullptr);
+  ~KvArena();
 
   /// Bytes a resident sequence with `tokens` of context occupies (capacity
   /// rounded up to the chunk size; K and V over every block).
@@ -49,7 +62,7 @@ class KvArena {
   /// Whether a sequence needing `tokens` could EVER be resident — the
   /// admission-control feasibility check applied at submit time.
   bool fits_budget(std::int64_t tokens) const {
-    return bytes_for(tokens) <= cfg_.budget_bytes;
+    return bytes_for(tokens) <= budget_;
   }
 
   /// Ensures sequence `id` has a resident slab covering `tokens`; allocates
@@ -76,7 +89,11 @@ class KvArena {
   std::span<nn::KvCache> caches(std::uint64_t id);
 
   const KvArenaStats& stats() const noexcept { return stats_; }
-  std::size_t budget_bytes() const noexcept { return cfg_.budget_bytes; }
+  /// Resolved budget (explicit, or the shared arena's residual at
+  /// construction).
+  std::size_t budget_bytes() const noexcept { return budget_; }
+  /// The device arena KV bytes are charged to (owned or shared).
+  mem::DeviceArena& device_arena() noexcept { return *device_; }
 
  private:
   struct Slab {
@@ -91,12 +108,18 @@ class KvArena {
 
   std::int64_t round_to_chunk(std::int64_t tokens) const;
   Slab make_slab(std::int64_t capacity) const;
-  void charge(std::size_t bytes);
+  /// Reserves `bytes` against both the local budget and the device arena's
+  /// "kv" region; false (no state change) when either has no room.
+  bool try_charge(std::size_t bytes);
+  void uncharge(std::size_t bytes);
 
   std::int64_t blocks_;
   std::int64_t heads_;
   std::int64_t head_dim_;
   KvArenaConfig cfg_;
+  std::unique_ptr<mem::DeviceArena> owned_;  // standalone mode only
+  mem::DeviceArena* device_ = nullptr;
+  std::size_t budget_ = 0;
   std::unordered_map<std::uint64_t, Slab> slabs_;
   std::unordered_map<std::uint64_t, Saved> saved_;
   KvArenaStats stats_;

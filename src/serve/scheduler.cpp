@@ -8,11 +8,19 @@ namespace sh::serve {
 Scheduler::Scheduler(core::StrongholdEngine& engine, SchedulerConfig config)
     : engine_(engine),
       cfg_(config),
-      arena_(engine.model().config(), config.arena),
+      arena_(engine.model().config(), config.arena, &engine.device_arena()),
       serve_(engine) {
   if (cfg_.max_batch == 0) {
     throw std::invalid_argument("Scheduler: max_batch must be >= 1");
   }
+  pressure_cb_id_ = engine_.device_arena().add_pressure_callback(
+      [this](const std::string& region, std::size_t) {
+        return preempt_for_pressure(region);
+      });
+}
+
+Scheduler::~Scheduler() {
+  engine_.device_arena().remove_pressure_callback(pressure_cb_id_);
 }
 
 std::uint64_t Scheduler::submit(Request request) {
@@ -76,34 +84,49 @@ void Scheduler::resume_preempted() {
   }
 }
 
-void Scheduler::reserve_running() {
-  auto preempt_one = [&](std::uint64_t id) {
-    arena_.preempt(id);
-    Sequence& s = seq(id);
-    s.status = SeqStatus::Preempted;
-    std::erase(running_, id);
-    preempted_.push_back(id);
-    ++stats_.preemptions;
-  };
+bool Scheduler::preempt_for_pressure(const std::string& region) {
+  // Only KV-region pressure, and only while one of OUR sequences is inside
+  // the reservation loop. Window-region pressure (engine prefetch) cannot be
+  // relieved by evicting KV into the window's fixed slab, and a co-located
+  // scheduler's pressure must not preempt this scheduler's batch.
+  if (region != mem::DeviceArena::kKv || reserving_id_ == 0) return false;
+  // Victim: the youngest OTHER resident sequence. The oldest sequence
+  // therefore always keeps its reservation and the schedule progresses.
+  std::uint64_t victim = reserving_id_;
+  std::uint64_t victim_order = 0;
+  for (std::uint64_t other : running_) {
+    const Sequence& o = sequences_.at(other);
+    if (other != reserving_id_ && o.admit_order >= victim_order) {
+      victim = other;
+      victim_order = o.admit_order;
+    }
+  }
+  arena_.preempt(victim);
+  Sequence& s = seq(victim);
+  s.status = SeqStatus::Preempted;
+  std::erase(running_, victim);
+  preempted_.push_back(victim);
+  ++stats_.preemptions;
+  // Self-preemption frees bytes but not for the reserving sequence — it
+  // must wait preempted, so the pressure counts as a stall.
+  return victim != reserving_id_;
+}
 
+void Scheduler::reserve_running() {
+  mem::DeviceArena& device = engine_.device_arena();
   for (std::uint64_t id : running_by_age()) {
     Sequence& s = seq(id);
     if (s.status != SeqStatus::Running) continue;  // already a victim
+    reserving_id_ = id;
     while (!arena_.try_reserve(id, s.next_step_tokens())) {
-      // Victim: the youngest OTHER resident sequence. The oldest sequence
-      // therefore always keeps its reservation and the schedule progresses.
-      std::uint64_t victim = id;
-      std::uint64_t victim_order = 0;
-      for (std::uint64_t other : running_) {
-        const Sequence& o = sequences_.at(other);
-        if (other != id && o.admit_order >= victim_order) {
-          victim = other;
-          victim_order = o.admit_order;
-        }
-      }
-      preempt_one(victim);
-      if (victim == id) break;  // no other victim: wait preempted
+      // Shared graceful-degradation path: raise pressure on the device
+      // arena; our registered callback preempts a victim to CPU (the same
+      // mechanism the engine's deferred prefetch reports through).
+      const bool freed = device.signal_pressure(
+          mem::DeviceArena::kKv, arena_.bytes_for(s.next_step_tokens()));
+      if (!freed || s.status != SeqStatus::Running) break;
     }
+    reserving_id_ = 0;
   }
 }
 

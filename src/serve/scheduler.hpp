@@ -45,7 +45,15 @@ struct SchedulerStats {
 
 class Scheduler {
  public:
+  /// The scheduler's KvArena draws from the engine's device arena (one GPU
+  /// budget for the working window and KV state), and preempt-to-CPU is
+  /// registered as a pressure callback on that arena — the serving twin of
+  /// the engine's deferred-prefetch degradation path.
   Scheduler(core::StrongholdEngine& engine, SchedulerConfig config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
 
   /// Enqueues a request; returns its id (assigned when request.id == 0).
   /// Rejects (throws std::invalid_argument) requests whose context exceeds
@@ -67,6 +75,9 @@ class Scheduler {
 
   SchedulerStats stats() const;
   const KvArenaStats& arena_stats() const noexcept { return arena_.stats(); }
+  /// Resolved KV budget (defaults to the residual free capacity of the
+  /// engine's device arena at construction).
+  std::size_t kv_budget_bytes() const noexcept { return arena_.budget_bytes(); }
   ServeEngine& serve_engine() noexcept { return serve_; }
   const ServeEngine& serve_engine() const noexcept { return serve_; }
 
@@ -79,11 +90,20 @@ class Scheduler {
   void admit_queued();
   void advance_batch();
   void finish(std::uint64_t id);
+  /// Pressure callback body: preempts the youngest resident other than the
+  /// sequence currently reserving (or that sequence itself when it is
+  /// alone). Returns whether bytes were freed FOR the reserving sequence.
+  bool preempt_for_pressure(const std::string& region);
 
   core::StrongholdEngine& engine_;
   SchedulerConfig cfg_;
   KvArena arena_;
   ServeEngine serve_;
+  std::uint64_t pressure_cb_id_ = 0;
+  /// Sequence currently inside the reserve_running retry loop (0 = none);
+  /// gates the pressure callback so foreign pressure (another scheduler on
+  /// the same arena, engine window pressure) cannot preempt spuriously.
+  std::uint64_t reserving_id_ = 0;
 
   std::map<std::uint64_t, Sequence> sequences_;  // all non-finished
   std::deque<std::uint64_t> queue_;              // submitted, not admitted

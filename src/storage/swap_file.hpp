@@ -43,6 +43,11 @@ class SwapFile {
   void write(std::int64_t key, std::span<const float> data);
   void read(std::int64_t key, std::span<float> out);
 
+  /// Blocks until every queued asynchronous read/write has completed.
+  /// Owners of buffers handed to write_async must call this (or hold the
+  /// returned futures) before freeing them.
+  void wait_all() { io_.wait_all(); }
+
   bool contains(std::int64_t key) const;
   std::size_t bytes_used() const;
   std::size_t capacity() const noexcept { return capacity_; }

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mem/device_arena.hpp"
+
 namespace sh::tensor {
 
 Shape::Shape(std::initializer_list<std::int64_t> dims) {
@@ -50,7 +52,23 @@ Tensor Tensor::zeros(Shape shape) {
   Tensor t;
   t.shape_ = shape;
   const auto n = static_cast<std::size_t>(shape.numel());
-  t.storage_ = std::shared_ptr<float[]>(new float[n]());
+  // Accounting hook (mem::ScopedTensorCharge): inside a charge scope the
+  // storage is soft-charged to a device-arena region, and uncharged by the
+  // deleter when the last reference dies. Same zero-initialised buffer
+  // either way — numerics are bit-identical with and without a scope.
+  if (const auto* scope = mem::detail::current_tensor_charge()) {
+    auto ledger = scope->ledger;
+    const std::string region = scope->region;
+    const std::size_t bytes = n * sizeof(float);
+    mem::detail::ledger_charge_soft(*ledger, region, bytes);
+    t.storage_ = std::shared_ptr<float[]>(
+        new float[n](), [ledger, region, bytes](float* p) {
+          delete[] p;
+          mem::detail::ledger_uncharge_soft(*ledger, region, bytes);
+        });
+  } else {
+    t.storage_ = std::shared_ptr<float[]>(new float[n]());
+  }
   t.data_ = t.storage_.get();
   return t;
 }
