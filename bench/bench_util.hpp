@@ -9,12 +9,16 @@
 #include <string>
 
 #include "baselines/strategy.hpp"
+#include "obs/obs.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/hardware.hpp"
 
 namespace sh::bench {
 
 inline void header(const std::string& title) {
+  // Every bench prints a header first, so this is the one place to honour
+  // SH_TRACE=<path> (enable the global recorder, dump a Chrome trace at exit).
+  obs::init_from_env();
   std::printf("\n=== %s ===\n", title.c_str());
 }
 

@@ -1,0 +1,27 @@
+// Verbatim copy of the README's "Quickstart" code block, compiled by CI.
+// tests/test_docs.cpp asserts this file and the README block are identical,
+// so the documented snippet can never drift from the real API.
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  sh::nn::GptConfig mcfg;            // vocab/seq/hidden/heads/layers
+  mcfg.layers = 6;
+  sh::nn::GptModel model(mcfg);
+
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 0;                   // auto-select via the analytical model
+  ecfg.gpu_memory_bytes = 2 << 20;   // a "GPU" the model does not fit in
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+
+  sh::data::SyntheticCorpus corpus(mcfg.vocab, 7);
+  for (int step = 0; step < 100; ++step) {
+    float loss = engine.train_step(corpus.next_batch(4, mcfg.max_seq));
+    if (step % 20 == 0) std::printf("step %3d  loss %.4f\n", step, loss);
+  }
+  std::printf("auto-selected window m = %zu\n", engine.stats().window);
+  return 0;
+}

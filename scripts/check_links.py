@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links in the repo's documentation.
+
+Scans the top-level *.md files and docs/ for [text](target) links, resolves
+each relative target against the containing file, and fails (exit 1) when a
+target does not exist. External links (http/https/mailto) are not fetched.
+Stdlib only — runs anywhere CI has python3.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — stops at the first ')', good enough for the repo's docs
+# (no nested parentheses in link targets).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files():
+    yield from sorted(ROOT.glob("*.md"))
+    yield from sorted((ROOT / "docs").glob("**/*.md"))
+
+
+def strip_code_blocks(text: str) -> str:
+    """Removes fenced code blocks so code samples can't register links."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def main() -> int:
+    broken = []
+    checked = 0
+    for md in md_files():
+        text = strip_code_blocks(md.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(ROOT)}: {target}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"ok: {checked} relative links checked across "
+          f"{len(list(md_files()))} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

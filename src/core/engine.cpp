@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "obs/obs.hpp"
 #include "tensor/half.hpp"
 
 #include "dist/process_group.hpp"
@@ -112,13 +113,21 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
 
   trace_epoch_ = now_seconds();
   if (cfg_.record_trace) {
-    opts_.set_update_observer(
-        [this](double t0, double t1) { trace_span("cpu-opt", "o", t0, t1); });
+    // Writes the sim trace directly (not through trace_span): the pool
+    // already records its own "cpu-opt" obs spans, and routing the observer
+    // through trace_span would duplicate them on the global recorder.
+    opts_.set_update_observer([this](double t0, double t1) {
+      std::lock_guard<std::mutex> lock(trace_mu_);
+      trace_.record("cpu-opt", "o", {t0 - trace_epoch_, t1 - trace_epoch_});
+    });
   }
+  obs_provider_id_ = obs::Registry::global().add_provider(
+      [this](obs::MetricsSnapshot& out) { export_metrics(out); });
 }
 
 void StrongholdEngine::trace_span(const char* resource, const char* label,
                                   double t0, double t1) {
+  obs::span(resource, label, t0, t1);
   if (!cfg_.record_trace) return;
   std::lock_guard<std::mutex> lock(trace_mu_);
   trace_.record(resource, label, {t0 - trace_epoch_, t1 - trace_epoch_});
@@ -130,6 +139,9 @@ sim::Trace StrongholdEngine::trace_snapshot() const {
 }
 
 StrongholdEngine::~StrongholdEngine() {
+  // Unregister the metrics provider before tearing anything it reads; after
+  // remove_provider returns the registry guarantees the callback never runs.
+  obs::Registry::global().remove_provider(obs_provider_id_);
   opts_.wait_all();
   h2d_.wait_all();
   d2h_.wait_all();
@@ -498,6 +510,7 @@ void StrongholdEngine::finalize_clipped_updates() {
 }
 
 float StrongholdEngine::train_step(const data::Batch& batch) {
+  obs::ObsScope step_scope("engine", "train_step");
   const std::int64_t seq = model_.config().max_seq;
   const auto total_tokens = static_cast<std::int64_t>(batch.ids.size());
   if (total_tokens % seq != 0) {
@@ -966,6 +979,40 @@ EngineStats StrongholdEngine::stats() const {
   s.gpu_high_water_bytes = gpu_pool_.peak_bytes();
   s.arena = gpu_pool_.stats();
   return s;
+}
+
+void StrongholdEngine::export_metrics(obs::MetricsSnapshot& out) const {
+  const EngineStats s = stats();
+  const auto n = [](std::size_t v) { return static_cast<double>(v); };
+  out.add("engine.window", n(s.window), "layers");
+  out.add("engine.iterations", n(s.iterations));
+  out.add("engine.prefetch_stalls", n(s.prefetch_stalls));
+  out.add("engine.stall_seconds", s.stall_seconds, "s");
+  out.add("engine.deferred_prefetches", n(s.deferred_prefetches));
+  out.add("engine.demand_fetches", n(s.demand_fetches));
+  out.add("engine.h2d_transfers", n(s.h2d_transfers));
+  out.add("engine.h2d_bytes", n(s.h2d_bytes), "bytes");
+  out.add("engine.h2d_queue_depth", n(h2d_.queue_depth()));
+  out.add("engine.d2h_transfers", n(s.d2h_transfers));
+  out.add("engine.d2h_bytes", n(s.d2h_bytes), "bytes");
+  out.add("engine.d2h_queue_depth", n(d2h_.queue_depth()));
+  out.add("engine.swap_backed_layers", n(s.swap_backed_layers), "layers");
+  out.add("engine.loss_scale", s.loss_scale, "");
+  out.add("engine.skipped_updates", n(s.skipped_updates));
+  out.add("optimizer.updates", n(s.optimizer_updates));
+  out.add("optimizer.in_flight", n(opts_.in_flight()));
+  out.add("optimizer.workers", n(opts_.workers()));
+  out.add("arena.capacity_bytes", n(s.arena.capacity), "bytes");
+  out.add("arena.bytes_in_use", n(s.arena.bytes_in_use), "bytes");
+  out.add("arena.peak_bytes", n(s.arena.peak_bytes), "bytes");
+  out.add("arena.pressure_events", n(s.arena.pressure_events));
+  out.add("arena.pressure_releases", n(s.arena.pressure_releases));
+  out.add("arena.pressure_stalls", n(s.arena.pressure_stalls));
+  for (const auto& [region, rs] : s.arena.regions) {
+    out.add("arena." + region + ".bytes_in_use", n(rs.bytes_in_use), "bytes");
+    out.add("arena." + region + ".peak_bytes", n(rs.peak_bytes), "bytes");
+    out.add("arena." + region + ".pressure_events", n(rs.pressure_events));
+  }
 }
 
 }  // namespace sh::core

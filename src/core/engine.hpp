@@ -44,6 +44,7 @@
 #include "hw/transfer.hpp"
 #include "mem/device_arena.hpp"
 #include "nn/gpt.hpp"
+#include "obs/metrics.hpp"
 #include "optim/optimizer.hpp"
 #include "optim/schedule.hpp"
 #include "sim/trace.hpp"
@@ -226,6 +227,12 @@ class StrongholdEngine {
   void load_checkpoint(const std::string& path);
 
   EngineStats stats() const;
+
+  /// Appends this engine's metric rows ("engine.*", "arena.*",
+  /// "optimizer.*") to `out` — the provider the engine registers with
+  /// obs::Registry::global() at construction, callable directly in tests.
+  void export_metrics(obs::MetricsSnapshot& out) const;
+
   std::size_t window() const noexcept { return window_; }
   const nn::GptModel& model() const noexcept { return model_; }
 
@@ -329,12 +336,15 @@ class StrongholdEngine {
   mutable std::mutex stats_mu_;
   EngineStats stats_;
 
-  // Wall-clock tracing (record_trace).
+  // Wall-clock tracing. trace_span always forwards to the global obs
+  // recorder (a no-op unless obs is enabled) and additionally appends to the
+  // engine-local sim::Trace when record_trace is set.
   void trace_span(const char* resource, const char* label, double t0,
                   double t1);
   mutable std::mutex trace_mu_;
   sim::Trace trace_;
   double trace_epoch_ = 0.0;
+  std::uint64_t obs_provider_id_ = 0;
 };
 
 }  // namespace sh::core

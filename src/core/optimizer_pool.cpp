@@ -1,16 +1,10 @@
 #include "core/optimizer_pool.hpp"
 
-#include <chrono>
+#include "obs/obs.hpp"
 
 namespace sh::core {
 
-namespace {
-double wall_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
+using obs::wall_seconds;
 
 OptimizerPool::OptimizerPool(const optim::Optimizer& prototype,
                              std::size_t workers)
@@ -29,10 +23,15 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
   const std::size_t actor =
       next_actor_.fetch_add(1, std::memory_order_relaxed) % actors_.size();
   optim::Optimizer* opt = actors_[actor].get();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
   auto fut = pool_.async([this, opt, &st, after, lr,
                           post = std::move(post_update),
                           scale = std::move(grad_scale),
                           skip = std::move(skip_update)] {
+    struct InFlight {
+      std::atomic<std::size_t>& n;
+      ~InFlight() { n.fetch_sub(1, std::memory_order_relaxed); }
+    } in_flight_guard{in_flight_};
     if (after.valid()) after.wait();
     if (skip && skip()) return;  // overflowed step: discard gradients
     const double t0 = wall_seconds();
@@ -46,7 +45,9 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
     opt->step(st.cpu_params.data(), st.cpu_grads.data(), st.cpu_opt.data(),
               st.step, st.params, lr);
     if (post) post();
-    if (observer_) observer_(t0, wall_seconds());
+    const double t1 = wall_seconds();
+    obs::span("cpu-opt", "update", t0, t1);
+    if (observer_) observer_(t0, t1);
     completed_.fetch_add(1, std::memory_order_relaxed);
   });
   st.update_done = fut.share();
@@ -55,6 +56,7 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
 
 void OptimizerPool::update_now(LayerState& st, float* params,
                                const float* grads, float lr) {
+  obs::ObsScope scope("cpu-opt", "update_now");
   ++st.step;
   actors_[0]->step(params, grads, st.cpu_opt.data(), st.step, st.params, lr);
   completed_.fetch_add(1, std::memory_order_relaxed);

@@ -49,6 +49,8 @@ class OptimizerPool {
 
   void wait_all();
   std::size_t updates_completed() const noexcept { return completed_.load(); }
+  /// Updates submitted but not yet finished (occupancy gauge).
+  std::size_t in_flight() const noexcept { return in_flight_.load(); }
   std::size_t workers() const noexcept { return pool_.num_threads(); }
 
   /// Observer invoked with (start, end) wall-clock seconds of every update —
@@ -61,6 +63,7 @@ class OptimizerPool {
   std::vector<std::unique_ptr<optim::Optimizer>> actors_;
   std::atomic<std::size_t> next_actor_{0};
   std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> in_flight_{0};
   std::function<void(double, double)> observer_;
   parallel::ThreadPool pool_;
 };

@@ -3,10 +3,14 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/obs.hpp"
+
 namespace sh::hw {
 
 TransferEngine::TransferEngine(std::string name, double bytes_per_second)
-    : name_(std::move(name)), bytes_per_second_(bytes_per_second) {
+    : name_(std::move(name)),
+      obs_track_(name_ + "-queue"),
+      bytes_per_second_(bytes_per_second) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -62,6 +66,11 @@ std::size_t TransferEngine::bytes_transferred() const {
   return bytes_;
 }
 
+std::size_t TransferEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (busy_ ? 1 : 0);
+}
+
 void TransferEngine::worker_loop() {
   for (;;) {
     Job job;
@@ -74,6 +83,10 @@ void TransferEngine::worker_loop() {
       busy_ = true;
     }
     try {
+      // Worker-occupancy span on "<name>-queue" (jobs may block on upstream
+      // dependencies, so this is queue service time, not pure copy time —
+      // the engine records its copy spans on the bare "<name>" track).
+      obs::ObsScope scope(obs_track_.c_str(), "op");
       job.work();
       job.done.set_value();
     } catch (...) {

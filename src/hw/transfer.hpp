@@ -42,6 +42,9 @@ class TransferEngine {
 
   std::size_t completed_transfers() const;
   std::size_t bytes_transferred() const;
+  /// Jobs enqueued or executing right now (an observability gauge; the value
+  /// is stale the moment it returns).
+  std::size_t queue_depth() const;
   const std::string& name() const noexcept { return name_; }
 
  private:
@@ -53,6 +56,7 @@ class TransferEngine {
   void worker_loop();
 
   std::string name_;
+  std::string obs_track_;  // "<name>-queue": worker occupancy span track
   double bytes_per_second_;
   mutable std::mutex mu_;
   std::condition_variable cv_;

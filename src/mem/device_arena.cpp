@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace sh::mem {
 namespace detail {
 
@@ -199,6 +201,7 @@ bool DeviceArena::signal_pressure(const std::string& region,
     std::lock_guard<std::mutex> lock(ledger_->mu);
     ledger_->record_pressure_locked(region, bytes);
   }
+  obs::instant("mem", "pressure:" + region);
   // Snapshot under cb_mu, invoke with no lock held: callbacks free capacity
   // by calling back into this arena (deallocate/uncharge).
   std::vector<std::pair<std::uint64_t, PressureCallback>> cbs;
@@ -208,11 +211,13 @@ bool DeviceArena::signal_pressure(const std::string& region,
   }
   for (auto& [id, cb] : cbs) {
     if (cb(region, bytes)) {
+      obs::instant("mem", "pressure-release:" + region);
       std::lock_guard<std::mutex> lock(ledger_->mu);
       ++ledger_->pressure_releases;
       return true;
     }
   }
+  obs::instant("mem", "pressure-stall:" + region);
   std::lock_guard<std::mutex> lock(ledger_->mu);
   ++ledger_->pressure_stalls;
   return false;

@@ -1,0 +1,165 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sh::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kVirtualPid = 2;
+
+void meta_event(std::ostream& os, int pid, int tid, const char* what,
+                const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"ph\": \"M\", \"pid\": " << pid;
+  if (tid >= 0) os << ", \"tid\": " << tid;
+  os << ", \"name\": \"" << what << "\", \"args\": {\"name\": \""
+     << json_escape(name) << "\"}}";
+}
+
+void span_event(std::ostream& os, int pid, int tid, const Span& s,
+                const char* cat, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", s.start_s * 1e6);
+  os << "    {\"ph\": \"" << (s.instant ? 'i' : 'X') << "\", \"pid\": " << pid
+     << ", \"tid\": " << tid << ", \"cat\": \"" << cat << "\", \"name\": \""
+     << json_escape(s.name) << "\", \"ts\": " << buf;
+  if (s.instant) {
+    os << ", \"s\": \"t\"";
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f", s.duration() * 1e6);
+    os << ", \"dur\": " << buf;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& wall,
+                        const sim::Trace* virt,
+                        const MetricsSnapshot* metrics) {
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  meta_event(os, kWallPid, -1, "process_name", "wall-clock", first);
+
+  // One Chrome thread per (track, recording thread): spans from different
+  // OS threads may genuinely overlap in time, and Perfetto only nests
+  // correctly-contained events on one track.
+  std::map<std::string, int> lanes;   // "track#tid" -> chrome tid
+  std::map<std::string, int> counts;  // track -> lanes seen
+  int next_tid = 1;
+  for (const Span& s : wall) {
+    const std::string key = s.track + "#" + std::to_string(s.tid);
+    auto it = lanes.find(key);
+    if (it == lanes.end()) {
+      const int lane = next_tid++;
+      lanes.emplace(key, lane);
+      const int nth = counts[s.track]++;
+      meta_event(os, kWallPid, lane, "thread_name",
+                 nth == 0 ? s.track : s.track + "/" + std::to_string(nth),
+                 first);
+      it = lanes.find(key);
+    }
+    span_event(os, kWallPid, it->second, s, "wall", first);
+  }
+
+  if (virt != nullptr) {
+    meta_event(os, kVirtualPid, -1, "process_name", "virtual-time", first);
+    std::map<std::string, int> resources;
+    for (const auto& s : virt->spans()) {
+      auto it = resources.find(s.resource);
+      if (it == resources.end()) {
+        const int lane = next_tid++;
+        resources.emplace(s.resource, lane);
+        meta_event(os, kVirtualPid, lane, "thread_name", s.resource, first);
+        it = resources.find(s.resource);
+      }
+      Span as_span;
+      as_span.name = s.label;
+      as_span.start_s = s.interval.start;
+      as_span.end_s = s.interval.end;
+      span_event(os, kVirtualPid, it->second, as_span, "virtual", first);
+    }
+  }
+
+  os << "\n]";
+  if (metrics != nullptr) {
+    os << ",\n\"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics->metrics.size(); ++i) {
+      const Metric& m = metrics->metrics[i];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+      os << "    {\"name\": \"" << json_escape(m.name) << "\", \"value\": "
+         << buf << ", \"unit\": \"" << json_escape(m.unit) << "\"}"
+         << (i + 1 < metrics->metrics.size() ? ",\n" : "\n");
+    }
+    os << "]";
+  }
+  os << "\n}\n";
+}
+
+bool dump_chrome_trace(const std::string& path, const sim::Trace* virt) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const std::vector<Span> wall = Recorder::global().snapshot();
+  const MetricsSnapshot metrics = Registry::global().snapshot();
+  write_chrome_trace(os, wall, virt, &metrics);
+  return os.good();
+}
+
+sim::Trace to_sim_trace(const std::vector<Span>& spans) {
+  sim::Trace trace;
+  for (const Span& s : spans) {
+    if (s.instant) continue;
+    trace.record(s.track, s.name, {s.start_s, s.end_s});
+  }
+  return trace;
+}
+
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  os << "{\n  \"metrics\": [\n";
+  for (std::size_t i = 0; i < snapshot.metrics.size(); ++i) {
+    const Metric& m = snapshot.metrics[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+    os << "    {\"name\": \"" << json_escape(m.name) << "\", \"value\": "
+       << buf << ", \"unit\": \"" << json_escape(m.unit) << "\"}"
+       << (i + 1 < snapshot.metrics.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace sh::obs

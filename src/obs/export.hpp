@@ -1,0 +1,47 @@
+// sh::obs exporters — Chrome trace-event JSON (Perfetto / chrome://tracing)
+// and flat metrics JSON.
+//
+// One trace file carries two process groups: pid 1 "wall-clock" holds the
+// recorded obs::Span stream (real execution), pid 2 "virtual-time" holds a
+// sim::Trace rendered in simulated seconds — so the paper's Figure 4
+// schedule and the numeric runtime's actual schedule open side by side in
+// one Perfetto window. Timestamps are microseconds ("ts"/"dur"), spans are
+// complete events (ph "X", nested by containment), point events are
+// instants (ph "i").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "sim/trace.hpp"
+
+namespace sh::obs {
+
+/// Writes Chrome trace-event JSON. `wall` spans go on pid 1 with one track
+/// per (track name, recording thread); `virt`, when given, adds pid 2 with
+/// one track per sim resource. `metrics`, when given, is embedded as a
+/// top-level "metrics" array (Perfetto ignores unknown keys).
+void write_chrome_trace(std::ostream& os, const std::vector<Span>& wall,
+                        const sim::Trace* virt = nullptr,
+                        const MetricsSnapshot* metrics = nullptr);
+
+/// Snapshot of the global recorder (+ global registry) to `path`.
+/// Returns false when the file cannot be opened.
+bool dump_chrome_trace(const std::string& path,
+                       const sim::Trace* virt = nullptr);
+
+/// Re-expresses recorded wall-clock spans as a sim::Trace (track → resource,
+/// name → label), excluding instants — so sim::Trace::utilization and
+/// overlap_fraction (the paper's Fig. 4 metrics) apply to REAL execution.
+sim::Trace to_sim_trace(const std::vector<Span>& spans);
+
+/// Flat metrics JSON: {"metrics": [{"name", "value", "unit"}, ...]}.
+void write_metrics_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// JSON string escaping (shared by both writers; exposed for tests).
+std::string json_escape(const std::string& s);
+
+}  // namespace sh::obs

@@ -1,0 +1,79 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sh::obs {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(v);
+}
+
+std::size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Histogram::percentile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+const Metric* MetricsSnapshot::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+std::uint64_t Registry::add_provider(Provider p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  providers_.emplace_back(id, std::move(p));
+  return id;
+}
+
+void Registry::remove_provider(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(providers_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+std::size_t Registry::provider_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return providers_.size();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  // Providers run under the lock: remove_provider (called from subsystem
+  // destructors) cannot return while a snapshot still invokes the callback,
+  // so a provider never outlives the object it reads. Providers must not
+  // call back into the registry.
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [id, provider] : providers_) provider(out);
+  return out;
+}
+
+}  // namespace sh::obs

@@ -1,0 +1,114 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace sh::obs {
+
+double wall_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+std::uint64_t next_recorder_id() { return g_next_recorder_id.fetch_add(1); }
+}  // namespace
+
+Recorder::Recorder()
+    : recorder_id_(next_recorder_id()), epoch_(wall_seconds()) {}
+
+Recorder::~Recorder() = default;
+
+Recorder& Recorder::global() {
+  static Recorder instance;
+  return instance;
+}
+
+Recorder::ThreadBuf& Recorder::local_buf() {
+  // Per-thread cache keyed by recorder id (ids are never reused, so a cache
+  // entry can never alias a new recorder at a recycled address).
+  struct CacheEntry {
+    std::uint64_t recorder_id;
+    std::shared_ptr<ThreadBuf> buf;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.recorder_id == recorder_id_) return *e.buf;
+  }
+  auto buf = std::make_shared<ThreadBuf>();
+  buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.push_back(buf);
+  }
+  cache.push_back({recorder_id_, buf});
+  return *buf;
+}
+
+void Recorder::record(const char* track, std::string name, double t0_abs,
+                      double t1_abs) {
+  if (!enabled()) return;
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.spans.push_back({track, std::move(name), t0_abs - epoch_,
+                       t1_abs - epoch_, buf.tid, /*instant=*/false});
+}
+
+void Recorder::record_instant(const char* track, std::string name) {
+  if (!enabled()) return;
+  const double t = now();
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.spans.push_back({track, std::move(name), t, t, buf.tid,
+                       /*instant=*/true});
+}
+
+std::vector<Span> Recorder::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  std::vector<Span> out;
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_s < b.start_s;
+  });
+  return out;
+}
+
+void Recorder::clear() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  for (const auto& buf : bufs) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->spans.clear();
+  }
+}
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* path = std::getenv("SH_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    Recorder::global().set_enabled(true);
+    static std::string trace_path = path;
+    std::atexit([] { dump_chrome_trace(trace_path); });
+  });
+}
+
+}  // namespace sh::obs

@@ -1,0 +1,144 @@
+// sh::obs — process-wide observability: wall-clock span recording.
+//
+// The simulator has always had a timeline (sim::Trace); the *numeric*
+// runtime's telemetry was fragmented across subsystem-local stats. This
+// recorder gives every real execution path (engine, transfers, optimizer
+// actors, swap I/O, serving, arena pressure) one structured span stream that
+// exports to Chrome trace-event JSON (Perfetto / chrome://tracing) — the
+// runtime counterpart of the paper's Figure 4 profiling trace.
+//
+// Contract: recording is OFF by default. When disabled, every instrumentation
+// site reduces to one relaxed atomic load, so the engine's bit-identity and
+// performance contracts are untouched. When enabled, spans append to
+// per-thread buffers (each guarded by its own, essentially uncontended,
+// mutex), so concurrent executors / transfer workers / optimizer actors
+// record without serializing on a global lock.
+//
+// Span schema (tracks, labels, units) is documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sh::obs {
+
+/// Seconds on the process-wide monotonic clock (steady_clock). Every
+/// subsystem that records spans uses this one clock so tracks line up.
+double wall_seconds();
+
+struct Span {
+  std::string track;  ///< resource lane: "gpu", "h2d", "cpu-opt", "serve", ...
+  std::string name;   ///< event label: "f", "p", "update", "step[4]", ...
+  double start_s = 0.0;  ///< seconds since the recorder epoch
+  double end_s = 0.0;    ///< == start_s for instant events
+  std::uint32_t tid = 0; ///< recorder-assigned id of the recording thread
+  bool instant = false;  ///< point event (arena pressure, deferred prefetch)
+  double duration() const noexcept { return end_s - start_s; }
+};
+
+/// Thread-safe wall-clock span recorder. Use Recorder::global() — the
+/// instrumented subsystems all record there — or construct standalone
+/// instances in tests.
+class Recorder {
+ public:
+  Recorder();
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// The process-wide recorder every instrumentation site uses.
+  static Recorder& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  /// The fast path every instrumentation site checks first.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Recorder epoch on the wall_seconds() clock (set at construction).
+  double epoch() const noexcept { return epoch_; }
+  /// Seconds since the epoch.
+  double now() const { return wall_seconds() - epoch_; }
+
+  /// Records a completed span; t0/t1 are absolute wall_seconds() values.
+  /// No-op when disabled.
+  void record(const char* track, std::string name, double t0_abs,
+              double t1_abs);
+
+  /// Records a point event at the current time. No-op when disabled.
+  void record_instant(const char* track, std::string name);
+
+  /// Copies every recorded span, sorted by start time. Safe to call while
+  /// other threads keep recording (their in-flight spans may be missed).
+  std::vector<Span> snapshot() const;
+
+  /// Drops all recorded spans (buffers stay registered).
+  void clear();
+
+ private:
+  struct ThreadBuf {
+    std::mutex mu;
+    std::vector<Span> spans;
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuf& local_buf();
+
+  const std::uint64_t recorder_id_;
+  std::atomic<bool> enabled_{false};
+  double epoch_;
+  mutable std::mutex mu_;  // guards bufs_ (registration + snapshot)
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+/// RAII nested scope on the global recorder: records [construction,
+/// destruction] as one span. Scopes nest naturally (Chrome "X" events nest by
+/// containment). `track`/`name` must outlive the scope (string literals).
+class ObsScope {
+ public:
+  ObsScope(const char* track, const char* name)
+      : track_(track), name_(name),
+        active_(Recorder::global().enabled()),
+        t0_(active_ ? wall_seconds() : 0.0) {}
+  ~ObsScope() {
+    if (active_) Recorder::global().record(track_, name_, t0_, wall_seconds());
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  const char* track_;
+  const char* name_;
+  bool active_;
+  double t0_;
+};
+
+/// Convenience: record on the global recorder iff enabled (one relaxed load
+/// on the disabled path).
+inline void span(const char* track, std::string name, double t0_abs,
+                 double t1_abs) {
+  Recorder& r = Recorder::global();
+  if (r.enabled()) r.record(track, std::move(name), t0_abs, t1_abs);
+}
+
+inline void instant(const char* track, std::string name) {
+  Recorder& r = Recorder::global();
+  if (r.enabled()) r.record_instant(track, std::move(name));
+}
+
+/// One-shot env hook: when SH_TRACE=<path> is set, enables the global
+/// recorder and registers an atexit handler that writes a Chrome trace-event
+/// JSON (plus the metrics snapshot) to <path>. Lets ANY bench or example
+/// capture a Perfetto trace without code changes. Safe to call repeatedly.
+void init_from_env();
+
+}  // namespace sh::obs

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace sh::serve {
 
@@ -17,9 +20,24 @@ Scheduler::Scheduler(core::StrongholdEngine& engine, SchedulerConfig config)
       [this](const std::string& region, std::size_t) {
         return preempt_for_pressure(region);
       });
+  obs_provider_id_ = obs::Registry::global().add_provider(
+      [this](obs::MetricsSnapshot& out) {
+        out.add("sched.queued", static_cast<double>(queue_.size()));
+        out.add("sched.running", static_cast<double>(running_.size()));
+        out.add("sched.preempted_resident",
+                static_cast<double>(preempted_.size()));
+        out.add("sched.submitted", static_cast<double>(stats_.submitted));
+        out.add("sched.finished", static_cast<double>(stats_.finished));
+        out.add("sched.steps", static_cast<double>(stats_.steps));
+        out.add("sched.preemptions", static_cast<double>(stats_.preemptions));
+        out.add("sched.resumes", static_cast<double>(stats_.resumes));
+        out.add("sched.kv_budget_bytes",
+                static_cast<double>(arena_.budget_bytes()), "bytes");
+      });
 }
 
 Scheduler::~Scheduler() {
+  obs::Registry::global().remove_provider(obs_provider_id_);
   engine_.device_arena().remove_pressure_callback(pressure_cb_id_);
 }
 
@@ -81,6 +99,7 @@ void Scheduler::resume_preempted() {
     s.status = SeqStatus::Running;
     running_.push_back(id);
     ++stats_.resumes;
+    obs::instant("sched", "resume:r" + std::to_string(id));
   }
 }
 
@@ -107,6 +126,7 @@ bool Scheduler::preempt_for_pressure(const std::string& region) {
   std::erase(running_, victim);
   preempted_.push_back(victim);
   ++stats_.preemptions;
+  obs::instant("sched", "preempt:r" + std::to_string(victim));
   // Self-preemption frees bytes but not for the reserving sequence — it
   // must wait preempted, so the pressure counts as a stall.
   return victim != reserving_id_;

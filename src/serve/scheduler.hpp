@@ -100,6 +100,7 @@ class Scheduler {
   KvArena arena_;
   ServeEngine serve_;
   std::uint64_t pressure_cb_id_ = 0;
+  std::uint64_t obs_provider_id_ = 0;
   /// Sequence currently inside the reserve_running retry loop (0 = none);
   /// gates the pressure callback so foreign pressure (another scheduler on
   /// the same arena, engine window pressure) cannot preempt spuriously.

@@ -1,25 +1,37 @@
 #include "serve/serve_engine.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.hpp"
+
 namespace sh::serve {
 
-namespace {
-
-double wall_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
+using obs::wall_seconds;
 
 ServeEngine::ServeEngine(core::StrongholdEngine& engine)
-    : engine_(engine), epoch_(wall_seconds()) {}
+    : engine_(engine), epoch_(wall_seconds()) {
+  obs_provider_id_ = obs::Registry::global().add_provider(
+      [this](obs::MetricsSnapshot& out) {
+        out.add("serve.steps", static_cast<double>(stats_.steps));
+        out.add("serve.prefill_tokens",
+                static_cast<double>(stats_.prefill_tokens), "tokens");
+        out.add("serve.decode_tokens",
+                static_cast<double>(stats_.decode_tokens), "tokens");
+        out.add("serve.sequence_steps",
+                static_cast<double>(stats_.sequence_steps));
+        out.add("serve.tokens_per_s", stats_.tokens_per_s(), "tokens/s");
+        out.add("serve.requests",
+                static_cast<double>(latency_hist_.count()));
+        out.add("serve.latency_p50_s", latency_hist_.percentile(0.5), "s");
+        out.add("serve.latency_p99_s", latency_hist_.percentile(0.99), "s");
+      });
+}
+
+ServeEngine::~ServeEngine() {
+  obs::Registry::global().remove_provider(obs_provider_id_);
+}
 
 double ServeEngine::now() const { return wall_seconds() - epoch_; }
 
@@ -70,28 +82,23 @@ std::vector<std::vector<float>> ServeEngine::step(
   ++stats_.steps;
   stats_.sequence_steps += slots.size();
   stats_.elapsed_s += t1 - t0;
-  trace_.record("serve",
-                "s" + std::to_string(slots.size()) + "/t" +
-                    std::to_string(new_tokens),
-                {t0, t1});
+  const std::string label = "s" + std::to_string(slots.size()) + "/t" +
+                            std::to_string(new_tokens);
+  obs::span("serve", label, epoch_ + t0, epoch_ + t1);
+  trace_.record("serve", label, {t0, t1});
   return last_logits;
 }
 
 void ServeEngine::record_request(std::uint64_t id, double submit_t,
                                  double finish_t) {
-  latencies_.push_back(finish_t - submit_t);
-  trace_.record("request", "r" + std::to_string(id), {submit_t, finish_t});
+  latency_hist_.record(finish_t - submit_t);
+  const std::string label = "r" + std::to_string(id);
+  obs::span("request", label, epoch_ + submit_t, epoch_ + finish_t);
+  trace_.record("request", label, {submit_t, finish_t});
 }
 
 double ServeEngine::latency_percentile(double q) const {
-  if (latencies_.empty()) return 0.0;
-  std::vector<double> sorted = latencies_;
-  std::sort(sorted.begin(), sorted.end());
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return latency_hist_.percentile(q);
 }
 
 }  // namespace sh::serve

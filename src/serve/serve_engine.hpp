@@ -15,6 +15,7 @@
 
 #include "core/engine.hpp"
 #include "nn/decode_batch.hpp"
+#include "obs/metrics.hpp"
 #include "sim/trace.hpp"
 
 namespace sh::serve {
@@ -38,6 +39,10 @@ struct ServeEngineStats {
 class ServeEngine {
  public:
   explicit ServeEngine(core::StrongholdEngine& engine);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
 
   /// Input of one resident sequence for one step.
   struct SeqInput {
@@ -68,9 +73,12 @@ class ServeEngine {
  private:
   core::StrongholdEngine& engine_;
   ServeEngineStats stats_;
-  std::vector<double> latencies_;
+  /// Finished-request latency distribution (obs::Histogram owns the one
+  /// sort-and-interpolate percentile implementation).
+  obs::Histogram latency_hist_;
   sim::Trace trace_;
   double epoch_;
+  std::uint64_t obs_provider_id_ = 0;
 };
 
 }  // namespace sh::serve

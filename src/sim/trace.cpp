@@ -17,30 +17,63 @@ Time Trace::end_time() const noexcept {
   return end;
 }
 
+namespace {
+
+// Sorted union of a resource's intervals. Simulated schedules occupy each
+// resource disjointly, so merging is a no-op there; real wall-clock traces
+// (obs::to_sim_trace) carry overlapping spans from nested scopes and
+// concurrent threads, which must not be counted twice. Zero-length spans
+// (e.g. the engine's deferred-prefetch markers) contribute nothing.
+std::vector<Interval> busy_union(const std::vector<Trace::Span>& spans,
+                                 const std::string& resource) {
+  std::vector<Interval> ivs;
+  for (const auto& s : spans) {
+    if (s.resource == resource && s.interval.end > s.interval.start) {
+      ivs.push_back(s.interval);
+    }
+  }
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& x, const Interval& y) { return x.start < y.start; });
+  std::vector<Interval> merged;
+  for (const auto& iv : ivs) {
+    if (!merged.empty() && iv.start <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+Time total_length(const std::vector<Interval>& ivs) {
+  Time t = 0.0;
+  for (const auto& iv : ivs) t += iv.duration();
+  return t;
+}
+
+}  // namespace
+
 double Trace::utilization(const std::string& resource) const {
   const Time end = end_time();
   if (end <= 0.0) return 0.0;
-  double busy = 0.0;
-  for (const auto& s : spans_) {
-    if (s.resource == resource) busy += s.interval.duration();
-  }
-  return busy / end;
+  return total_length(busy_union(spans_, resource)) / end;
 }
 
 double Trace::overlap_fraction(const std::string& a, const std::string& b) const {
-  double a_total = 0.0;
-  double overlapped = 0.0;
-  for (const auto& sa : spans_) {
-    if (sa.resource != a) continue;
-    a_total += sa.interval.duration();
-    for (const auto& sb : spans_) {
-      if (sb.resource != b) continue;
-      const Time lo = std::max(sa.interval.start, sb.interval.start);
-      const Time hi = std::min(sa.interval.end, sb.interval.end);
-      if (hi > lo) overlapped += hi - lo;
-    }
+  const std::vector<Interval> au = busy_union(spans_, a);
+  const std::vector<Interval> bu = busy_union(spans_, b);
+  const Time a_total = total_length(au);
+  if (a_total <= 0.0) return 0.0;
+  // Intersection length of the two sorted unions (two-pointer sweep).
+  Time overlapped = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < au.size() && j < bu.size()) {
+    const Time lo = std::max(au[i].start, bu[j].start);
+    const Time hi = std::min(au[i].end, bu[j].end);
+    if (hi > lo) overlapped += hi - lo;
+    (au[i].end < bu[j].end) ? ++i : ++j;
   }
-  return a_total > 0.0 ? overlapped / a_total : 0.0;
+  return overlapped / a_total;
 }
 
 void Trace::render(std::ostream& os, int width) const {

@@ -27,11 +27,15 @@ class Trace {
   /// End time of the last span (iteration makespan).
   Time end_time() const noexcept;
 
-  /// Fraction of [0, end] during which `resource` was occupied.
+  /// Fraction of [0, end] during which `resource` was occupied. Computed on
+  /// the interval UNION of the resource's spans, so overlapping spans (real
+  /// wall-clock traces from obs::to_sim_trace) never push it above 1, and
+  /// zero-length spans contribute nothing. 0 for an empty trace.
   double utilization(const std::string& resource) const;
 
-  /// Fraction of the spans on `a` that overlap in time with spans on `b` —
-  /// the paper's computation/communication overlap metric.
+  /// Fraction of `a`'s busy time that coincides with busy time on `b` —
+  /// |union(a) ∩ union(b)| / |union(a)|, the paper's computation /
+  /// communication overlap metric. 0 when `a` has no busy time.
   double overlap_fraction(const std::string& a, const std::string& b) const;
 
   /// Renders an ASCII Gantt chart, one row per resource, `width` columns.

@@ -8,6 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace sh::storage {
 
 SwapFile::SwapFile(std::string path, std::size_t capacity_bytes,
@@ -20,9 +23,19 @@ SwapFile::SwapFile(std::string path, std::size_t capacity_bytes,
   if (fd_ < 0) {
     throw std::runtime_error("SwapFile: cannot open " + path_);
   }
+  obs_provider_id_ = obs::Registry::global().add_provider(
+      [this](obs::MetricsSnapshot& out) {
+        out.add("swap.bytes_used", static_cast<double>(bytes_used()), "bytes");
+        out.add("swap.capacity_bytes", static_cast<double>(capacity_),
+                "bytes");
+        out.add("swap.reads", static_cast<double>(reads_completed()));
+        out.add("swap.writes", static_cast<double>(writes_completed()));
+        out.add("swap.queue_depth", static_cast<double>(queue_depth()));
+      });
 }
 
 SwapFile::~SwapFile() {
+  obs::Registry::global().remove_provider(obs_provider_id_);
   io_.wait_all();
   if (fd_ >= 0) {
     ::close(fd_);
@@ -64,6 +77,7 @@ std::shared_future<void> SwapFile::write_async(std::int64_t key,
                                                std::span<const float> data) {
   const Region r = region_for(key, data.size_bytes(), /*create=*/true);
   return io_.run_async([this, r, data] {
+    obs::ObsScope scope("swap", "write");
     std::size_t done = 0;
     while (done < r.bytes) {
       const ssize_t n =
@@ -73,6 +87,7 @@ std::shared_future<void> SwapFile::write_async(std::int64_t key,
       done += static_cast<std::size_t>(n);
     }
     throttle(r.bytes);
+    writes_.fetch_add(1, std::memory_order_relaxed);
   });
 }
 
@@ -80,6 +95,7 @@ std::shared_future<void> SwapFile::read_async(std::int64_t key,
                                               std::span<float> out) {
   const Region r = region_for(key, out.size_bytes(), /*create=*/false);
   return io_.run_async([this, r, out] {
+    obs::ObsScope scope("swap", "read");
     std::size_t done = 0;
     while (done < r.bytes) {
       const ssize_t n =
@@ -89,6 +105,7 @@ std::shared_future<void> SwapFile::read_async(std::int64_t key,
       done += static_cast<std::size_t>(n);
     }
     throttle(r.bytes);
+    reads_.fetch_add(1, std::memory_order_relaxed);
   });
 }
 

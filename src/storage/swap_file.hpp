@@ -7,6 +7,7 @@
 // throttle to emulate NVMe speeds in tests.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -52,6 +53,11 @@ class SwapFile {
   std::size_t bytes_used() const;
   std::size_t capacity() const noexcept { return capacity_; }
   const std::string& path() const noexcept { return path_; }
+  /// Completed asynchronous reads / writes (I/O-traffic counters).
+  std::size_t reads_completed() const noexcept { return reads_.load(); }
+  std::size_t writes_completed() const noexcept { return writes_.load(); }
+  /// I/O jobs enqueued or executing right now (observability gauge).
+  std::size_t queue_depth() const { return io_.queue_depth(); }
 
  private:
   struct Region {
@@ -69,6 +75,9 @@ class SwapFile {
   mutable std::mutex mu_;
   std::size_t next_offset_ = 0;
   std::unordered_map<std::int64_t, Region> regions_;
+  std::atomic<std::size_t> reads_{0};
+  std::atomic<std::size_t> writes_{0};
+  std::uint64_t obs_provider_id_ = 0;
   hw::TransferEngine io_;  // FIFO async I/O worker
 };
 

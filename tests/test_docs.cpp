@@ -1,0 +1,67 @@
+// Documentation-vs-code contracts: the README Quickstart block must equal
+// the compiled examples/quickstart_readme.cpp (minus its header comment), so
+// the snippet users copy is the snippet CI builds.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// First fenced ```cpp block after `heading`.
+std::string extract_cpp_block(const std::string& markdown,
+                              const std::string& heading) {
+  const std::size_t h = markdown.find(heading);
+  EXPECT_NE(h, std::string::npos) << "heading not found: " << heading;
+  const std::string open = "```cpp\n";
+  const std::size_t start = markdown.find(open, h);
+  EXPECT_NE(start, std::string::npos) << "no ```cpp block after " << heading;
+  const std::size_t body = start + open.size();
+  const std::size_t end = markdown.find("```", body);
+  EXPECT_NE(end, std::string::npos) << "unterminated code block";
+  return markdown.substr(body, end - body);
+}
+
+/// The file with its leading "//" comment lines (and following blank lines)
+/// stripped — what the README block is expected to equal.
+std::string strip_header_comment(const std::string& source) {
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::string line = source.substr(pos, eol - pos);
+    if (line.rfind("//", 0) != 0 && !line.empty()) break;
+    if (eol == std::string::npos) return "";
+    pos = eol + 1;
+  }
+  return source.substr(pos);
+}
+
+TEST(Docs, ReadmeQuickstartMatchesCompiledExample) {
+  const std::string root = SH_SOURCE_DIR;
+  const std::string readme = read_file(root + "/README.md");
+  const std::string example =
+      read_file(root + "/examples/quickstart_readme.cpp");
+
+  const std::string block = extract_cpp_block(readme, "## Quickstart");
+  const std::string compiled = strip_header_comment(example);
+  EXPECT_EQ(block, compiled)
+      << "README Quickstart and examples/quickstart_readme.cpp have "
+         "drifted apart; update both together.";
+}
+
+TEST(Docs, ReadmeMentionsTheCompiledQuickstart) {
+  const std::string readme =
+      read_file(std::string(SH_SOURCE_DIR) + "/README.md");
+  EXPECT_NE(readme.find("examples/quickstart_readme.cpp"), std::string::npos);
+}
+
+}  // namespace

@@ -132,6 +132,44 @@ TEST(Trace, UtilizationAndOverlap) {
   EXPECT_DOUBLE_EQ(tr.overlap_fraction("pcie", "compute"), 0.8);
 }
 
+TEST(Trace, EmptyTraceMetricsAreZero) {
+  Trace tr;
+  EXPECT_DOUBLE_EQ(tr.end_time(), 0.0);
+  EXPECT_DOUBLE_EQ(tr.utilization("gpu"), 0.0);
+  EXPECT_DOUBLE_EQ(tr.overlap_fraction("gpu", "pcie"), 0.0);
+}
+
+TEST(Trace, ZeroLengthSpansContributeNothing) {
+  Trace tr;
+  tr.record("mem", "defer", {3.0, 3.0});  // engine's deferred-prefetch marker
+  tr.record("gpu", "f", {0.0, 4.0});
+  EXPECT_DOUBLE_EQ(tr.end_time(), 4.0);
+  EXPECT_DOUBLE_EQ(tr.utilization("mem"), 0.0);
+  EXPECT_DOUBLE_EQ(tr.utilization("gpu"), 1.0);
+  EXPECT_DOUBLE_EQ(tr.overlap_fraction("mem", "gpu"), 0.0);
+  EXPECT_DOUBLE_EQ(tr.overlap_fraction("gpu", "mem"), 0.0);
+}
+
+TEST(Trace, OverlappingSpansOnOneResourceDoNotExceedFullUtilization) {
+  // Real wall-clock traces (obs::to_sim_trace) carry nested/concurrent spans
+  // on one track; busy time must be the interval union, not the sum.
+  Trace tr;
+  tr.record("gpu", "outer", {0.0, 8.0});
+  tr.record("gpu", "inner", {2.0, 6.0});
+  tr.record("gpu", "tail", {7.0, 10.0});
+  EXPECT_DOUBLE_EQ(tr.utilization("gpu"), 1.0);
+}
+
+TEST(Trace, OverlapFractionDoesNotDoubleCountDuplicateBSpans) {
+  Trace tr;
+  tr.record("pcie", "t", {0.0, 4.0});
+  tr.record("gpu", "f", {1.0, 3.0});
+  tr.record("gpu", "f", {1.0, 3.0});  // duplicate busy window on b
+  // 2 of 4 pcie seconds coincide with gpu busy time, regardless of how many
+  // gpu spans cover that window.
+  EXPECT_DOUBLE_EQ(tr.overlap_fraction("pcie", "gpu"), 0.5);
+}
+
 TEST(Trace, RenderProducesOneRowPerResource) {
   Trace tr;
   tr.record("gpu", "f", {0.0, 1.0});

@@ -1,0 +1,195 @@
+// Minimal JSON parser for structural validation in tests (no third-party
+// dependency). Supports the full value grammar the repo's exporters emit:
+// objects, arrays, strings with escapes, numbers, booleans, null. Throws
+// std::runtime_error with a byte offset on malformed input.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sh::testing {
+
+struct Json {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  bool is_object() const noexcept { return type == Type::Object; }
+  bool is_array() const noexcept { return type == Type::Array; }
+  bool is_string() const noexcept { return type == Type::String; }
+  bool is_number() const noexcept { return type == Type::Number; }
+
+  bool contains(const std::string& key) const {
+    return type == Type::Object && object.count(key) > 0;
+  }
+  const Json& at(const std::string& key) const {
+    if (!contains(key)) throw std::runtime_error("Json: missing key " + key);
+    return object.at(key);
+  }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("Json parse error at byte " +
+                             std::to_string(i_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (i_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+  }
+
+  char peek() {
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i_;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(i_, w.size(), w) == 0) {
+      i_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    Json v;
+    switch (peek()) {
+      case '{': {
+        v.type = Json::Type::Object;
+        expect('{');
+        skip_ws();
+        if (peek() == '}') { ++i_; return v; }
+        for (;;) {
+          skip_ws();
+          Json key = string_value();
+          skip_ws();
+          expect(':');
+          v.object[key.str] = value();
+          skip_ws();
+          if (peek() == ',') { ++i_; continue; }
+          expect('}');
+          return v;
+        }
+      }
+      case '[': {
+        v.type = Json::Type::Array;
+        expect('[');
+        skip_ws();
+        if (peek() == ']') { ++i_; return v; }
+        for (;;) {
+          v.array.push_back(value());
+          skip_ws();
+          if (peek() == ',') { ++i_; continue; }
+          expect(']');
+          return v;
+        }
+      }
+      case '"':
+        return string_value();
+      case 't':
+        if (!literal("true")) fail("bad literal");
+        v.type = Json::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!literal("false")) fail("bad literal");
+        v.type = Json::Type::Bool;
+        return v;
+      case 'n':
+        if (!literal("null")) fail("bad literal");
+        return v;
+      default:
+        return number_value();
+    }
+  }
+
+  Json string_value() {
+    Json v;
+    v.type = Json::Type::String;
+    expect('"');
+    while (peek() != '"') {
+      char c = s_[i_++];
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      switch (peek()) {
+        case '"': v.str += '"'; ++i_; break;
+        case '\\': v.str += '\\'; ++i_; break;
+        case '/': v.str += '/'; ++i_; break;
+        case 'n': v.str += '\n'; ++i_; break;
+        case 't': v.str += '\t'; ++i_; break;
+        case 'r': v.str += '\r'; ++i_; break;
+        case 'b': v.str += '\b'; ++i_; break;
+        case 'f': v.str += '\f'; ++i_; break;
+        case 'u': {
+          ++i_;
+          if (i_ + 4 > s_.size()) fail("bad \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16));
+          i_ += 4;
+          // The exporters only \u-escape control characters (< 0x20).
+          v.str += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+    ++i_;
+    return v;
+  }
+
+  Json number_value() {
+    Json v;
+    v.type = Json::Type::Number;
+    const char* start = s_.c_str() + i_;
+    char* end = nullptr;
+    v.number = std::strtod(start, &end);
+    if (end == start) fail("bad number");
+    i_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace detail
+
+inline Json parse_json(const std::string& text) {
+  return detail::JsonParser(text).parse();
+}
+
+}  // namespace sh::testing
