@@ -1,13 +1,82 @@
 // Figure 10: using NVMe to scale the trainable model size on the V100
 // server. STRONGHOLD overlaps disk I/O with compute and outperforms
 // ZeRO-Infinity(NVMe) by a large factor.
+//
+// Part 1 (virtual time): the paper's capacity/throughput comparison on the
+// simulated V100 server.
+// Part 2 (wall clock): the numeric runtime training a small model against a
+// fault-injected swap tier, sweeping the injection rate. Throughput degrades
+// gracefully (retries stall the window) while the loss stays bit-identical
+// to the healthy run. Writes the curve to BENCH_fig10.json.
 #include <cstdarg>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "baselines/stronghold_strategy.hpp"
 #include "baselines/zero_infinity.hpp"
 #include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "nn/gpt.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+struct FaultRunResult {
+  double samples_per_s = 0.0;
+  std::vector<float> losses;
+  std::size_t faults_injected = 0;
+  std::size_t retries = 0;
+  std::size_t io_errors = 0;
+  double retry_backoff_s = 0.0;
+};
+
+FaultRunResult run_faulted(const sh::nn::GptConfig& mc, double fault_rate,
+                           const std::string& swap_path) {
+  using namespace sh;
+  nn::GptModel model(mc);
+  core::EngineConfig cfg;
+  cfg.window = 2;
+  // Budget covers only the first layers; the rest live on the faulted tier.
+  cfg.cpu_capacity_bytes = 256 * 1024;
+  cfg.swap_path = swap_path;
+  cfg.swap_faults.rate = fault_rate;
+  cfg.swap_faults.seed = 2026;
+  cfg.swap_faults.latency_spike_s = 2e-4;
+  cfg.swap_faults.max_faults_per_op = 2;  // bounded: retries always recover
+  cfg.swap_faults.max_attempts = 4;
+  cfg.swap_faults.backoff_initial_s = 5e-5;
+
+  core::StrongholdEngine engine(model, cfg);
+  engine.init_params(17);
+  data::SyntheticCorpus corpus(mc.vocab, /*seed=*/9);
+  const std::int64_t batch = 4;
+  const int steps = 6;
+
+  FaultRunResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    r.losses.push_back(engine.train_step(corpus.next_batch(batch, mc.max_seq)));
+  }
+  std::vector<float> tmp;
+  engine.snapshot_params(tmp);  // quiesce write-backs before timing stops
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.samples_per_s = static_cast<double>(batch) * steps / elapsed;
+
+  const auto s = engine.stats();
+  r.faults_injected = s.swap_faults_injected;
+  r.retries = s.swap_retries;
+  r.io_errors = s.swap_io_errors;
+  r.retry_backoff_s = s.swap_retry_backoff_s;
+  return r;
+}
+
+}  // namespace
 
 int main() {
   using namespace sh;
@@ -37,5 +106,53 @@ int main() {
   }
   std::printf("\nPaper: STRONGHOLD improves throughput over "
               "ZeRO-Infinity(NVMe) by more than 8x.\n");
+
+  // --- Part 2: throughput vs injected fault rate on the numeric runtime ---
+  bench::header("Throughput under NVMe fault injection (numeric runtime)");
+  nn::GptConfig mc;
+  mc.vocab = 64;
+  mc.max_seq = 16;
+  mc.hidden = 64;
+  mc.heads = 4;
+  mc.layers = 6;
+
+  const std::vector<double> rates = {0.0, 0.05, 0.1, 0.25, 0.5};
+  obs::MetricsSnapshot metrics;
+  std::vector<FaultRunResult> runs;
+  std::printf("%10s %12s %8s %8s %10s %13s\n", "rate", "samples/s", "faults",
+              "retries", "io errors", "bit-identical");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "bench_fig10_swap_%zu.bin", i);
+    runs.push_back(run_faulted(mc, rates[i], path));
+    const FaultRunResult& r = runs.back();
+    // Fault decisions are seeded and idempotent-on-retry: every swept rate
+    // must reproduce the healthy run's loss sequence exactly.
+    const bool identical = r.losses == runs.front().losses;
+    std::printf("%10.2f %12.2f %8zu %8zu %10zu %13s\n", rates[i],
+                r.samples_per_s, r.faults_injected, r.retries, r.io_errors,
+                identical ? "yes" : "NO");
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "fig10.fault_rate_%g", rates[i]);
+    const std::string p(prefix);
+    metrics.add(p + ".samples_per_s", r.samples_per_s, "samples/s");
+    metrics.add(p + ".faults_injected", static_cast<double>(r.faults_injected));
+    metrics.add(p + ".retries", static_cast<double>(r.retries));
+    metrics.add(p + ".io_errors", static_cast<double>(r.io_errors));
+    metrics.add(p + ".retry_backoff_s", r.retry_backoff_s, "s");
+    metrics.add(p + ".loss_bit_identical", identical ? 1.0 : 0.0);
+  }
+  metrics.add("fig10.fault_rates_swept", static_cast<double>(rates.size()));
+  metrics.add("fig10.sim.sh_max_billions", sh_max, "B params");
+  metrics.add("fig10.sim.zero_infinity_max_billions", zi_max, "B params");
+
+  {
+    std::ofstream os("BENCH_fig10.json");
+    obs::write_metrics_json(os, metrics);
+  }
+  std::printf("\nGraceful degradation: the window stalls on tier retries "
+              "instead of failing, and the numbers never change.\n");
+  std::printf("wrote BENCH_fig10.json\n");
   return 0;
 }

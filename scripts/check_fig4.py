@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Trace-driven regression gate for the Figure 4 overlap measurements.
+
+bench_fig4_trace trains a small model on the numeric runtime with the obs
+recorder enabled and writes the measured GPU utilization and H2D/compute
+overlap fraction to BENCH_fig4.json. Those two numbers ARE the paper's
+headline mechanism (communication hidden behind compute, Section III-C), so
+CI asserts generous floors on them: a scheduling regression that serializes
+transfers against compute drops them far below the floors and fails the
+build, while normal CI-runner noise does not.
+
+Floors are deliberately loose — the measured values sit well above them
+(utilization ~0.9, overlap ~0.8 on CI runners) — and can be tuned per run
+via flags or the SH_FIG4_MIN_GPU_UTIL / SH_FIG4_MIN_H2D_OVERLAP environment
+variables. Stdlib only — runs anywhere CI has python3.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "")
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        print(f"check_fig4: ignoring non-numeric {name}={raw!r}")
+        return default
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_fig4.json",
+        help="metrics JSON written by bench_fig4_trace (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-gpu-util",
+        type=float,
+        default=env_float("SH_FIG4_MIN_GPU_UTIL", 0.30),
+        help="floor on fig4.real.gpu_utilization (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-h2d-overlap",
+        type=float,
+        default=env_float("SH_FIG4_MIN_H2D_OVERLAP", 0.20),
+        help="floor on fig4.real.h2d_overlap_fraction (default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_fig4: cannot read {args.path}: {e}")
+        return 1
+
+    values = {m.get("name"): m.get("value") for m in doc.get("metrics", [])}
+    floors = {
+        "fig4.real.gpu_utilization": args.min_gpu_util,
+        "fig4.real.h2d_overlap_fraction": args.min_h2d_overlap,
+    }
+
+    failed = False
+    for name, floor in floors.items():
+        value = values.get(name)
+        if not isinstance(value, (int, float)):
+            print(f"FAIL {name}: missing from {args.path}")
+            failed = True
+            continue
+        verdict = "ok  " if value >= floor else "FAIL"
+        print(f"{verdict} {name} = {value:.3f} (floor {floor:.2f})")
+        failed = failed or value < floor
+
+    if failed:
+        print("check_fig4: overlap regression — compute is no longer hiding "
+              "transfers (or the bench did not run)")
+        return 1
+    print("check_fig4: overlap floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

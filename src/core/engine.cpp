@@ -37,7 +37,11 @@ std::unique_ptr<storage::SwapFile> make_swap(const EngineConfig& cfg) {
     throw std::invalid_argument(
         "EngineConfig: cpu_capacity_bytes requires swap_path");
   }
-  return std::make_unique<storage::SwapFile>(cfg.swap_path);
+  // SH_FAULT_* env knobs override the config so any bench/example can run
+  // against an unhealthy tier without code changes.
+  return std::make_unique<storage::SwapFile>(
+      cfg.swap_path, /*capacity_bytes=*/0, /*bytes_per_second=*/0.0,
+      storage::fault_config_from_env(cfg.swap_faults));
 }
 
 }  // namespace
@@ -244,7 +248,10 @@ void StrongholdEngine::issue_fetch(LayerState& st, float* slot) {
       h2d_.run_async([this, &st, slot, params, update_done, rate, prof] {
         if (update_done.valid()) update_done.wait();
         // Fault the master in from the NVMe tier if needed (Section III-G).
-        store_.fault_in(st.index).wait();
+        // get(), not wait(): a tier read whose retry budget is exhausted
+        // must propagate its IoError into st.ready instead of silently
+        // copying a stale master onto the device.
+        store_.fault_in(st.index).get();
         const double t0 = now_seconds();
         std::memcpy(slot, st.cpu_params.data(), params * sizeof(float));
         std::fill_n(slot + params, params, 0.0f);  // fresh gradient buffer
@@ -286,6 +293,11 @@ void StrongholdEngine::wait_ready(LayerState& st) {
     ++stats_.prefetch_stalls;
     stats_.stall_seconds += now_seconds() - t0;
   }
+  // Graceful degradation boundary: transient tier faults were already
+  // retried inside the fetch; what remains here is a permanent failure
+  // (storage::IoError), rethrown so train_step surfaces it instead of
+  // computing on an unfetched layer.
+  st.ready.get();
 }
 
 void StrongholdEngine::evict_after_forward(LayerState& st) {
@@ -511,6 +523,10 @@ void StrongholdEngine::finalize_clipped_updates() {
 
 float StrongholdEngine::train_step(const data::Batch& batch) {
   obs::ObsScope step_scope("engine", "train_step");
+  // Fire-and-forget tier write-backs from earlier iterations park their
+  // permanent failures in the SwapFile; surface them at the iteration
+  // boundary (typed IoError) rather than training on a diverged tier.
+  if (swap_) swap_->rethrow_pending();
   const std::int64_t seq = model_.config().max_seq;
   const auto total_tokens = static_cast<std::int64_t>(batch.ids.size());
   if (total_tokens % seq != 0) {
@@ -700,6 +716,7 @@ float StrongholdEngine::train_step(const data::Batch& batch) {
   }
 
   finalize_clipped_updates();
+  if (swap_) swap_->rethrow_pending();
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -978,6 +995,12 @@ EngineStats StrongholdEngine::stats() const {
   s.window = window_;
   s.gpu_high_water_bytes = gpu_pool_.peak_bytes();
   s.arena = gpu_pool_.stats();
+  if (swap_) {
+    s.swap_faults_injected = swap_->fault_plan().counters().faults_total;
+    s.swap_retries = swap_->retries_attempted();
+    s.swap_io_errors = swap_->io_errors();
+    s.swap_retry_backoff_s = swap_->retry_backoff_seconds();
+  }
   return s;
 }
 

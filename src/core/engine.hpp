@@ -101,6 +101,13 @@ struct EngineConfig {
   /// are backed by the swap file at `swap_path` (Section III-G).
   std::size_t cpu_capacity_bytes = 0;
   std::string swap_path{};
+  /// Fault injection + bounded-retry policy for the swap tier (default:
+  /// healthy). SH_FAULT_* environment variables override these fields at
+  /// engine construction (storage::fault_config_from_env). Transient faults
+  /// stall the working window and recover bit-identically; an exhausted
+  /// retry budget surfaces from train_step as a typed storage::IoError the
+  /// trainer can checkpoint on.
+  storage::FaultConfig swap_faults{};
   /// Async-call overhead handed to the window model (t_async).
   double t_async = 0.0;
   /// Optional gradient hook invoked once per layer after the (executor-
@@ -130,6 +137,11 @@ struct EngineStats {
   std::size_t d2h_bytes = 0;
   std::size_t optimizer_updates = 0;
   std::size_t swap_backed_layers = 0;
+  // Swap-tier fault/recovery counters (all zero with a healthy tier).
+  std::size_t swap_faults_injected = 0;
+  std::size_t swap_retries = 0;
+  std::size_t swap_io_errors = 0;  // ops that exhausted the retry budget
+  double swap_retry_backoff_s = 0.0;
   /// Peak device bytes (== device_arena().peak_bytes(); name kept for
   /// compatibility). Includes soft-charged activation/KV bytes, so it may
   /// exceed gpu_memory_bytes when a pass overcommits gracefully.

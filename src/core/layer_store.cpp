@@ -72,9 +72,10 @@ std::shared_future<void> LayerStore::fault_in(std::size_t i) {
   if (!st.swap_backed) return ready_future();
   auto f1 = swap_->read_async(swap_key_params(i), st.cpu_params);
   auto f2 = swap_->read_async(swap_key_opt(i), st.cpu_opt);
-  // The swap worker is FIFO: f2 completing implies f1 completed.
-  (void)f1;
-  return f2;
+  // Join on the FIFO tier queue: completion implies both reads completed,
+  // and the joined future carries the FIRST failure of either read — a
+  // permanently faulted params read cannot be masked by a healthy opt read.
+  return swap_->join_async({std::move(f1), std::move(f2)});
 }
 
 std::shared_future<void> LayerStore::write_back(std::size_t i) {
@@ -82,8 +83,7 @@ std::shared_future<void> LayerStore::write_back(std::size_t i) {
   if (!st.swap_backed) return ready_future();
   auto f1 = swap_->write_async(swap_key_params(i), st.cpu_params);
   auto f2 = swap_->write_async(swap_key_opt(i), st.cpu_opt);
-  (void)f1;
-  return f2;
+  return swap_->join_async({std::move(f1), std::move(f2)});
 }
 
 }  // namespace sh::core

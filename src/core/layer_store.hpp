@@ -63,11 +63,15 @@ class LayerStore {
   storage::SwapFile* swap() noexcept { return swap_; }
 
   /// Asynchronously loads a swap-backed layer's params (+opt state) into its
-  /// CPU staging blobs. No-op future for CPU-resident layers.
+  /// CPU staging blobs. No-op future for CPU-resident layers. Transient tier
+  /// faults are retried inside the tier; the future carries a typed
+  /// storage::IoError once the retry budget is exhausted (get() to observe).
   std::shared_future<void> fault_in(std::size_t i);
 
   /// Asynchronously writes a swap-backed layer's params (+opt state) back to
   /// the tier after a parameter update. No-op future for resident layers.
+  /// Same retry/error contract as fault_in; callers that drop the future
+  /// still surface permanent failures via SwapFile::rethrow_pending().
   std::shared_future<void> write_back(std::size_t i);
 
  private:

@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "obs/obs.hpp"
 
@@ -37,6 +39,49 @@ std::shared_future<void> TransferEngine::copy_async(const float* src,
     bytes_ += n * sizeof(float);
   };
   return run_async(std::move(work));
+}
+
+std::shared_future<void> TransferEngine::run_async_retry(
+    std::function<void(std::size_t)> job, RetryPolicy policy) {
+  auto wrapper = [job = std::move(job), policy = std::move(policy)] {
+    double backoff = policy.backoff_initial_s;
+    const std::size_t max_attempts =
+        policy.max_attempts > 0 ? policy.max_attempts : 1;
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        job(attempt);
+        return;
+      } catch (...) {
+        std::exception_ptr err = std::current_exception();
+        const bool retryable = policy.retryable && policy.retryable(err);
+        if (!retryable || attempt + 1 >= max_attempts) {
+          if (policy.on_exhausted) {
+            std::exception_ptr translated =
+                policy.on_exhausted(err, attempt + 1);
+            if (translated) err = std::move(translated);
+          }
+          std::rethrow_exception(err);
+        }
+        if (policy.on_retry) policy.on_retry(attempt, backoff);
+        if (backoff > 0.0) {
+          // The backoff stalls the FIFO worker on purpose: downstream ops
+          // wait behind the unhealthy one exactly like a real device queue.
+          const double t0 = obs::wall_seconds();
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+          if (policy.obs_track != nullptr) {
+            obs::span(policy.obs_track, "retry", t0, obs::wall_seconds());
+          }
+        } else if (policy.obs_track != nullptr) {
+          obs::instant(policy.obs_track, "retry");
+        }
+        backoff *= policy.backoff_multiplier;
+        if (policy.backoff_max_s > 0.0 && backoff > policy.backoff_max_s) {
+          backoff = policy.backoff_max_s;
+        }
+      }
+    }
+  };
+  return run_async(std::move(wrapper));
 }
 
 std::shared_future<void> TransferEngine::run_async(std::function<void()> job) {

@@ -18,6 +18,31 @@
 
 namespace sh::hw {
 
+/// Bounded-retry policy for run_async_retry. The engine is storage-agnostic:
+/// which exceptions are worth retrying, how retries are counted, and what a
+/// permanently failed op turns into are all supplied by the caller
+/// (storage::SwapFile wires these to its fault counters and typed IoError).
+struct RetryPolicy {
+  /// Total tries per job (1 = no retry).
+  std::size_t max_attempts = 1;
+  /// Exponential backoff between attempts, executed ON the worker thread —
+  /// a faulted op stalls the FIFO queue like a real stalled NVMe queue.
+  double backoff_initial_s = 0.0;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 0.0;  ///< 0 = uncapped
+  /// Obs track for "retry" spans covering each backoff wait (nullptr = off).
+  const char* obs_track = nullptr;
+  /// Returns true if the failure is worth another attempt. Unset = never.
+  std::function<bool(const std::exception_ptr&)> retryable;
+  /// Invoked before each backoff+reattempt with (attempt, backoff seconds).
+  std::function<void(std::size_t, double)> on_retry;
+  /// Invoked when attempts are exhausted (or the error is non-retryable
+  /// after a retry sequence began); may translate the final exception. A
+  /// null return rethrows the original.
+  std::function<std::exception_ptr(const std::exception_ptr&, std::size_t)>
+      on_exhausted;
+};
+
 class TransferEngine {
  public:
   /// `bytes_per_second` == 0 disables throttling (copies run at memcpy speed).
@@ -36,6 +61,15 @@ class TransferEngine {
   /// Enqueues an arbitrary job on the copy stream (keeps FIFO order with
   /// copies) — used for "free the buffer after the copy" style chaining.
   std::shared_future<void> run_async(std::function<void()> job);
+
+  /// Enqueues `job` with a bounded-retry policy. The job receives the
+  /// 0-based attempt number; on a failure the policy deems retryable it is
+  /// re-run after exponential backoff (all on the worker thread, preserving
+  /// FIFO order with other jobs). Jobs must be idempotent. The returned
+  /// future carries the final exception once attempts are exhausted
+  /// (optionally translated by policy.on_exhausted).
+  std::shared_future<void> run_async_retry(
+      std::function<void(std::size_t)> job, RetryPolicy policy);
 
   /// Blocks until every enqueued operation has completed.
   void wait_all();

@@ -1,0 +1,119 @@
+#include "storage/fault_plan.hpp"
+
+#include <cstdlib>
+
+namespace sh::storage {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool env_double(const char* name, double* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v) return false;
+  *out = d;
+  return true;
+}
+
+bool env_u64(const char* name, std::uint64_t* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const std::uint64_t u = std::strtoull(v, &end, 10);
+  if (end == v) return false;
+  *out = u;
+  return true;
+}
+
+}  // namespace
+
+FaultConfig fault_config_from_env(FaultConfig base) {
+  env_double("SH_FAULT_RATE", &base.rate);
+  env_u64("SH_FAULT_SEED", &base.seed);
+  env_double("SH_FAULT_LATENCY_SPIKE_S", &base.latency_spike_s);
+  std::uint64_t u = 0;
+  if (env_u64("SH_FAULT_MAX_FAULTS_PER_OP", &u)) {
+    base.max_faults_per_op = static_cast<std::size_t>(u);
+  }
+  if (env_u64("SH_FAULT_MAX_ATTEMPTS", &u)) {
+    base.max_attempts = static_cast<std::size_t>(u);
+  }
+  env_double("SH_FAULT_BACKOFF_S", &base.backoff_initial_s);
+  return base;
+}
+
+FaultDecision FaultPlan::decide(IoOp op, std::int64_t key,
+                                std::size_t attempt) {
+  ops_.fetch_add(1, std::memory_order_relaxed);
+  if (!cfg_.enabled()) return {};
+  if (op == IoOp::Read ? !cfg_.fault_reads : !cfg_.fault_writes) return {};
+  // Bounded-transience guarantee: after max_faults_per_op faulted attempts
+  // the op is forced healthy, so retry budgets above that always recover.
+  if (attempt >= cfg_.max_faults_per_op) return {};
+
+  const std::uint64_t slot =
+      static_cast<std::uint64_t>(key) * 2 + (op == IoOp::Write ? 1 : 0);
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t& s = seq_[slot];
+    if (attempt == 0) ++s;  // retries re-roll via `attempt`, not a new seq
+    seq = s;
+  }
+
+  std::uint64_t h = splitmix64(cfg_.seed ^ splitmix64(slot));
+  h = splitmix64(h ^ seq);
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(attempt) + 0x9e37ULL));
+  if (uniform01(h) >= cfg_.rate) return {};
+
+  const double wl = cfg_.latency_weight > 0.0 ? cfg_.latency_weight : 0.0;
+  const double ws = cfg_.short_weight > 0.0 ? cfg_.short_weight : 0.0;
+  const double we = cfg_.error_weight > 0.0 ? cfg_.error_weight : 0.0;
+  const double total = wl + ws + we;
+  if (total <= 0.0) return {};
+
+  FaultDecision d;
+  const double pick = uniform01(splitmix64(h ^ 0xfa17ULL)) * total;
+  if (pick < wl) {
+    d.kind = FaultKind::LatencySpike;
+    d.extra_latency_s = cfg_.latency_spike_s;
+    latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  } else if (pick < wl + ws) {
+    d.kind = FaultKind::ShortOp;
+    d.short_fraction = 0.25 + 0.5 * uniform01(splitmix64(h ^ 0x5417ULL));
+    (op == IoOp::Read ? short_reads_ : short_writes_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    d.kind = FaultKind::TransientError;
+    (op == IoOp::Read ? eio_reads_ : eio_writes_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  return d;
+}
+
+FaultPlan::Counters FaultPlan::counters() const {
+  Counters c;
+  c.ops = ops_.load(std::memory_order_relaxed);
+  c.latency_spikes = latency_spikes_.load(std::memory_order_relaxed);
+  c.short_reads = short_reads_.load(std::memory_order_relaxed);
+  c.short_writes = short_writes_.load(std::memory_order_relaxed);
+  c.eio_reads = eio_reads_.load(std::memory_order_relaxed);
+  c.eio_writes = eio_writes_.load(std::memory_order_relaxed);
+  c.faults_total = faults_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace sh::storage

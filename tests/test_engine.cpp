@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/monolithic.hpp"
 #include "data/synthetic.hpp"
+#include "storage/fault_plan.hpp"
 #include "testing/util.hpp"
 
 namespace sh::core {
@@ -173,6 +175,75 @@ TEST(Engine, SwapTierTrainingMatchesInMemory) {
   engine.snapshot_params(params);
   EXPECT_EQ(losses, ref_losses);
   sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, FaultyTierLossBitIdentical) {
+  // Training against an unhealthy NVMe tier (latency spikes, short ops and
+  // transient EIOs on ~90% of attempts) must degrade gracefully: the window
+  // stalls while the tier retries, and the numbers are bit-identical to a
+  // healthy-tier run because retried ops are idempotent.
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 2);
+
+  EngineConfig healthy;
+  healthy.window = 1;
+  healthy.cpu_capacity_bytes = 64 * 1024;
+  healthy.swap_path = ::testing::TempDir() + "engine_swap_healthy.bin";
+  const auto [ref_params, ref_losses] = run_engine(mcfg, healthy, batches);
+
+  EngineConfig faulted = healthy;
+  faulted.swap_path = ::testing::TempDir() + "engine_swap_faulted.bin";
+  faulted.swap_faults.rate = 0.9;
+  faulted.swap_faults.seed = 2026;
+  faulted.swap_faults.latency_spike_s = 1e-4;
+  faulted.swap_faults.max_faults_per_op = 2;  // bounded: attempt 2 recovers
+  faulted.swap_faults.max_attempts = 4;
+  faulted.swap_faults.backoff_initial_s = 1e-5;
+
+  nn::GptModel model(mcfg);
+  StrongholdEngine engine(model, faulted);
+  engine.init_params(42);
+  std::vector<float> losses;
+  for (const auto& b : batches) losses.push_back(engine.train_step(b));
+  std::vector<float> params;
+  engine.snapshot_params(params);
+
+  const auto s = engine.stats();
+  EXPECT_GT(s.swap_faults_injected, 0u) << "fault plan never fired";
+  EXPECT_GT(s.swap_retries, 0u) << "no retry was exercised";
+  EXPECT_EQ(s.swap_io_errors, 0u) << "bounded faults must all recover";
+  EXPECT_EQ(losses, ref_losses);
+  sh::testing::expect_allclose(params, ref_params, 0.0f, 0.0f);
+}
+
+TEST(Engine, FaultBudgetExhaustedRaisesIoError) {
+  // A permanently failing tier (every read attempt EIOs, budget SIZE_MAX)
+  // must surface as a typed storage::IoError from train_step — the trainer
+  // can checkpoint — not as an abort or a hang. The engine must still tear
+  // down cleanly afterwards.
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(2, mcfg.max_seq, 1);
+  EngineConfig ecfg;
+  ecfg.window = 1;
+  ecfg.cpu_capacity_bytes = 64 * 1024;
+  ecfg.swap_path = ::testing::TempDir() + "engine_swap_dead.bin";
+  ecfg.swap_faults.rate = 1.0;
+  ecfg.swap_faults.latency_weight = 0.0;
+  ecfg.swap_faults.short_weight = 0.0;
+  ecfg.swap_faults.fault_writes = false;  // init_params can seed the tier
+  ecfg.swap_faults.max_faults_per_op =
+      std::numeric_limits<std::size_t>::max();
+  ecfg.swap_faults.max_attempts = 3;
+  ecfg.swap_faults.backoff_initial_s = 1e-5;
+
+  nn::GptModel model(mcfg);
+  {
+    StrongholdEngine engine(model, ecfg);
+    engine.init_params(42);
+    EXPECT_GT(engine.stats().swap_backed_layers, 0u);
+    EXPECT_THROW(engine.train_step(batches[0]), storage::IoError);
+    EXPECT_GT(engine.stats().swap_io_errors, 0u);
+  }  // destructor joins the workers without hanging or rethrowing
 }
 
 TEST(Engine, AutoWindowSelectsAndFreezes) {

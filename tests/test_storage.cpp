@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 #include <vector>
 
+#include "storage/fault_plan.hpp"
 #include "storage/swap_file.hpp"
 
 namespace sh::storage {
@@ -11,6 +15,24 @@ namespace {
 
 std::string tmp_path(const std::string& tag) {
   return ::testing::TempDir() + "swapfile_" + tag + ".bin";
+}
+
+/// A plan that faults every attempt (rate 1) of the selected kind, with
+/// fast backoff, bounded so the retry budget always recovers.
+FaultConfig faulty(FaultKind kind, IoOp op) {
+  FaultConfig fc;
+  fc.rate = 1.0;
+  fc.seed = 7;
+  fc.latency_weight = kind == FaultKind::LatencySpike ? 1.0 : 0.0;
+  fc.short_weight = kind == FaultKind::ShortOp ? 1.0 : 0.0;
+  fc.error_weight = kind == FaultKind::TransientError ? 1.0 : 0.0;
+  fc.latency_spike_s = 1e-4;
+  fc.max_faults_per_op = 2;  // attempts 0,1 fault; attempt 2 succeeds
+  fc.max_attempts = 4;
+  fc.backoff_initial_s = 1e-5;
+  fc.fault_reads = op == IoOp::Read;
+  fc.fault_writes = op == IoOp::Write;
+  return fc;
 }
 
 TEST(SwapFile, WriteReadRoundTrip) {
@@ -49,26 +71,56 @@ TEST(SwapFile, RewriteUpdatesInPlace) {
   EXPECT_EQ(out[7], 9.0f);
 }
 
-TEST(SwapFile, SizeMismatchThrows) {
+TEST(SwapFile, SizeMismatchIsTypedErrorAndRegionIntact) {
+  // Regression for the rewrite-size footgun: a mismatched rewrite must be a
+  // typed IoError raised before anything is queued — the stored bytes (and
+  // the neighbouring region) stay intact.
   SwapFile swap(tmp_path("mismatch"));
-  std::vector<float> v(16, 1.0f);
+  std::vector<float> v(16, 1.0f), neighbour(16, 5.0f);
   swap.write(1, v);
-  std::vector<float> wrong(8);
-  EXPECT_THROW(swap.write(1, wrong), std::invalid_argument);
-  EXPECT_THROW(swap.read(1, wrong), std::invalid_argument);
+  swap.write(2, neighbour);
+  std::vector<float> smaller(8), larger(24, 9.0f);
+  const std::size_t used = swap.bytes_used();
+  try {
+    swap.write(1, larger);
+    FAIL() << "mismatched rewrite did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::SizeMismatch);
+    EXPECT_EQ(e.op(), IoOp::Write);
+    EXPECT_EQ(e.key(), 1);
+  }
+  EXPECT_THROW(swap.write(1, smaller), IoError);
+  EXPECT_THROW(swap.read(1, smaller), IoError);
+  EXPECT_EQ(swap.bytes_used(), used);  // no region grew or moved
+  std::vector<float> out(16);
+  swap.read(1, out);
+  EXPECT_EQ(out, v);
+  swap.read(2, out);
+  EXPECT_EQ(out, neighbour);
 }
 
 TEST(SwapFile, ReadUnknownKeyThrows) {
   SwapFile swap(tmp_path("unknown"));
   std::vector<float> out(4);
-  EXPECT_THROW(swap.read(99, out), std::out_of_range);
+  try {
+    swap.read(99, out);
+    FAIL() << "unknown key did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::UnknownKey);
+    EXPECT_EQ(e.key(), 99);
+  }
 }
 
 TEST(SwapFile, CapacityEnforced) {
   SwapFile swap(tmp_path("capacity"), 100 * sizeof(float));
   std::vector<float> v(60, 1.0f);
   swap.write(1, v);
-  EXPECT_THROW(swap.write(2, v), std::runtime_error);  // 120 > 100 floats
+  try {
+    swap.write(2, v);  // 120 > 100 floats
+    FAIL() << "capacity overflow did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::CapacityExceeded);
+  }
   EXPECT_TRUE(swap.contains(1));
   EXPECT_FALSE(swap.contains(2));
 }
@@ -102,6 +154,237 @@ TEST(SwapFile, ManyKeysStress) {
     EXPECT_EQ(out[0], static_cast<float>(k));
     EXPECT_EQ(out[127], static_cast<float>(k));
   }
+}
+
+// --- Fault injection ---------------------------------------------------------
+
+struct FaultCase {
+  FaultKind kind;
+  IoOp op;
+  bool async;
+};
+
+std::string fault_case_name(const ::testing::TestParamInfo<FaultCase>& info) {
+  std::string name;
+  switch (info.param.kind) {
+    case FaultKind::LatencySpike: name = "Latency"; break;
+    case FaultKind::ShortOp: name = "Short"; break;
+    case FaultKind::TransientError: name = "Eio"; break;
+    case FaultKind::None: name = "None"; break;
+  }
+  name += info.param.op == IoOp::Read ? "Read" : "Write";
+  name += info.param.async ? "Async" : "Sync";
+  return name;
+}
+
+class SwapFaultMatrix : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(SwapFaultMatrix, RecoversWithDataIntact) {
+  const FaultCase& c = GetParam();
+  SwapFile swap(tmp_path("matrix_" + fault_case_name({GetParam(), 0})), 0, 0.0,
+                faulty(c.kind, c.op));
+  // Three keyed ops per direction so the plan's per-(key,op) sequence and the
+  // retry path both get exercised more than once.
+  std::vector<std::vector<float>> blobs;
+  for (std::int64_t k = 0; k < 3; ++k) {
+    std::vector<float> v(256);
+    std::iota(v.begin(), v.end(), static_cast<float>(k) * 1000.0f);
+    if (c.async) {
+      swap.write_async(k, v).get();
+    } else {
+      swap.write(k, v);
+    }
+    blobs.push_back(std::move(v));
+  }
+  for (std::int64_t k = 0; k < 3; ++k) {
+    std::vector<float> out(256, -1.0f);
+    if (c.async) {
+      swap.read_async(k, out).get();
+    } else {
+      swap.read(k, out);
+    }
+    EXPECT_EQ(out, blobs[static_cast<std::size_t>(k)])
+        << "corrupt data after recovery, key " << k;
+  }
+
+  // With rate 1 and max_faults_per_op 2, every op in the armed direction
+  // faults on attempts 0 and 1 and recovers on attempt 2.
+  const FaultPlan::Counters cnt = swap.fault_plan().counters();
+  EXPECT_GT(cnt.faults_total, 0u);
+  EXPECT_EQ(swap.io_errors(), 0u) << "all faults should have been recovered";
+  switch (c.kind) {
+    case FaultKind::LatencySpike:
+      // The op still succeeds (just slowly): no retries consumed.
+      EXPECT_EQ(cnt.latency_spikes, 3u);
+      EXPECT_EQ(swap.retries_attempted(), 0u);
+      break;
+    case FaultKind::ShortOp:
+      EXPECT_EQ(c.op == IoOp::Read ? cnt.short_reads : cnt.short_writes, 6u);
+      EXPECT_EQ(c.op == IoOp::Read ? cnt.short_writes : cnt.short_reads, 0u);
+      EXPECT_EQ(swap.retries_attempted(), 6u);
+      EXPECT_GT(swap.retry_backoff_seconds(), 0.0);
+      break;
+    case FaultKind::TransientError:
+      EXPECT_EQ(c.op == IoOp::Read ? cnt.eio_reads : cnt.eio_writes, 6u);
+      EXPECT_EQ(c.op == IoOp::Read ? cnt.eio_writes : cnt.eio_reads, 0u);
+      EXPECT_EQ(swap.retries_attempted(), 6u);
+      EXPECT_GT(swap.retry_backoff_seconds(), 0.0);
+      break;
+    case FaultKind::None:
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsOpsModes, SwapFaultMatrix,
+    ::testing::Values(
+        FaultCase{FaultKind::LatencySpike, IoOp::Read, false},
+        FaultCase{FaultKind::LatencySpike, IoOp::Read, true},
+        FaultCase{FaultKind::LatencySpike, IoOp::Write, false},
+        FaultCase{FaultKind::LatencySpike, IoOp::Write, true},
+        FaultCase{FaultKind::ShortOp, IoOp::Read, false},
+        FaultCase{FaultKind::ShortOp, IoOp::Read, true},
+        FaultCase{FaultKind::ShortOp, IoOp::Write, false},
+        FaultCase{FaultKind::ShortOp, IoOp::Write, true},
+        FaultCase{FaultKind::TransientError, IoOp::Read, false},
+        FaultCase{FaultKind::TransientError, IoOp::Read, true},
+        FaultCase{FaultKind::TransientError, IoOp::Write, false},
+        FaultCase{FaultKind::TransientError, IoOp::Write, true}),
+    fault_case_name);
+
+TEST(FaultPlan, SameSeedSameDecisions) {
+  FaultConfig fc;
+  fc.rate = 0.5;
+  fc.seed = 42;
+  FaultPlan a(fc), b(fc);
+  FaultConfig other = fc;
+  other.seed = 43;
+  FaultPlan c(other);
+  std::size_t differing = 0;
+  std::size_t faulted = 0;
+  for (int i = 0; i < 200; ++i) {
+    const IoOp op = (i % 3 == 0) ? IoOp::Write : IoOp::Read;
+    const std::int64_t key = i % 5;
+    const std::size_t attempt = static_cast<std::size_t>(i % 2);
+    const FaultDecision da = a.decide(op, key, attempt);
+    const FaultDecision db = b.decide(op, key, attempt);
+    const FaultDecision dc = c.decide(op, key, attempt);
+    EXPECT_EQ(da.kind, db.kind) << "op " << i;
+    EXPECT_EQ(da.extra_latency_s, db.extra_latency_s) << "op " << i;
+    EXPECT_EQ(da.short_fraction, db.short_fraction) << "op " << i;
+    if (da.kind != dc.kind) ++differing;
+    if (da.kind != FaultKind::None) ++faulted;
+  }
+  EXPECT_GT(faulted, 0u) << "rate 0.5 over 200 ops must inject something";
+  EXPECT_GT(differing, 0u) << "a different seed must change the plan";
+  EXPECT_EQ(a.counters().faults_total, b.counters().faults_total);
+}
+
+TEST(FaultPlan, ShortFractionIsProperPrefix) {
+  FaultConfig fc;
+  fc.rate = 1.0;
+  fc.latency_weight = 0.0;
+  fc.error_weight = 0.0;
+  FaultPlan plan(fc);
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision d = plan.decide(IoOp::Read, i, 0);
+    ASSERT_EQ(d.kind, FaultKind::ShortOp);
+    EXPECT_GT(d.short_fraction, 0.0);
+    EXPECT_LT(d.short_fraction, 1.0);
+  }
+}
+
+TEST(SwapFile, FaultBudgetExhaustedIsTypedError) {
+  // max_faults_per_op = SIZE_MAX models a permanently failing device: the
+  // bounded retry budget runs out and the caller sees a typed IoError
+  // instead of an abort or a silent hang.
+  FaultConfig fc = faulty(FaultKind::TransientError, IoOp::Read);
+  fc.max_faults_per_op = std::numeric_limits<std::size_t>::max();
+  fc.max_attempts = 3;
+  SwapFile swap(tmp_path("budget"), 0, 0.0, fc);
+  std::vector<float> v(64, 2.0f);
+  swap.write(1, v);  // writes stay healthy: the tier can be seeded
+  std::vector<float> out(64, -1.0f);
+  try {
+    swap.read(1, out);
+    FAIL() << "permanently failing read did not throw";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::FaultBudgetExhausted);
+    EXPECT_EQ(e.op(), IoOp::Read);
+    EXPECT_EQ(e.key(), 1);
+    EXPECT_EQ(e.attempts(), 3u);
+  }
+  EXPECT_EQ(swap.io_errors(), 1u);
+  EXPECT_EQ(swap.retries_attempted(), 2u);  // attempts 1 and 2
+}
+
+TEST(SwapFile, DroppedFutureFailureLatchedForRethrowPending) {
+  // Fire-and-forget write-backs drop their futures; a permanent failure must
+  // be latched and surface from rethrow_pending() instead of vanishing.
+  FaultConfig fc = faulty(FaultKind::TransientError, IoOp::Write);
+  fc.max_faults_per_op = std::numeric_limits<std::size_t>::max();
+  fc.max_attempts = 2;
+  SwapFile swap(tmp_path("latch"), 0, 0.0, fc);
+  std::vector<float> v(64, 3.0f);
+  { auto dropped = swap.write_async(1, v); }  // future discarded
+  swap.wait_all();
+  EXPECT_EQ(swap.io_errors(), 1u);
+  try {
+    swap.rethrow_pending();
+    FAIL() << "latched failure was not rethrown";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::FaultBudgetExhausted);
+    EXPECT_EQ(e.op(), IoOp::Write);
+    EXPECT_EQ(e.key(), 1);
+  }
+  swap.rethrow_pending();  // take-and-clear: second poll is a no-op
+}
+
+TEST(SwapFile, JoinAsyncCarriesFirstFailure) {
+  // LayerStore joins the params+opt pair through this: a failed first op
+  // must not be masked by a healthy second op.
+  FaultConfig fc = faulty(FaultKind::TransientError, IoOp::Read);
+  fc.max_faults_per_op = std::numeric_limits<std::size_t>::max();
+  fc.max_attempts = 2;
+  SwapFile swap(tmp_path("join"), 0, 0.0, fc);
+  std::vector<float> v(64, 4.0f);
+  swap.write(1, v);
+  std::vector<float> out(64, -1.0f);
+  auto failing = swap.read_async(1, out);       // exhausts its budget
+  auto healthy = swap.write_async(2, v);        // writes are not armed
+  auto joined = swap.join_async({failing, healthy});
+  EXPECT_THROW(joined.get(), IoError);
+  healthy.get();  // the healthy op itself completed fine
+  EXPECT_TRUE(swap.contains(2));
+  // The latch records exhausted ops regardless of who holds the future.
+  EXPECT_THROW(swap.rethrow_pending(), IoError);
+}
+
+TEST(SwapFile, HealthyPlanInjectsNothing) {
+  SwapFile swap(tmp_path("healthy"), 0, 0.0, FaultConfig{});
+  std::vector<float> v(128, 1.5f);
+  for (std::int64_t k = 0; k < 4; ++k) swap.write(k, v);
+  std::vector<float> out(128);
+  for (std::int64_t k = 0; k < 4; ++k) swap.read(k, out);
+  EXPECT_EQ(swap.fault_plan().counters().faults_total, 0u);
+  EXPECT_EQ(swap.retries_attempted(), 0u);
+  EXPECT_EQ(swap.io_errors(), 0u);
+}
+
+TEST(FaultConfig, EnvOverridesApply) {
+  ::setenv("SH_FAULT_RATE", "0.25", 1);
+  ::setenv("SH_FAULT_SEED", "123", 1);
+  ::setenv("SH_FAULT_MAX_ATTEMPTS", "7", 1);
+  FaultConfig fc = fault_config_from_env();
+  EXPECT_DOUBLE_EQ(fc.rate, 0.25);
+  EXPECT_EQ(fc.seed, 123u);
+  EXPECT_EQ(fc.max_attempts, 7u);
+  ::unsetenv("SH_FAULT_RATE");
+  ::unsetenv("SH_FAULT_SEED");
+  ::unsetenv("SH_FAULT_MAX_ATTEMPTS");
+  FaultConfig base;
+  base.rate = 0.5;
+  EXPECT_DOUBLE_EQ(fault_config_from_env(base).rate, 0.5);
 }
 
 }  // namespace
