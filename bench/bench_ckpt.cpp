@@ -1,0 +1,169 @@
+// sh::ckpt benchmark: checkpoint save/restore bandwidth, steps-to-resume,
+// and the data-parallel scaling matrix.
+//
+// Part 1: save_now / restore_latest throughput (GB/s) over the snapshot of a
+// mid-sized model, plus the wall-clock cost of a full kill->resume cycle
+// (restore + replay to the horizon) in steps and seconds.
+// Part 2: DataParallelTrainer steps/s at world sizes 1/2/4/8 on the numeric
+// runtime — the scaling table recorded in EXPERIMENTS.md.
+// Writes both series to BENCH_ckpt.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ckpt/checkpointer.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "dist/dp_trainer.hpp"
+#include "nn/gpt.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string fresh_dir(const std::string& name) {
+  std::filesystem::remove_all(name);
+  std::filesystem::create_directories(name);
+  return name;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sh;
+  bench::header("sh::ckpt: checkpoint bandwidth and resume cost");
+
+  // A model large enough that the per-generation payload is tens of MB, so
+  // the measured rates reflect streaming I/O rather than fixed overheads.
+  nn::GptConfig mc;
+  mc.vocab = 512;
+  mc.max_seq = 32;
+  mc.hidden = 256;
+  mc.heads = 8;
+  mc.layers = 12;
+
+  obs::MetricsSnapshot metrics;
+
+  {
+    nn::GptModel model(mc);
+    core::EngineConfig cfg;
+    cfg.window = 2;
+    cfg.ckpt.dir = fresh_dir("bench_ckpt_dir");
+    cfg.ckpt.keep = 2;
+    core::StrongholdEngine engine(model, cfg);
+    engine.init_params(17);
+    data::SyntheticCorpus corpus(mc.vocab, 9);
+    const int warm_steps = 4;
+    for (int i = 0; i < warm_steps; ++i) {
+      engine.train_step(corpus.next_batch(2, mc.max_seq));
+    }
+
+    // --- save bandwidth (synchronous, so the commit is inside the timing) --
+    ckpt::Snapshot snap = engine.capture_snapshot();
+    const double payload_gb =
+        static_cast<double>(snap.payload_bytes()) / 1e9;
+    const double t0 = now_s();
+    engine.checkpointer()->save_now(std::move(snap));
+    const double save_s = now_s() - t0;
+
+    // --- restore bandwidth ------------------------------------------------
+    const double t1 = now_s();
+    ckpt::Snapshot restored = engine.checkpointer()->restore_latest();
+    const double read_s = now_s() - t1;
+    const double t2 = now_s();
+    engine.restore_snapshot(restored);
+    const double install_s = now_s() - t2;
+
+    std::printf("snapshot payload: %.1f MB (%zu tensors)\n",
+                payload_gb * 1000.0, restored.tensors.size());
+    std::printf("save_now (write+fsync+rename): %7.1f ms  %6.2f GB/s\n",
+                save_s * 1e3, payload_gb / save_s);
+    std::printf("restore_latest (read+verify):  %7.1f ms  %6.2f GB/s\n",
+                read_s * 1e3, payload_gb / read_s);
+    std::printf("restore_snapshot (install):    %7.1f ms  %6.2f GB/s\n",
+                install_s * 1e3, payload_gb / install_s);
+
+    metrics.add("ckpt.payload_bytes",
+                static_cast<double>(restored.payload_bytes()), "bytes");
+    metrics.add("ckpt.payload_gb", payload_gb, "GB");
+    metrics.add("ckpt.save_gb_per_s", payload_gb / save_s, "GB/s");
+    metrics.add("ckpt.restore_gb_per_s", payload_gb / read_s, "GB/s");
+    metrics.add("ckpt.install_gb_per_s", payload_gb / install_s, "GB/s");
+    metrics.add("ckpt.save_seconds", save_s, "s");
+
+    // --- steps-to-resume: full cycle from a cold engine -------------------
+    const std::size_t horizon = engine.stats().iterations + 4;
+    const double t3 = now_s();
+    nn::GptModel fresh_model(mc);
+    core::EngineConfig fresh_cfg = cfg;
+    core::StrongholdEngine fresh(fresh_model, fresh_cfg);
+    fresh.init_params(17);
+    fresh.resume_from_latest();
+    const std::size_t resumed_at = fresh.stats().iterations;
+    data::SyntheticCorpus replay(mc.vocab, 9);
+    for (std::size_t i = 0; i < horizon - resumed_at; ++i) {
+      fresh.train_step(replay.next_batch(2, mc.max_seq));
+    }
+    const double resume_s = now_s() - t3;
+    const double steps_replayed = static_cast<double>(horizon - resumed_at);
+    std::printf("kill->resume cycle: restored at step %zu, replayed %.0f "
+                "steps to the horizon in %.2f s\n",
+                resumed_at, steps_replayed, resume_s);
+    metrics.add("ckpt.resume_replayed_steps", steps_replayed, "steps");
+    metrics.add("ckpt.resume_wall_seconds", resume_s, "s");
+  }
+  std::filesystem::remove_all("bench_ckpt_dir");
+
+  // --- Part 2: data-parallel scaling matrix -------------------------------
+  bench::header("DataParallelTrainer scaling (numeric runtime)");
+  nn::GptConfig dp_cfg;
+  dp_cfg.vocab = 64;
+  dp_cfg.max_seq = 16;
+  dp_cfg.hidden = 64;
+  dp_cfg.heads = 4;
+  dp_cfg.layers = 6;
+
+  std::printf("%6s %10s %10s %14s\n", "world", "steps/s", "speedup",
+              "floats comm'd");
+  double base_rate = 0.0;
+  for (int world : {1, 2, 4, 8}) {
+    core::EngineConfig ecfg;
+    ecfg.window = 2;
+    dist::DataParallelTrainer trainer(dp_cfg, ecfg, world);
+    trainer.init_params(42);
+    data::SyntheticCorpus corpus(dp_cfg.vocab, 7);
+    const int steps = 12;
+    // One untimed step to populate windows and warm the collectives.
+    trainer.train_step(corpus.next_batch(8, dp_cfg.max_seq));
+    const double t0 = now_s();
+    for (int i = 0; i < steps; ++i) {
+      trainer.train_step(corpus.next_batch(8, dp_cfg.max_seq));
+    }
+    const double rate = steps / (now_s() - t0);
+    if (world == 1) base_rate = rate;
+    std::printf("%6d %10.2f %9.2fx %14zu\n", world, rate, rate / base_rate,
+                trainer.floats_communicated());
+    const std::string p = "ckpt.dp_world_" + std::to_string(world);
+    metrics.add(p + ".steps_per_s", rate, "steps/s");
+    metrics.add(p + ".floats_communicated",
+                static_cast<double>(trainer.floats_communicated()));
+  }
+  std::printf("\nNote: ranks are threads sharing one host; the matrix checks "
+              "lockstep overhead, not cluster scaling.\n");
+
+  {
+    std::ofstream os("BENCH_ckpt.json");
+    obs::write_metrics_json(os, metrics);
+  }
+  std::printf("wrote BENCH_ckpt.json\n");
+  return 0;
+}

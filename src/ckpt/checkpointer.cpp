@@ -1,0 +1,331 @@
+#include "ckpt/checkpointer.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "storage/swap_file.hpp"
+
+namespace sh::ckpt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string step_name(std::uint64_t step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gen-%012llu",
+                static_cast<unsigned long long>(step));
+  return buf;
+}
+
+/// Parses "gen-<digits>" from a file stem; false for anything else.
+bool parse_step(const std::string& stem, std::uint64_t& step) {
+  if (stem.rfind("gen-", 0) != 0 || stem.size() <= 4) return false;
+  const std::string digits = stem.substr(4);
+  if (digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  step = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+/// fsyncs a directory so a just-renamed entry survives a crash. Best effort
+/// on filesystems that reject directory fds.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void fsync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("ckpt: cannot reopen " + path + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("ckpt: fsync failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+void rename_or_throw(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    throw std::runtime_error("ckpt: rename " + from + " -> " + to +
+                             " failed: " + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+Config config_from_env(Config base) {
+  if (const char* dir = std::getenv("SH_CKPT_DIR")) base.dir = dir;
+  if (const char* every = std::getenv("SH_CKPT_EVERY")) {
+    base.every_n_steps = std::strtoull(every, nullptr, 10);
+  }
+  if (const char* keep = std::getenv("SH_CKPT_KEEP")) {
+    base.keep = std::strtoull(keep, nullptr, 10);
+  }
+  return base;
+}
+
+Checkpointer::Checkpointer(Config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.dir.empty()) {
+    throw std::invalid_argument("Checkpointer: empty checkpoint directory");
+  }
+  if (cfg_.keep == 0) cfg_.keep = 1;
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec) {
+    throw std::runtime_error("Checkpointer: cannot create " + cfg_.dir + ": " +
+                             ec.message());
+  }
+  obs_provider_id_ = obs::Registry::global().add_provider(
+      [this](obs::MetricsSnapshot& out) {
+        const Stats s = stats();
+        out.add("ckpt.saves", static_cast<double>(s.saves_committed));
+        out.add("ckpt.save_failures", static_cast<double>(s.saves_failed));
+        out.add("ckpt.bytes_written", static_cast<double>(s.bytes_written),
+                "bytes");
+        out.add("ckpt.last_save_s", s.last_save_seconds, "s");
+        out.add("ckpt.generations", static_cast<double>(generations().size()));
+      });
+}
+
+Checkpointer::~Checkpointer() {
+  finish();
+  obs::Registry::global().remove_provider(obs_provider_id_);
+}
+
+std::string Checkpointer::data_path(std::uint64_t step, bool tmp) const {
+  return cfg_.dir + "/" + step_name(step) + (tmp ? ".data.tmp" : ".data");
+}
+
+std::string Checkpointer::manifest_path(std::uint64_t step, bool tmp) const {
+  return cfg_.dir + "/" + step_name(step) +
+         (tmp ? ".manifest.tmp" : ".manifest");
+}
+
+void Checkpointer::save_async(Snapshot snap) {
+  finish();
+  commit_thread_ = std::thread([this, snap = std::move(snap)]() mutable {
+    try {
+      do_save(std::move(snap));
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.saves_failed;
+      last_error_ = e.what();
+    }
+  });
+}
+
+void Checkpointer::save_now(Snapshot snap) {
+  finish();
+  try {
+    do_save(std::move(snap));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.saves_failed;
+      last_error_ = e.what();
+    }
+    throw;
+  }
+}
+
+void Checkpointer::finish() {
+  if (commit_thread_.joinable()) commit_thread_.join();
+}
+
+void Checkpointer::do_save(Snapshot&& snap) {
+  obs::ObsScope scope("ckpt", "save");
+  const double t0 = obs::wall_seconds();
+  const std::uint64_t step = snap.step;
+  const std::string data_tmp = data_path(step, true);
+  const std::string manifest_tmp = manifest_path(step, true);
+
+  Manifest m;
+  m.step = step;
+  m.blobs = snap.blobs;
+  m.tensors.reserve(snap.tensors.size());
+  std::size_t payload = 0;
+
+  {
+    // Tensor payloads go through the swap tier: asynchronous FIFO worker,
+    // fault plan, bounded retries, throttle. The SwapFile truncates its file
+    // on construction, which is exactly right for a fresh `.tmp`; if any
+    // write exhausts its retry budget we rethrow WITHOUT calling persist(),
+    // so the tier's destructor unlinks the partial temp file for us.
+    storage::SwapFile tier(data_tmp, /*capacity_bytes=*/0,
+                          cfg_.bytes_per_second, cfg_.faults);
+    std::vector<std::shared_future<void>> pending;
+    pending.reserve(snap.tensors.size());
+    for (std::size_t i = 0; i < snap.tensors.size(); ++i) {
+      const auto& t = snap.tensors[i];
+      pending.push_back(tier.write_async(
+          static_cast<std::int64_t>(i),
+          std::span<const float>(t.data.data(), t.data.size())));
+    }
+    for (std::size_t i = 0; i < snap.tensors.size(); ++i) {
+      pending[i].get();  // throws storage::IoError on budget exhaustion
+      const auto& t = snap.tensors[i];
+      const auto region = tier.region_info(static_cast<std::int64_t>(i));
+      TensorMeta meta;
+      meta.name = t.name;
+      meta.count = t.data.size();
+      meta.offset = region.offset;
+      meta.checksum =
+          checksum_bytes(t.data.data(), t.data.size() * sizeof(float));
+      m.tensors.push_back(std::move(meta));
+      payload += region.bytes;
+    }
+    tier.sync();
+    tier.persist();
+  }
+
+  // Commit: data first, then the manifest — its rename is the atomic commit
+  // point. fsync the manifest bytes before renaming and the directory after,
+  // so the committed name is durable, not just visible.
+  rename_or_throw(data_tmp, data_path(step, false));
+  write_manifest(manifest_tmp, m);
+  fsync_file(manifest_tmp);
+  rename_or_throw(manifest_tmp, manifest_path(step, false));
+  fsync_dir(cfg_.dir);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.saves_committed;
+    stats_.bytes_written += payload;
+    stats_.last_save_seconds = obs::wall_seconds() - t0;
+    gc_locked();
+  }
+}
+
+void Checkpointer::gc_locked() {
+  // Drop the oldest committed generations beyond `keep` — manifest first
+  // (atomically un-publishes), data second — and sweep `.tmp` orphans from
+  // crashed or aborted saves. Runs only after a successful commit, so any
+  // temp file present belongs to a dead writer.
+  std::vector<std::uint64_t> gens = generations();
+  while (gens.size() > cfg_.keep) {
+    const std::uint64_t step = gens.front();
+    gens.erase(gens.begin());
+    std::error_code ec;
+    fs::remove(manifest_path(step, false), ec);
+    fs::remove(data_path(step, false), ec);
+    ++stats_.gc_removed;
+  }
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+std::vector<std::uint64_t> Checkpointer::generations() const {
+  std::vector<std::uint64_t> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() != ".manifest") continue;
+    std::uint64_t step = 0;
+    if (parse_step(p.stem().string(), step)) steps.push_back(step);
+  }
+  std::sort(steps.begin(), steps.end());
+  return steps;
+}
+
+std::optional<std::uint64_t> Checkpointer::latest() const {
+  const auto gens = generations();
+  if (gens.empty()) return std::nullopt;
+  return gens.back();
+}
+
+Snapshot Checkpointer::restore(std::uint64_t step) const {
+  obs::ObsScope scope("ckpt", "restore");
+  Manifest m;
+  try {
+    m = read_manifest(manifest_path(step, false));
+  } catch (const RestoreError& e) {
+    throw RestoreError(e.kind(), e.what(), step);
+  }
+
+  const std::string dpath = data_path(step, false);
+  std::ifstream data(dpath, std::ios::binary);
+  if (!data) {
+    throw RestoreError(RestoreErrorKind::MissingFile,
+                       "ckpt: cannot open data file " + dpath, step);
+  }
+
+  Snapshot snap;
+  snap.step = m.step;
+  snap.blobs = std::move(m.blobs);
+  snap.tensors.reserve(m.tensors.size());
+  for (const auto& meta : m.tensors) {
+    TensorEntry t;
+    t.name = meta.name;
+    t.data.resize(static_cast<std::size_t>(meta.count));
+    data.seekg(static_cast<std::streamoff>(meta.offset));
+    data.read(reinterpret_cast<char*>(t.data.data()),
+              static_cast<std::streamsize>(meta.count * sizeof(float)));
+    if (!data) {
+      throw RestoreError(RestoreErrorKind::Truncated,
+                         "ckpt: short read of tensor '" + meta.name +
+                             "' from " + dpath,
+                         step);
+    }
+    const std::uint64_t actual =
+        checksum_bytes(t.data.data(), t.data.size() * sizeof(float));
+    if (actual != meta.checksum) {
+      throw RestoreError(RestoreErrorKind::ChecksumMismatch,
+                         "ckpt: checksum mismatch for tensor '" + meta.name +
+                             "' in " + dpath,
+                         step);
+    }
+    snap.tensors.push_back(std::move(t));
+  }
+  return snap;
+}
+
+Snapshot Checkpointer::restore_latest() const {
+  std::vector<std::uint64_t> gens = generations();
+  std::string rejections;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    try {
+      return restore(*it);
+    } catch (const RestoreError& e) {
+      rejections += "\n  " + step_name(*it) + ": " + e.what();
+    }
+  }
+  throw RestoreError(RestoreErrorKind::NoValidGeneration,
+                     "ckpt: no valid checkpoint generation in " + cfg_.dir +
+                         (rejections.empty() ? " (directory has none)"
+                                             : rejections));
+}
+
+Checkpointer::Stats Checkpointer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string Checkpointer::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+}  // namespace sh::ckpt

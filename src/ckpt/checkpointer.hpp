@@ -1,0 +1,95 @@
+// Checkpointer — owns a checkpoint directory and its generation lifecycle.
+//
+// Saves are asynchronous by default: the caller stages a Snapshot (a CPU-side
+// copy captured at a step boundary) and hands it over; tensor payloads are
+// then written through a storage::SwapFile on its I/O worker while training
+// continues, and a background commit publishes the generation with the
+// write-temp/fsync/rename protocol described in ckpt.hpp. A failed save
+// (e.g. an exhausted fault-retry budget on the checkpoint device) aborts
+// cleanly: temp files are removed and the previous committed generation is
+// untouched. One save is in flight at a time; a new save joins the previous.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "ckpt/manifest.hpp"
+
+namespace sh::ckpt {
+
+class Checkpointer {
+ public:
+  /// Creates `cfg.dir` if needed. Throws std::invalid_argument on an empty
+  /// dir and std::runtime_error if the directory cannot be created.
+  explicit Checkpointer(Config cfg);
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Asynchronous save: joins any previous in-flight save, then writes and
+  /// commits `snap` on a background thread (tensor I/O rides the SwapFile
+  /// worker). Failures are recorded in stats()/last_error(), never thrown —
+  /// a checkpoint failure must not kill the training step that triggered it.
+  void save_async(Snapshot snap);
+
+  /// Synchronous save: writes and commits on the calling thread; throws
+  /// storage::IoError (tier failure) or std::runtime_error on failure, with
+  /// temp files cleaned up and prior generations intact.
+  void save_now(Snapshot snap);
+
+  /// Blocks until any in-flight asynchronous save has committed or aborted.
+  void finish();
+
+  /// Steps of all committed generations, ascending. Uncommitted `.tmp`
+  /// orphans are invisible here by construction.
+  std::vector<std::uint64_t> generations() const;
+
+  /// Reads and fully verifies generation `step`. Throws RestoreError with
+  /// the specific kind (MissingFile/Truncated/ChecksumMismatch/...).
+  Snapshot restore(std::uint64_t step) const;
+
+  /// Restores the newest generation that passes verification, falling back
+  /// past corrupt/uncommitted ones. Throws RestoreError{NoValidGeneration}
+  /// (whose message lists every rejection) when none survives.
+  Snapshot restore_latest() const;
+
+  /// Newest step restore_latest() would try first; nullopt when the
+  /// directory holds no committed generation.
+  std::optional<std::uint64_t> latest() const;
+
+  struct Stats {
+    std::size_t saves_committed = 0;
+    std::size_t saves_failed = 0;
+    std::size_t bytes_written = 0;   ///< payload bytes of committed saves
+    std::size_t gc_removed = 0;      ///< generations deleted by GC
+    double last_save_seconds = 0.0;  ///< write+commit wall time of last save
+  };
+  Stats stats() const;
+  /// what() of the most recent failed save ("" when none).
+  std::string last_error() const;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  std::string data_path(std::uint64_t step, bool tmp) const;
+  std::string manifest_path(std::uint64_t step, bool tmp) const;
+  /// The full write+commit+GC sequence; throws on failure after cleanup.
+  void do_save(Snapshot&& snap);
+  void gc_locked();
+
+  Config cfg_;
+  mutable std::mutex mu_;  // stats_, last_error_
+  Stats stats_;
+  std::string last_error_;
+  std::thread commit_thread_;
+  std::uint64_t obs_provider_id_ = 0;
+};
+
+}  // namespace sh::ckpt

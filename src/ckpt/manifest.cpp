@@ -1,0 +1,154 @@
+#include "ckpt/manifest.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace sh::ckpt {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x314d46544b504843ULL;  // "CHPKTFM1"
+constexpr std::uint32_t kVersion = 1;
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  append_bytes(out, &v, sizeof(T));
+}
+
+void append_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  append_pod(out, static_cast<std::uint32_t>(s.size()));
+  append_bytes(out, s.data(), s.size());
+}
+
+/// Bounds-checked cursor over the manifest bytes; running off the end is the
+/// "truncated manifest" failure mode.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  const std::string& path;
+
+  void take(void* out, std::size_t n) {
+    if (n > left) {
+      throw RestoreError(RestoreErrorKind::Truncated,
+                         "ckpt: truncated manifest " + path);
+    }
+    std::memcpy(out, p, n);
+    p += n;
+    left -= n;
+  }
+
+  template <typename T>
+  T pod() {
+    T v;
+    take(&v, sizeof(T));
+    return v;
+  }
+
+  std::string str() {
+    const auto n = pod<std::uint32_t>();
+    std::string s(n, '\0');
+    take(s.data(), n);
+    return s;
+  }
+};
+}  // namespace
+
+void write_manifest(const std::string& path, const Manifest& m) {
+  std::vector<std::uint8_t> buf;
+  append_pod(buf, kMagic);
+  append_pod(buf, kVersion);
+  append_pod(buf, m.step);
+  append_pod(buf, static_cast<std::uint32_t>(m.blobs.entries.size()));
+  for (const auto& [name, payload] : m.blobs.entries) {
+    append_string(buf, name);
+    append_pod(buf, static_cast<std::uint64_t>(payload.size()));
+    append_bytes(buf, payload.data(), payload.size());
+  }
+  append_pod(buf, static_cast<std::uint32_t>(m.tensors.size()));
+  for (const auto& t : m.tensors) {
+    append_string(buf, t.name);
+    append_pod(buf, t.count);
+    append_pod(buf, t.offset);
+    append_pod(buf, t.checksum);
+  }
+  append_pod(buf, checksum_bytes(buf.data(), buf.size()));
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("ckpt: cannot open " + path);
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+  if (!os) throw std::runtime_error("ckpt: manifest write failed for " + path);
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw RestoreError(RestoreErrorKind::MissingFile,
+                       "ckpt: cannot open manifest " + path);
+  }
+  std::vector<std::uint8_t> buf((std::istreambuf_iterator<char>(is)),
+                                std::istreambuf_iterator<char>());
+  if (buf.size() < sizeof(std::uint64_t)) {
+    throw RestoreError(RestoreErrorKind::Truncated,
+                       "ckpt: truncated manifest " + path);
+  }
+  // Verify the trailing self-checksum before trusting any field.
+  std::uint64_t declared;
+  std::memcpy(&declared, buf.data() + buf.size() - sizeof(declared),
+              sizeof(declared));
+  const std::uint64_t actual =
+      checksum_bytes(buf.data(), buf.size() - sizeof(declared));
+  if (declared != actual) {
+    // A short file almost always fails here too; distinguish truncation from
+    // in-place corruption below once the header parses.
+    Reader probe{buf.data(), buf.size() - sizeof(declared), path};
+    try {
+      if (probe.pod<std::uint64_t>() != kMagic) {
+        throw RestoreError(RestoreErrorKind::BadMagic,
+                           "ckpt: bad manifest magic in " + path);
+      }
+    } catch (const RestoreError& e) {
+      if (e.kind() == RestoreErrorKind::BadMagic) throw;
+    }
+    throw RestoreError(RestoreErrorKind::ChecksumMismatch,
+                       "ckpt: manifest checksum mismatch in " + path);
+  }
+
+  Reader r{buf.data(), buf.size() - sizeof(declared), path};
+  if (r.pod<std::uint64_t>() != kMagic) {
+    throw RestoreError(RestoreErrorKind::BadMagic,
+                       "ckpt: bad manifest magic in " + path);
+  }
+  if (r.pod<std::uint32_t>() != kVersion) {
+    throw RestoreError(RestoreErrorKind::BadVersion,
+                       "ckpt: unsupported manifest version in " + path);
+  }
+  Manifest m;
+  m.step = r.pod<std::uint64_t>();
+  const auto n_blobs = r.pod<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_blobs; ++i) {
+    std::string name = r.str();
+    const auto len = r.pod<std::uint64_t>();
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+    r.take(payload.data(), payload.size());
+    m.blobs.entries.emplace(std::move(name), std::move(payload));
+  }
+  const auto n_tensors = r.pod<std::uint32_t>();
+  m.tensors.reserve(n_tensors);
+  for (std::uint32_t i = 0; i < n_tensors; ++i) {
+    TensorMeta t;
+    t.name = r.str();
+    t.count = r.pod<std::uint64_t>();
+    t.offset = r.pod<std::uint64_t>();
+    t.checksum = r.pod<std::uint64_t>();
+    m.tensors.push_back(std::move(t));
+  }
+  return m;
+}
+
+}  // namespace sh::ckpt

@@ -1,0 +1,43 @@
+// Checkpoint manifest: the small, self-checksummed index a generation's
+// commit publishes. Binary layout (little-endian, version 1):
+//
+//   u64 magic  u32 version  u64 step
+//   u32 n_blobs   { u32 name_len, name, u64 payload_len, payload }*
+//   u32 n_tensors { u32 name_len, name, u64 count, u64 offset, u64 checksum }*
+//   u64 manifest_checksum        (FNV-1a of every preceding byte)
+//
+// The trailing self-checksum is what turns "truncated manifest" and "bit rot
+// in the index" into typed RestoreErrors instead of garbage restores.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+
+namespace sh::ckpt {
+
+/// Where one tensor lives inside the generation's data file.
+struct TensorMeta {
+  std::string name;
+  std::uint64_t count = 0;     ///< floats
+  std::uint64_t offset = 0;    ///< byte offset in gen-<step>.data
+  std::uint64_t checksum = 0;  ///< FNV-1a of the float bytes
+};
+
+struct Manifest {
+  std::uint64_t step = 0;
+  Blobs blobs;
+  std::vector<TensorMeta> tensors;
+};
+
+/// Serialises `m` to `path` (plain synchronous write — manifests are tiny;
+/// the caller fsyncs and renames). Throws std::runtime_error on I/O failure.
+void write_manifest(const std::string& path, const Manifest& m);
+
+/// Parses and verifies a manifest. Throws RestoreError with kind
+/// MissingFile / Truncated / BadMagic / BadVersion / ChecksumMismatch.
+Manifest read_manifest(const std::string& path);
+
+}  // namespace sh::ckpt

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
@@ -127,6 +128,13 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   }
   obs_provider_id_ = obs::Registry::global().add_provider(
       [this](obs::MetricsSnapshot& out) { export_metrics(out); });
+
+  // Crash-consistent checkpointing (sh::ckpt): SH_CKPT_* env overrides the
+  // config, mirroring the SH_FAULT_* convention for the swap tier.
+  cfg_.ckpt = ckpt::config_from_env(cfg_.ckpt);
+  if (!cfg_.ckpt.dir.empty()) {
+    ckpt_ = std::make_unique<ckpt::Checkpointer>(cfg_.ckpt);
+  }
 }
 
 void StrongholdEngine::trace_span(const char* resource, const char* label,
@@ -522,11 +530,49 @@ void StrongholdEngine::finalize_clipped_updates() {
 }
 
 float StrongholdEngine::train_step(const data::Batch& batch) {
+  if (!ckpt_) return train_step_body(batch);
+  // Surface tier failures parked since the previous step HERE, where the
+  // masters are still consistent: the last-gasp path can take a fresh
+  // capture before the IoError reaches the trainer.
+  try {
+    if (swap_) swap_->rethrow_pending();
+  } catch (const storage::IoError&) {
+    last_gasp_checkpoint(/*consistent=*/true);
+    throw;
+  }
+  float loss;
+  try {
+    loss = train_step_body(batch);
+  } catch (const storage::IoError&) {
+    // Mid-step fault: master state may be torn between micro-updates, so a
+    // fresh capture could persist garbage. Only let the in-flight staged
+    // save (captured at an earlier consistent boundary) finish committing.
+    last_gasp_checkpoint(/*consistent=*/false);
+    throw;
+  }
+  try {
+    // Fire-and-forget write-back failures from THIS step land here or at
+    // the next step's entry, whichever the asynchronous latch wins. Both
+    // are consistent boundaries: the iteration counter is final and every
+    // master update was issued before the body returned (capture quiesces
+    // them), so a fresh last-gasp capture is safe.
+    if (swap_) swap_->rethrow_pending();
+  } catch (const storage::IoError&) {
+    last_gasp_checkpoint(/*consistent=*/true);
+    throw;
+  }
+  maybe_periodic_checkpoint();
+  return loss;
+}
+
+float StrongholdEngine::train_step_body(const data::Batch& batch) {
   obs::ObsScope step_scope("engine", "train_step");
   // Fire-and-forget tier write-backs from earlier iterations park their
   // permanent failures in the SwapFile; surface them at the iteration
   // boundary (typed IoError) rather than training on a diverged tier.
-  if (swap_) swap_->rethrow_pending();
+  // Checkpoint-enabled engines surface them in the train_step wrapper
+  // instead, where they can be classified as consistent-boundary faults.
+  if (swap_ && !ckpt_) swap_->rethrow_pending();
   const std::int64_t seq = model_.config().max_seq;
   const auto total_tokens = static_cast<std::int64_t>(batch.ids.size());
   if (total_tokens % seq != 0) {
@@ -716,7 +762,7 @@ float StrongholdEngine::train_step(const data::Batch& batch) {
   }
 
   finalize_clipped_updates();
-  if (swap_) swap_->rethrow_pending();
+  if (swap_ && !ckpt_) swap_->rethrow_pending();
 
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -989,6 +1035,244 @@ void StrongholdEngine::load_checkpoint(const std::string& path) {
   }
 }
 
+namespace {
+/// Shape guard stored in every snapshot: restoring into a different model
+/// geometry or precision mode is a typed error, not silent corruption.
+struct CkptGeometry {
+  std::uint64_t layers = 0;
+  std::uint64_t total_params = 0;
+  std::uint32_t fp16 = 0;
+  std::uint32_t grad_accumulation = 1;
+};
+}  // namespace
+
+ckpt::Snapshot StrongholdEngine::capture_snapshot() {
+  obs::ObsScope scope("ckpt", "capture");
+  // Quiesce, but deliberately do NOT fault_in from the swap tier: the CPU
+  // master vectors are written by every optimizer update BEFORE the tier
+  // write-back, so they are authoritative once the queues drain. Re-reading
+  // the tier here would be redundant on a healthy device and actively wrong
+  // on a faulted one (the last-gasp path snapshots exactly when the tier's
+  // write-backs have failed — its stale regions must not clobber good RAM).
+  opts_.wait_all();
+  d2h_.wait_all();
+  h2d_.wait_all();
+  if (swap_ != nullptr) swap_->wait_all();
+  if (!cfg_.fp16) {
+    for (std::size_t i : {std::size_t{0}, head_index()}) {
+      LayerState& st = store_.state(i);
+      std::memcpy(st.cpu_params.data(), st.gpu_slot,
+                  sizeof(float) * static_cast<std::size_t>(st.params));
+    }
+  }
+
+  std::size_t iterations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    iterations = stats_.iterations;
+    ++stats_.ckpt_snapshots;
+  }
+  const std::size_t accum = std::max<std::size_t>(cfg_.grad_accumulation, 1);
+  // Between optimizer updates the CPU-side gradient accumulators are live
+  // state: without them a resumed cycle would restart from zero.
+  const bool mid_cycle = iterations % accum != 0;
+
+  ckpt::Snapshot snap;
+  snap.step = iterations;
+  CkptGeometry geom;
+  geom.layers = store_.size();
+  geom.fp16 = cfg_.fp16 ? 1 : 0;
+  geom.grad_accumulation = static_cast<std::uint32_t>(accum);
+  std::vector<std::int64_t> steps(store_.size());
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    const LayerState& st = store_.state(i);
+    const std::string prefix = "L" + std::to_string(i);
+    snap.tensors.push_back({prefix + ".params", st.cpu_params});
+    snap.tensors.push_back({prefix + ".opt", st.cpu_opt});
+    if (mid_cycle) snap.tensors.push_back({prefix + ".grads", st.cpu_grads});
+    steps[i] = st.step;
+    geom.total_params += static_cast<std::uint64_t>(st.params);
+  }
+  snap.blobs.put_bytes("engine.layer_steps", steps.data(),
+                       steps.size() * sizeof(std::int64_t));
+  snap.blobs.put("engine.geometry", geom);
+  snap.blobs.put("engine.iterations", static_cast<std::uint64_t>(iterations));
+  snap.blobs.put("engine.scaler", scaler_.save_state());
+  snap.blobs.put("engine.overflow",
+                 static_cast<std::uint32_t>(overflow_.load() ? 1 : 0));
+  if (cfg_.ckpt_extra_save) cfg_.ckpt_extra_save(snap.blobs);
+  return snap;
+}
+
+void StrongholdEngine::restore_snapshot(const ckpt::Snapshot& snap) {
+  obs::ObsScope scope("ckpt", "restore_install");
+  quiesce_and_sync_masters();
+
+  const auto geom = snap.blobs.get<CkptGeometry>("engine.geometry");
+  const std::size_t accum = std::max<std::size_t>(cfg_.grad_accumulation, 1);
+  CkptGeometry want;
+  want.layers = store_.size();
+  want.fp16 = cfg_.fp16 ? 1 : 0;
+  want.grad_accumulation = static_cast<std::uint32_t>(accum);
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    want.total_params +=
+        static_cast<std::uint64_t>(store_.state(i).params);
+  }
+  if (geom.layers != want.layers || geom.total_params != want.total_params ||
+      geom.fp16 != want.fp16 ||
+      geom.grad_accumulation != want.grad_accumulation) {
+    throw ckpt::RestoreError(
+        ckpt::RestoreErrorKind::GeometryMismatch,
+        "ckpt: snapshot geometry (" + std::to_string(geom.layers) +
+            " layers, " + std::to_string(geom.total_params) +
+            " params, fp16=" + std::to_string(geom.fp16) + ", accum=" +
+            std::to_string(geom.grad_accumulation) + ") does not match engine",
+        snap.step);
+  }
+
+  std::unordered_map<std::string, const ckpt::TensorEntry*> by_name;
+  for (const auto& t : snap.tensors) by_name.emplace(t.name, &t);
+  auto tensor_for = [&](const std::string& name,
+                        std::size_t count) -> const std::vector<float>& {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw ckpt::RestoreError(ckpt::RestoreErrorKind::MissingData,
+                               "ckpt: tensor '" + name +
+                                   "' missing from snapshot",
+                               snap.step);
+    }
+    if (it->second->data.size() != count) {
+      throw ckpt::RestoreError(
+          ckpt::RestoreErrorKind::GeometryMismatch,
+          "ckpt: tensor '" + name + "' has " +
+              std::to_string(it->second->data.size()) + " floats, expected " +
+              std::to_string(count),
+          snap.step);
+    }
+    return it->second->data;
+  };
+
+  std::vector<std::int64_t> steps(store_.size());
+  {
+    const auto it = snap.blobs.entries.find("engine.layer_steps");
+    if (it == snap.blobs.entries.end() ||
+        it->second.size() != steps.size() * sizeof(std::int64_t)) {
+      throw ckpt::RestoreError(ckpt::RestoreErrorKind::MissingData,
+                               "ckpt: engine.layer_steps blob missing/mis-"
+                               "sized",
+                               snap.step);
+    }
+    std::memcpy(steps.data(), it->second.data(), it->second.size());
+  }
+
+  // Validation passed for every layer below (tensor_for re-checks sizes
+  // before any copy lands), so the install cannot leave the store half-new.
+  const bool mid_cycle = snap.step % accum != 0;
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    const std::string prefix = "L" + std::to_string(i);
+    const auto params = static_cast<std::size_t>(store_.state(i).params);
+    (void)tensor_for(prefix + ".params", params);
+    (void)tensor_for(prefix + ".opt", store_.state(i).cpu_opt.size());
+    if (mid_cycle) (void)tensor_for(prefix + ".grads", params);
+  }
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    LayerState& st = store_.state(i);
+    const std::string prefix = "L" + std::to_string(i);
+    const auto params = static_cast<std::size_t>(st.params);
+    const auto& p = tensor_for(prefix + ".params", params);
+    std::copy(p.begin(), p.end(), st.cpu_params.begin());
+    const auto& o = tensor_for(prefix + ".opt", st.cpu_opt.size());
+    std::copy(o.begin(), o.end(), st.cpu_opt.begin());
+    if (mid_cycle) {
+      const auto& g = tensor_for(prefix + ".grads", params);
+      std::copy(g.begin(), g.end(), st.cpu_grads.begin());
+    }
+    st.step = steps[i];
+  }
+
+  scaler_.load_state(snap.blobs.get<LossScaler::State>("engine.scaler"));
+  overflow_.store(snap.blobs.get<std::uint32_t>("engine.overflow") != 0);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.iterations = static_cast<std::size_t>(
+        snap.blobs.get<std::uint64_t>("engine.iterations"));
+    stats_.loss_scale = scaler_.scale();
+  }
+
+  // Refresh every GPU-resident copy (and the swap tier) from the restored
+  // masters, exactly as load_checkpoint does — plus the FP16 rounding the
+  // wire format would have applied to a freshly fetched layer.
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    LayerState& st = store_.state(i);
+    if (st.gpu_slot == nullptr) continue;
+    const auto params = static_cast<std::size_t>(st.params);
+    std::memcpy(st.gpu_slot, st.cpu_params.data(), params * sizeof(float));
+    if (cfg_.fp16) tensor::quantize_fp16_inplace(st.gpu_slot, params);
+    std::fill_n(st.gpu_slot + params, params, 0.0f);
+    if (st.swap_backed) store_.write_back(i);
+  }
+  if (swap_ != nullptr) {
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      LayerState& st = store_.state(i);
+      if (st.swap_backed && st.gpu_slot == nullptr) store_.write_back(i);
+    }
+  }
+
+  if (cfg_.ckpt_extra_load) cfg_.ckpt_extra_load(snap.blobs);
+}
+
+bool StrongholdEngine::resume_from_latest() {
+  if (!ckpt_) return false;
+  try {
+    restore_snapshot(ckpt_->restore_latest());
+    return true;
+  } catch (const ckpt::RestoreError& e) {
+    if (e.kind() == ckpt::RestoreErrorKind::NoValidGeneration) return false;
+    throw;  // a generation exists but does not fit this engine — real error
+  }
+}
+
+void StrongholdEngine::checkpoint_now() {
+  if (!ckpt_) {
+    throw std::logic_error(
+        "checkpoint_now: checkpointing disabled (EngineConfig::ckpt.dir "
+        "empty)");
+  }
+  ckpt_->save_now(capture_snapshot());
+}
+
+void StrongholdEngine::maybe_periodic_checkpoint() {
+  if (!ckpt_ || cfg_.ckpt.every_n_steps == 0) return;
+  std::size_t iterations;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    iterations = stats_.iterations;
+  }
+  if (iterations % cfg_.ckpt.every_n_steps != 0) return;
+  // Capture stalls briefly (quiesce + staging copies); the write and the
+  // rename-commit then overlap with the following steps' compute.
+  ckpt_->save_async(capture_snapshot());
+}
+
+void StrongholdEngine::last_gasp_checkpoint(bool consistent) {
+  if (!ckpt_) return;
+  if (consistent) {
+    try {
+      ckpt_->save_now(capture_snapshot());
+    } catch (...) {
+      // The original IoError is what the trainer must see; a failed
+      // last-gasp leaves the previous committed generation intact.
+    }
+  } else {
+    // Only finish committing the staged snapshot already in flight (it was
+    // captured at a consistent boundary). The checkpoint tier is a separate
+    // SwapFile, so a dead training tier does not block this.
+    ckpt_->finish();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.ckpt_last_gasp;
+}
+
 EngineStats StrongholdEngine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   EngineStats s = stats_;
@@ -1022,6 +1306,8 @@ void StrongholdEngine::export_metrics(obs::MetricsSnapshot& out) const {
   out.add("engine.swap_backed_layers", n(s.swap_backed_layers), "layers");
   out.add("engine.loss_scale", s.loss_scale, "");
   out.add("engine.skipped_updates", n(s.skipped_updates));
+  out.add("engine.ckpt_snapshots", n(s.ckpt_snapshots));
+  out.add("engine.ckpt_last_gasp", n(s.ckpt_last_gasp));
   out.add("optimizer.updates", n(s.optimizer_updates));
   out.add("optimizer.in_flight", n(opts_.in_flight()));
   out.add("optimizer.workers", n(opts_.workers()));

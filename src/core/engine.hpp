@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpointer.hpp"
 #include "core/layer_store.hpp"
 #include "core/loss_scaler.hpp"
 #include "core/slot_allocator.hpp"
@@ -120,6 +121,19 @@ struct EngineConfig {
   /// spans) retrievable via trace() — the runtime counterpart of the paper's
   /// Figure 4 profiling trace.
   bool record_trace = false;
+  /// Crash-consistent checkpointing (sh::ckpt). An empty `ckpt.dir` disables
+  /// it; SH_CKPT_* environment variables override at construction. With
+  /// `ckpt.every_n_steps` set, the engine captures a snapshot at that cadence
+  /// and commits it asynchronously, overlapped with the next steps' compute;
+  /// a storage::IoError escaping train_step additionally triggers a last-gasp
+  /// save so the fault costs at most the uncommitted steps.
+  ckpt::Config ckpt{};
+  /// Checkpoint extension hooks: extra_save adds caller-owned state (data
+  /// cursor, trainer bookkeeping) to every snapshot's blobs; extra_load reads
+  /// it back during restore_snapshot. Both run on the capturing/restoring
+  /// thread with the engine quiesced.
+  std::function<void(ckpt::Blobs&)> ckpt_extra_save{};
+  std::function<void(const ckpt::Blobs&)> ckpt_extra_load{};
 };
 
 struct EngineStats {
@@ -148,6 +162,8 @@ struct EngineStats {
   std::size_t gpu_high_water_bytes = 0;
   float loss_scale = 1.0f;          // fp16: current dynamic loss scale
   std::size_t skipped_updates = 0;  // fp16: steps dropped due to overflow
+  std::size_t ckpt_snapshots = 0;   // training-state captures taken
+  std::size_t ckpt_last_gasp = 0;   // checkpoints triggered by a tier fault
   /// Full per-region accounting of the device arena (window / kv /
   /// activations / workspace, pressure counters).
   mem::ArenaStats arena{};
@@ -238,6 +254,34 @@ class StrongholdEngine {
   /// exactly where it left off. GPU-resident copies are refreshed.
   void load_checkpoint(const std::string& path);
 
+  /// Captures the complete training state as a CPU-side ckpt::Snapshot:
+  /// FP32 master params + Adam moments for every layer (read from the CPU
+  /// side of the window — no device drain), per-layer optimizer steps, the
+  /// iteration counter (which also encodes the accumulation-cycle position),
+  /// loss-scaler state, mid-cycle gradient accumulators when between
+  /// optimizer updates, and anything the ckpt_extra_save hook adds. Resuming
+  /// from it continues the run bit-identically. Quiesces in-flight work.
+  ckpt::Snapshot capture_snapshot();
+
+  /// Installs a snapshot produced by capture_snapshot (possibly by another
+  /// engine with the same model geometry — elastic data parallelism restores
+  /// one manifest into every rank). Refreshes GPU-resident copies and the
+  /// swap tier. Throws ckpt::RestoreError{GeometryMismatch/MissingData} when
+  /// the snapshot does not fit this engine.
+  void restore_snapshot(const ckpt::Snapshot& snap);
+
+  /// Restores the newest valid generation from the configured checkpoint
+  /// directory. Returns false when no committed generation exists; throws
+  /// ckpt::RestoreError for snapshots that exist but cannot be installed.
+  bool resume_from_latest();
+
+  /// Synchronous capture + commit through the configured Checkpointer.
+  /// Throws std::logic_error when checkpointing is disabled.
+  void checkpoint_now();
+
+  /// The engine's Checkpointer (nullptr when `ckpt.dir` is empty).
+  ckpt::Checkpointer* checkpointer() noexcept { return ckpt_.get(); }
+
   EngineStats stats() const;
 
   /// Appends this engine's metric rows ("engine.*", "arena.*",
@@ -298,9 +342,17 @@ class StrongholdEngine {
   void begin_iteration_lr_and_clip();
   void finalize_clipped_updates();
   void maybe_update_window();
+  float train_step_body(const data::Batch& batch);
+  void maybe_periodic_checkpoint();
+  /// Fault path: commit what can be committed before the IoError propagates.
+  /// `consistent` distinguishes a fault surfaced at the step boundary
+  /// (masters coherent — take a fresh capture) from one mid-step (masters
+  /// possibly torn — only let the in-flight staged save finish).
+  void last_gasp_checkpoint(bool consistent);
 
   nn::GptModel& model_;
   EngineConfig cfg_;
+  std::unique_ptr<ckpt::Checkpointer> ckpt_;
   std::unique_ptr<storage::SwapFile> swap_;
   LayerStore store_;
   mem::DeviceArena gpu_pool_;

@@ -44,6 +44,21 @@ class LossScaler {
 
   int skipped_steps() const noexcept { return skipped_; }
 
+  /// Serialisable dynamic state (the config is carried by EngineConfig).
+  /// Checkpoints must capture it: a resumed fp16 run with a reset scale or
+  /// growth counter would skip/apply different steps than the original.
+  struct State {
+    float scale = 1.0f;
+    std::int32_t good_steps = 0;
+    std::int32_t skipped = 0;
+  };
+  State save_state() const noexcept { return {scale_, good_steps_, skipped_}; }
+  void load_state(const State& s) noexcept {
+    scale_ = s.scale;
+    good_steps_ = s.good_steps;
+    skipped_ = s.skipped;
+  }
+
  private:
   LossScalerConfig config_;
   float scale_;

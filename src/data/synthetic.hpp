@@ -32,6 +32,14 @@ class SyntheticCorpus {
     return successor_[static_cast<std::size_t>(token)];
   }
 
+  /// Data-loader cursor for checkpoint/resume. The Markov structure is a
+  /// pure function of (vocab, seed), so the cursor is just the sampling RNG
+  /// stream: a corpus constructed with the same (vocab, seed) and restored
+  /// with load_state() yields exactly the batch sequence the saved corpus
+  /// would have produced next.
+  tensor::RngState save_state() const noexcept { return rng_.save_state(); }
+  void load_state(const tensor::RngState& s) noexcept { rng_.load_state(s); }
+
  private:
   std::int32_t next_token(std::int32_t prev);
 

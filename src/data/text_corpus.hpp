@@ -29,6 +29,13 @@ class TextCorpus {
   std::size_t num_tokens() const noexcept { return tokens_.size(); }
   const BpeTokenizer& tokenizer() const noexcept { return tokenizer_; }
 
+  /// Data-loader cursor for checkpoint/resume: window sampling is driven by
+  /// the RNG stream alone (tokens are immutable after construction), so a
+  /// corpus rebuilt from the same text/tokenizer/seed and restored with
+  /// load_state() replays the exact remaining batch sequence.
+  tensor::RngState save_state() const noexcept { return rng_.save_state(); }
+  void load_state(const tensor::RngState& s) noexcept { rng_.load_state(s); }
+
   /// A small built-in English sample (public-domain style prose) for
   /// examples and tests that want real text without shipping a corpus.
   static std::string_view sample_text();

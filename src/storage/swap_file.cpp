@@ -53,8 +53,26 @@ SwapFile::~SwapFile() {
   io_.wait_all();
   if (fd_ >= 0) {
     ::close(fd_);
-    ::unlink(path_.c_str());
+    if (unlink_on_close_) ::unlink(path_.c_str());
   }
+}
+
+void SwapFile::sync() {
+  if (::fsync(fd_) != 0) {
+    throw IoError(IoErrorKind::SyscallFailed,
+                  "SwapFile: fsync failed for " + path_, IoOp::Write);
+  }
+}
+
+SwapFile::RegionInfo SwapFile::region_info(std::int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regions_.find(key);
+  if (it == regions_.end()) {
+    throw IoError(IoErrorKind::UnknownKey,
+                  "SwapFile: unknown key " + std::to_string(key), IoOp::Read,
+                  key);
+  }
+  return RegionInfo{it->second.offset, it->second.bytes};
 }
 
 SwapFile::Region SwapFile::region_for(std::int64_t key, std::size_t bytes,

@@ -75,6 +75,26 @@ class SwapFile {
   /// failures surface as IoError instead of dying silently in the queue.
   void rethrow_pending();
 
+  /// Keeps the file on disk when this SwapFile is destroyed (by default the
+  /// destructor unlinks it — swap space is transient). sh::ckpt flips this
+  /// once a checkpoint generation's data has fully landed, turning the tier
+  /// file into the durable artifact the rename-commit then publishes.
+  void persist() noexcept { unlink_on_close_ = false; }
+
+  /// fsync(2)s the backing file — called between "all writes landed" and the
+  /// rename-commit so a crash after commit cannot expose unwritten blocks.
+  /// Throws IoError{SyscallFailed} on failure.
+  void sync();
+
+  /// Placement of a key's region inside the backing file (offset + size in
+  /// bytes). Checkpoint manifests record this so a restore can read tensors
+  /// straight from the committed file. Throws IoError{UnknownKey}.
+  struct RegionInfo {
+    std::size_t offset;
+    std::size_t bytes;
+  };
+  RegionInfo region_info(std::int64_t key) const;
+
   bool contains(std::int64_t key) const;
   std::size_t bytes_used() const;
   std::size_t capacity() const noexcept { return capacity_; }
@@ -115,6 +135,7 @@ class SwapFile {
   std::size_t capacity_;
   double bytes_per_second_;
   int fd_ = -1;
+  bool unlink_on_close_ = true;
   mutable std::mutex mu_;
   std::size_t next_offset_ = 0;
   std::unordered_map<std::int64_t, Region> regions_;

@@ -75,4 +75,18 @@ void Rng::fill_uniform(std::span<float> out, float a) noexcept {
   }
 }
 
+RngState Rng::save_state() const noexcept {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.state[i] = state_[i];
+  s.have_spare = have_spare_ ? 1u : 0u;
+  s.spare = spare_;
+  return s;
+}
+
+void Rng::load_state(const RngState& s) noexcept {
+  for (int i = 0; i < 4; ++i) state_[i] = s.state[i];
+  have_spare_ = s.have_spare != 0;
+  spare_ = s.spare;
+}
+
 }  // namespace sh::tensor

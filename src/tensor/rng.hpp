@@ -6,6 +6,16 @@
 
 namespace sh::tensor {
 
+/// Complete serialisable state of an Rng stream: the xoshiro256** words plus
+/// the Box–Muller spare. Trivially copyable so checkpoints can memcpy it
+/// (sh::ckpt stores one per stream); a load_state() round-trip continues the
+/// stream exactly where save_state() left it.
+struct RngState {
+  std::uint64_t state[4] = {0, 0, 0, 0};
+  std::uint32_t have_spare = 0;
+  float spare = 0.0f;
+};
+
 /// SplitMix64-seeded xoshiro256** generator. Deterministic across platforms,
 /// which the equivalence tests (offloaded vs monolithic training) rely on.
 class Rng {
@@ -28,6 +38,13 @@ class Rng {
 
   /// Fills `out` with U[-a, a) samples.
   void fill_uniform(std::span<float> out, float a) noexcept;
+
+  /// Captures the full generator state (checkpoint/resume).
+  RngState save_state() const noexcept;
+
+  /// Restores a state captured by save_state(); the stream continues
+  /// bit-identically from the capture point.
+  void load_state(const RngState& s) noexcept;
 
  private:
   std::uint64_t state_[4];
