@@ -40,13 +40,15 @@ bool parse_step(const std::string& stem, std::uint64_t& step) {
   return true;
 }
 
-/// fsyncs a directory so a just-renamed entry survives a crash. Best effort
-/// on filesystems that reject directory fds.
-void fsync_dir(const std::string& dir) {
+/// fsyncs a directory so a just-renamed entry survives a crash. Returns
+/// false when the filesystem rejects directory fds or the fsync fails — the
+/// rename stays visible, but its durability is no longer guaranteed.
+bool fsync_dir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
+  if (fd < 0) return false;
+  const int rc = ::fsync(fd);
   ::close(fd);
+  return rc == 0;
 }
 
 void fsync_file(const std::string& path) {
@@ -101,6 +103,8 @@ Checkpointer::Checkpointer(Config cfg) : cfg_(std::move(cfg)) {
         out.add("ckpt.bytes_written", static_cast<double>(s.bytes_written),
                 "bytes");
         out.add("ckpt.last_save_s", s.last_save_seconds, "s");
+        out.add("ckpt.durability_warnings",
+                static_cast<double>(s.durability_warnings));
         out.add("ckpt.generations", static_cast<double>(generations().size()));
       });
 }
@@ -196,14 +200,27 @@ void Checkpointer::do_save(Snapshot&& snap) {
     tier.persist();
   }
 
-  // Commit: data first, then the manifest — its rename is the atomic commit
-  // point. fsync the manifest bytes before renaming and the directory after,
-  // so the committed name is durable, not just visible.
-  rename_or_throw(data_tmp, data_path(step, false));
+  // Commit: stage the manifest fully (write + fsync) BEFORE the data file
+  // leaves its `.tmp` name, so every failure up to that point aborts with
+  // only `.tmp` orphans behind — a final-named data file with no committable
+  // manifest would be invisible to the `.tmp` sweep. Then publish data
+  // first, manifest last: the manifest rename is the single atomic commit
+  // point, and each rename gets a directory fsync so the committed names are
+  // durable, not just visible.
   write_manifest(manifest_tmp, m);
   fsync_file(manifest_tmp);
-  rename_or_throw(manifest_tmp, manifest_path(step, false));
-  fsync_dir(cfg_.dir);
+  rename_or_throw(data_tmp, data_path(step, false));
+  sync_dir_or_warn();  // data name durable before the commit point
+  try {
+    rename_or_throw(manifest_tmp, manifest_path(step, false));
+  } catch (...) {
+    // Un-publish the data file so the failed commit leaves no final-named
+    // orphan; the `.tmp` manifest is swept by the next successful GC.
+    std::error_code ec;
+    fs::remove(data_path(step, false), ec);
+    throw;
+  }
+  sync_dir_or_warn();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -216,9 +233,11 @@ void Checkpointer::do_save(Snapshot&& snap) {
 
 void Checkpointer::gc_locked() {
   // Drop the oldest committed generations beyond `keep` — manifest first
-  // (atomically un-publishes), data second — and sweep `.tmp` orphans from
-  // crashed or aborted saves. Runs only after a successful commit, so any
-  // temp file present belongs to a dead writer.
+  // (atomically un-publishes), data second — then sweep orphans from crashed
+  // or aborted saves: `.tmp` files, plus final-named `.data` files with no
+  // committed manifest (a writer that died between the data rename and the
+  // manifest rename). Runs only after a successful commit, so any such file
+  // belongs to a dead writer, never an in-flight one.
   std::vector<std::uint64_t> gens = generations();
   while (gens.size() > cfg_.keep) {
     const std::uint64_t step = gens.front();
@@ -230,10 +249,26 @@ void Checkpointer::gc_locked() {
   }
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(cfg_.dir, ec)) {
-    const std::string name = entry.path().filename().string();
+    const fs::path& p = entry.path();
+    const std::string name = p.filename().string();
     if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
-      fs::remove(entry.path(), ec);
+      fs::remove(p, ec);
+      continue;
     }
+    if (p.extension() == ".data") {
+      std::uint64_t step = 0;
+      if (parse_step(p.stem().string(), step) &&
+          std::find(gens.begin(), gens.end(), step) == gens.end()) {
+        fs::remove(p, ec);
+      }
+    }
+  }
+}
+
+void Checkpointer::sync_dir_or_warn() {
+  if (!fsync_dir(cfg_.dir)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.durability_warnings;
   }
 }
 

@@ -70,6 +70,10 @@ class Checkpointer {
     std::size_t bytes_written = 0;   ///< payload bytes of committed saves
     std::size_t gc_removed = 0;      ///< generations deleted by GC
     double last_save_seconds = 0.0;  ///< write+commit wall time of last save
+    /// Directory fsyncs that failed after a rename: the committed name is
+    /// visible but possibly not durable on this filesystem. Non-zero means
+    /// the crash-consistency guarantee is best-effort here.
+    std::size_t durability_warnings = 0;
   };
   Stats stats() const;
   /// what() of the most recent failed save ("" when none).
@@ -83,6 +87,9 @@ class Checkpointer {
   /// The full write+commit+GC sequence; throws on failure after cleanup.
   void do_save(Snapshot&& snap);
   void gc_locked();
+  /// fsyncs the checkpoint directory; a failure is counted in
+  /// Stats::durability_warnings instead of thrown (renames stay visible).
+  void sync_dir_or_warn();
 
   Config cfg_;
   mutable std::mutex mu_;  // stats_, last_error_

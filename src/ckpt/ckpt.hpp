@@ -13,8 +13,10 @@
 // Commit protocol (crash-consistent by construction): both files are written
 // as `.tmp`, fsynced, and renamed data-first, manifest-last; the manifest
 // rename is the single atomic commit point. A process killed at ANY instant
-// leaves either a fully committed generation or ignorable `.tmp` orphans —
-// never a half-checkpoint that restore could mistake for valid. Restore
+// leaves either a fully committed generation or ignorable orphans (`.tmp`
+// files, or an unmanifested data file from a death between the renames; both
+// swept by the next commit's GC) — never a half-checkpoint that restore
+// could mistake for valid. Restore
 // walks generations newest-first, verifies every checksum, and falls back
 // past corrupt or uncommitted generations (each rejection is a typed
 // RestoreError). Generation GC keeps the newest `keep` manifests.

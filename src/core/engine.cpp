@@ -130,8 +130,10 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
       [this](obs::MetricsSnapshot& out) { export_metrics(out); });
 
   // Crash-consistent checkpointing (sh::ckpt): SH_CKPT_* env overrides the
-  // config, mirroring the SH_FAULT_* convention for the swap tier.
-  cfg_.ckpt = ckpt::config_from_env(cfg_.ckpt);
+  // config, mirroring the SH_FAULT_* convention for the swap tier. A
+  // DataParallelTrainer suppresses the overlay — it resolved the env itself
+  // and owns the directory as the single writer.
+  if (cfg_.ckpt_env_overrides) cfg_.ckpt = ckpt::config_from_env(cfg_.ckpt);
   if (!cfg_.ckpt.dir.empty()) {
     ckpt_ = std::make_unique<ckpt::Checkpointer>(cfg_.ckpt);
   }

@@ -128,6 +128,13 @@ struct EngineConfig {
   /// a storage::IoError escaping train_step additionally triggers a last-gasp
   /// save so the fault costs at most the uncommitted steps.
   ckpt::Config ckpt{};
+  /// Applies the SH_CKPT_* environment overrides to `ckpt` at construction.
+  /// DataParallelTrainer resolves the overrides once itself and disables
+  /// this: the trainer is the single checkpoint writer, and a rank engine
+  /// opening SH_CKPT_DIR behind its back would race the rename-commit
+  /// protocol (concurrent writers share gen-<step> temp names and each
+  /// commit's GC sweeps the other's in-flight files).
+  bool ckpt_env_overrides = true;
   /// Checkpoint extension hooks: extra_save adds caller-owned state (data
   /// cursor, trainer bookkeeping) to every snapshot's blobs; extra_load reads
   /// it back during restore_snapshot. Both run on the capturing/restoring

@@ -17,10 +17,13 @@ DataParallelTrainer::DataParallelTrainer(const nn::GptConfig& model_config,
       seq_(model_config.max_seq) {
   if (world <= 0) throw std::invalid_argument("world must be >= 1");
   // The trainer owns checkpointing: one directory, one writer, snapshots of
-  // the replicated state captured on rank 0. Engines get the slot cleared so
-  // they neither open the same directory nor write per-rank duplicates.
+  // the replicated state captured on rank 0. Engines get the slot cleared
+  // AND the env overlay suppressed (SH_CKPT_DIR would otherwise re-enable a
+  // per-rank Checkpointer inside each engine's constructor), so they neither
+  // open the same directory nor write per-rank duplicates.
   ckpt_cfg_ = ckpt::config_from_env(base_config_.ckpt);
   base_config_.ckpt = {};
+  base_config_.ckpt_env_overrides = false;
   if (!ckpt_cfg_.dir.empty()) {
     ckpt_ = std::make_unique<ckpt::Checkpointer>(ckpt_cfg_);
   }
@@ -179,8 +182,13 @@ int DataParallelTrainer::add_rank() {
     ckpt_->finish();
     const auto latest = ckpt_->latest();
     if (latest && *latest == current_step()) {
-      rank->engine->restore_snapshot(ckpt_->restore(*latest));
-      restored = true;
+      try {
+        rank->engine->restore_snapshot(ckpt_->restore(*latest));
+        restored = true;
+      } catch (const ckpt::RestoreError&) {
+        // A corrupt newest generation must not fail the join; fall through
+        // to the live-peer snapshot, exactly like a mid-interval join.
+      }
     }
   }
   if (!restored) {

@@ -229,6 +229,26 @@ TEST(Checkpointer, GcKeepsNewestKAndSweepsTmpOrphans) {
   expect_snapshots_equal(ck.restore(3), make_snapshot(3));
 }
 
+TEST(Checkpointer, GcSweepsDataFilesWithoutCommittedManifest) {
+  // A writer that dies between the data rename and the manifest rename
+  // leaves a final-named `.data` file with no manifest. It never counts as a
+  // generation, and it must be reclaimed by the next successful commit's GC
+  // — otherwise every such crash leaks a full-size data file forever.
+  const std::string dir = fresh_dir("ckpt_orphan_data");
+  std::ofstream(dir + "/gen-000000000099.data") << "orphaned payload";
+  Config cfg;
+  cfg.dir = dir;
+  cfg.keep = 2;
+  Checkpointer ck(cfg);
+  EXPECT_TRUE(ck.generations().empty());
+  ck.save_now(make_snapshot(1));
+  EXPECT_EQ(ck.generations(), (std::vector<std::uint64_t>{1}));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000000000099.data"));
+  // Committed generations keep their data files.
+  EXPECT_TRUE(fs::exists(dir + "/gen-000000000001.data"));
+  expect_snapshots_equal(ck.restore(1), make_snapshot(1));
+}
+
 // ---------------------------------------------------------------------------
 // Corruption handling (satellite): every failure mode is a typed
 // RestoreError and restore_latest falls back to the previous generation.

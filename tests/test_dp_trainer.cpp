@@ -3,7 +3,9 @@
 // heterogeneous channels; replicas must stay in lockstep.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -348,6 +350,82 @@ TEST(DataParallelCkpt, TrainerResumesFromCheckpointBitIdentically) {
     resumed.snapshot_params(r, pr);
     sh::testing::expect_allclose(pr, ref.params, 0.0f, 0.0f);
   }
+}
+
+TEST(DataParallelElastic, AddRankFallsBackToLivePeerOnCorruptGeneration) {
+  // The newest generation matches the join step but fails verification; the
+  // joiner must fall back to the live rank-0 snapshot instead of failing the
+  // elastic join, and the run stays bit-identical to the uninterrupted one.
+  const auto mcfg = tiny_config();
+  const auto batches = make_batches(mcfg, 4);
+  const DpReference ref = run_reference(mcfg, batches, 8);
+
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  const std::string dir = fresh_dir("dp_elastic_corrupt");
+  ecfg.ckpt.dir = dir;
+  ecfg.ckpt.every_n_steps = 2;
+  DataParallelTrainer trainer(mcfg, ecfg, 8);
+  trainer.init_params(42);
+  std::vector<float> losses;
+  losses.push_back(trainer.train_step(batches[0]));
+  losses.push_back(trainer.train_step(batches[1]));  // gen-2 staged async
+  trainer.checkpointer()->finish();
+
+  {
+    // Flip bytes mid-payload: restore(2) now fails its tensor checksum.
+    std::fstream f(dir + "/gen-000000000002.data",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(64);
+    const char junk[4] = {0x7f, 0x7f, 0x7f, 0x7f};
+    f.write(junk, sizeof junk);
+  }
+
+  trainer.remove_rank(3);
+  const int joined = trainer.add_rank();  // must not throw
+  EXPECT_EQ(joined, 7);
+  EXPECT_EQ(trainer.world(), 8);
+  losses.push_back(trainer.train_step(batches[2]));
+  losses.push_back(trainer.train_step(batches[3]));
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    EXPECT_EQ(losses[i], ref.losses[i]) << "step " << i + 1;
+  }
+  for (int r = 0; r < trainer.world(); ++r) {
+    std::vector<float> pr;
+    trainer.snapshot_params(r, pr);
+    sh::testing::expect_allclose(pr, ref.params, 0.0f, 0.0f);
+  }
+}
+
+TEST(DataParallelCkpt, EnvConfiguredTrainerKeepsSingleWriter) {
+  // SH_CKPT_DIR is the documented no-code-change way to enable
+  // checkpointing. The trainer resolves the env overrides once; the rank
+  // engines must NOT re-apply them in their own constructors, or every rank
+  // would open the trainer's directory as a concurrent writer and race the
+  // rename-commit protocol (shared gen-<step> temp names, each commit's GC
+  // sweeping the others' in-flight files).
+  const std::string dir = fresh_dir("dp_env_single_writer");
+  ::setenv("SH_CKPT_DIR", dir.c_str(), 1);
+  ::setenv("SH_CKPT_EVERY", "1", 1);
+  const auto mcfg = tiny_config();
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  DataParallelTrainer trainer(mcfg, ecfg, 2);
+  ::unsetenv("SH_CKPT_DIR");
+  ::unsetenv("SH_CKPT_EVERY");
+  ASSERT_NE(trainer.checkpointer(), nullptr);
+  trainer.init_params(42);
+  for (const auto& b : make_batches(mcfg, 2)) trainer.train_step(b);
+  trainer.checkpointer()->finish();
+  // Only the trainer captures snapshots (always on rank 0); a non-zero
+  // count on rank 1 means an engine built its own env-configured
+  // Checkpointer behind the trainer's back.
+  EXPECT_GT(trainer.stats(0).ckpt_snapshots, 0u);
+  EXPECT_EQ(trainer.stats(1).ckpt_snapshots, 0u);
+  EXPECT_EQ(trainer.checkpointer()->stats().saves_failed, 0u);
+  EXPECT_EQ(trainer.checkpointer()->latest(), std::optional<std::uint64_t>{2});
+  EXPECT_TRUE(trainer.resume_from_latest());
 }
 
 TEST(DataParallelCkpt, ResumeFromLatestFalseWithoutGenerations) {
