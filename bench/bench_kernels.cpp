@@ -12,13 +12,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
 #include "data/synthetic.hpp"
+#include "mem/device_arena.hpp"
+#include "nn/attention.hpp"
 #include "nn/gpt.hpp"
+#include "tensor/attention_kernel.hpp"
 #include "tensor/matmul_ref.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
@@ -166,6 +170,124 @@ StepRow run_end_to_end(bool smoke) {
   return row;
 }
 
+struct AttnRow {
+  std::int64_t seq = 0;
+  double ref_ms = 0.0;
+  double fused_ms = 0.0;
+  std::size_t ref_act_bytes = 0;
+  std::size_t fused_act_bytes = 0;
+  double speedup() const { return ref_ms / fused_ms; }
+  double ref_tok_s() const { return seq / (ref_ms * 1e-3); }
+  double fused_tok_s() const { return seq / (fused_ms * 1e-3); }
+  double act_reduction() const {
+    return static_cast<double>(ref_act_bytes) /
+           static_cast<double>(fused_act_bytes);
+  }
+};
+
+/// One CausalSelfAttention layer, forward + backward, fused tiled kernel vs
+/// the materialised-probs reference, at a given sequence length. Peak
+/// activation bytes come from a DeviceArena soft-charge scope around one
+/// fwd+bwd pass: every owning tensor the layer allocates (QKV, context,
+/// softmax stats / the [seq, seq] probs matrix, grad-QKV) is charged; the
+/// fused kernel's constant per-thread tile scratch deliberately is not —
+/// it is O(1) workspace, which is the point of the fusion.
+AttnRow run_attention(std::int64_t seq, std::int64_t hidden,
+                      std::int64_t heads, double budget_s) {
+  sh::nn::CausalSelfAttention attn("bench.attn", hidden, heads);
+  sh::nn::OwnedStorage store(attn.param_count());
+  attn.bind(store.params(), store.grads());
+  sh::tensor::Rng rng(5);
+  attn.init(rng);
+
+  sh::nn::BatchShape shape;
+  shape.batch = 1;
+  shape.seq = seq;
+  shape.training = true;
+
+  auto x = sh::tensor::Tensor::zeros({seq, hidden});
+  auto gy = sh::tensor::Tensor::zeros({seq, hidden});
+  rng.fill_uniform(std::span<float>(x.data(), static_cast<std::size_t>(x.numel())),
+                   0.5f);
+  rng.fill_uniform(
+      std::span<float>(gy.data(), static_cast<std::size_t>(gy.numel())), 0.5f);
+
+  auto step = [&] {
+    attn.forward(x, shape);
+    attn.backward(gy, shape);
+  };
+
+  AttnRow row;
+  row.seq = seq;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool fused = pass == 1;
+    sh::tensor::set_use_fused_attention(fused);
+    {
+      sh::mem::DeviceArena arena("bench_attn", std::size_t{1} << 40);
+      {
+        sh::mem::ScopedTensorCharge charge(arena,
+                                           sh::mem::DeviceArena::kActivations);
+        step();
+      }
+      const auto stats = arena.stats();
+      const auto bytes =
+          stats.regions.at(sh::mem::DeviceArena::kActivations).peak_bytes;
+      (fused ? row.fused_act_bytes : row.ref_act_bytes) = bytes;
+    }
+    const double ms = 1e3 * time_best(budget_s, step);
+    (fused ? row.fused_ms : row.ref_ms) = ms;
+  }
+  sh::tensor::set_use_fused_attention(true);
+  return row;
+}
+
+struct AttnStepRow {
+  std::int64_t seq = 0;
+  double ref_ms = 0.0;
+  double fused_ms = 0.0;
+  double speedup() const { return ref_ms / fused_ms; }
+  double ref_tok_s() const { return seq / (ref_ms * 1e-3); }
+  double fused_tok_s() const { return seq / (fused_ms * 1e-3); }
+};
+
+/// End-to-end engine train_step at long sequence length, fused attention vs
+/// the reference path (blocked GEMM in both — this isolates the attention
+/// rewrite, unlike run_end_to_end which isolates the GEMM substrate).
+AttnStepRow run_attn_train_step(std::int64_t seq, bool smoke) {
+  sh::nn::GptConfig mcfg;
+  mcfg.vocab = 128;
+  mcfg.max_seq = seq;
+  mcfg.hidden = smoke ? 64 : 128;
+  mcfg.heads = 4;
+  mcfg.layers = 2;
+  sh::nn::GptModel model(mcfg);
+  sh::core::EngineConfig ecfg;
+  ecfg.window = 2;
+  sh::core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(42);
+
+  sh::data::SyntheticCorpus corpus(mcfg.vocab, 99);
+  const auto batch = corpus.next_batch(1, seq);
+  const int steps = smoke ? 1 : 2;
+
+  auto run_steps = [&] {
+    for (int i = 0; i < steps; ++i) engine.train_step(batch);
+  };
+  AttnStepRow row;
+  row.seq = seq;
+  sh::tensor::set_use_fused_attention(false);
+  run_steps();  // warm-up
+  auto t0 = Clock::now();
+  run_steps();
+  row.ref_ms = 1e3 * seconds_since(t0) / steps;
+  sh::tensor::set_use_fused_attention(true);
+  run_steps();
+  t0 = Clock::now();
+  run_steps();
+  row.fused_ms = 1e3 * seconds_since(t0) / steps;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +339,39 @@ int main(int argc, char** argv) {
   sh::bench::row("%-12s %12.2f ms %12.2f ms %8.2fx", "train_step", step.ref_ms,
                  step.blocked_ms, step.speedup());
 
+  // Fused tiled attention vs the materialised-probs reference across sequence
+  // lengths: fwd+bwd time, tokens/s, and peak activation bytes. The fused
+  // kernel's activation footprint is O(seq * hidden); the reference carries
+  // the [seq, seq] probability matrix, O(seq^2).
+  sh::bench::header("fused attention — tiled online-softmax vs [S,S] probs");
+  sh::bench::row("%6s %10s %10s %8s %12s %12s %8s", "seq", "ref ms",
+                 "fused ms", "tok/s x", "ref actMiB", "fused actMiB",
+                 "act x");
+  const std::int64_t attn_hidden = smoke ? 128 : 256;
+  const std::int64_t attn_heads = 4;
+  std::vector<std::int64_t> attn_seqs;
+  if (smoke) {
+    attn_seqs = {256};
+  } else {
+    attn_seqs = {512, 1024, 2048, 4096, 8192};
+  }
+  std::vector<AttnRow> attn_rows;
+  for (const auto s : attn_seqs) {
+    attn_rows.push_back(run_attention(s, attn_hidden, attn_heads, budget));
+    const auto& r = attn_rows.back();
+    sh::bench::row("%6lld %10.2f %10.2f %7.2fx %12.2f %12.2f %7.2fx",
+                   static_cast<long long>(r.seq), r.ref_ms, r.fused_ms,
+                   r.speedup(), r.ref_act_bytes / (1024.0 * 1024.0),
+                   r.fused_act_bytes / (1024.0 * 1024.0), r.act_reduction());
+  }
+
+  sh::bench::header("train_step @ long seq — fused vs reference attention");
+  const AttnStepRow astep = run_attn_train_step(smoke ? 256 : 2048, smoke);
+  sh::bench::row("%6lld %10.2f ms %10.2f ms %10.0f tok/s %10.0f tok/s %7.2fx",
+                 static_cast<long long>(astep.seq), astep.ref_ms,
+                 astep.fused_ms, astep.ref_tok_s(), astep.fused_tok_s(),
+                 astep.speedup());
+
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"smoke\": %s,\n",
@@ -246,8 +401,32 @@ int main(int argc, char** argv) {
                  fused.fused_ms, fused.speedup());
     std::fprintf(f,
                  "  \"train_step\": {\"ref_ms\": %.3f, \"blocked_ms\": %.3f, "
-                 "\"speedup\": %.3f}\n}\n",
+                 "\"speedup\": %.3f},\n",
                  step.ref_ms, step.blocked_ms, step.speedup());
+    std::fprintf(f, "  \"attention\": [\n");
+    for (std::size_t i = 0; i < attn_rows.size(); ++i) {
+      const auto& r = attn_rows[i];
+      std::fprintf(f,
+                   "    {\"seq\": %lld, \"hidden\": %lld, \"heads\": %lld, "
+                   "\"ref_ms\": %.3f, \"fused_ms\": %.3f, \"speedup\": %.3f, "
+                   "\"ref_tokens_per_s\": %.1f, \"fused_tokens_per_s\": %.1f, "
+                   "\"ref_act_bytes\": %zu, \"fused_act_bytes\": %zu, "
+                   "\"act_reduction\": %.3f}%s\n",
+                   static_cast<long long>(r.seq),
+                   static_cast<long long>(attn_hidden),
+                   static_cast<long long>(attn_heads), r.ref_ms, r.fused_ms,
+                   r.speedup(), r.ref_tok_s(), r.fused_tok_s(),
+                   r.ref_act_bytes, r.fused_act_bytes, r.act_reduction(),
+                   i + 1 < attn_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"attn_train_step\": {\"seq\": %lld, \"ref_ms\": %.3f, "
+                 "\"fused_ms\": %.3f, \"ref_tokens_per_s\": %.1f, "
+                 "\"fused_tokens_per_s\": %.1f, \"speedup\": %.3f}\n}\n",
+                 static_cast<long long>(astep.seq), astep.ref_ms,
+                 astep.fused_ms, astep.ref_tok_s(), astep.fused_tok_s(),
+                 astep.speedup());
     std::fclose(f);
     std::printf("\nwrote BENCH_kernels.json\n");
   }

@@ -97,6 +97,58 @@ int main() {
     }
   }
 
+  // Long-context section: the fused decode path scores each new token
+  // against the whole KV cache tile-by-tile with no materialised score
+  // matrix, so serving cost stays O(context * hidden) in memory no matter
+  // how long the context grows. Drive the same architecture with a 16x
+  // longer max context and near-full sequences to pin that trajectory.
+  sh::nn::GptConfig lcfg = mcfg;
+  lcfg.max_seq = 512;
+  sh::nn::GptModel long_model(lcfg);
+  sh::core::StrongholdEngine long_engine(long_model, ecfg);
+  long_engine.init_params(42);
+
+  std::vector<Row> long_rows;
+  std::printf("\nlong context (max_seq %lld, ~%lld generated tokens/request)\n",
+              static_cast<long long>(lcfg.max_seq),
+              static_cast<long long>(lcfg.max_seq - 16));
+  sh::bench::row("%8s %10s %6s %12s %10s %10s %7s %7s", "offered", "kv_budget",
+                 "batch", "tokens/s", "p50_ms", "p99_ms", "steps", "preempt");
+  for (const std::size_t offered : {1u, 4u}) {
+    sh::serve::SchedulerConfig scfg;
+    scfg.max_batch = 4;
+    scfg.arena.chunk_tokens = 32;
+    scfg.arena.budget_bytes = std::size_t{16} << 20;
+    sh::serve::Scheduler sched(long_engine, scfg);
+    for (std::size_t i = 0; i < offered; ++i) {
+      sh::serve::Request r;
+      r.prompt = {static_cast<std::int32_t>(1 + (7 * i) % 31),
+                  static_cast<std::int32_t>(2 + (5 * i) % 29)};
+      r.max_new_tokens = static_cast<std::size_t>(lcfg.max_seq) - 16;
+      r.sampling.temperature = 0.8f;
+      r.sampling.top_k = 16;
+      r.sampling.seed = 1000 + i;
+      sched.submit(r);
+    }
+    sched.run_to_completion();
+    const auto& es = sched.serve_engine().stats();
+    Row r;
+    r.offered = offered;
+    r.kv_budget = scfg.arena.budget_bytes;
+    r.max_batch = scfg.max_batch;
+    r.tokens_per_s = es.tokens_per_s();
+    r.p50_ms = sched.serve_engine().latency_percentile(0.5) * 1e3;
+    r.p99_ms = sched.serve_engine().latency_percentile(0.99) * 1e3;
+    r.steps = es.steps;
+    r.preemptions = sched.arena_stats().preemptions;
+    r.kv_peak_bytes = sched.arena_stats().peak_bytes;
+    r.gpu_peak_bytes = long_engine.device_arena().peak_bytes();
+    long_rows.push_back(r);
+    sh::bench::row("%8zu %10zu %6zu %12.1f %10.2f %10.2f %7zu %7zu", r.offered,
+                   r.kv_budget, r.max_batch, r.tokens_per_s, r.p50_ms,
+                   r.p99_ms, r.steps, r.preemptions);
+  }
+
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"rows\": [\n");
@@ -113,7 +165,23 @@ int main() {
                    r.kv_peak_bytes, r.gpu_peak_bytes,
                    i + 1 < rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"long_context\": {\n    \"max_seq\": %lld,\n"
+                 "    \"rows\": [\n",
+                 static_cast<long long>(lcfg.max_seq));
+    for (std::size_t i = 0; i < long_rows.size(); ++i) {
+      const Row& r = long_rows[i];
+      std::fprintf(f,
+                   "      {\"offered\": %zu, \"kv_budget_bytes\": %zu, "
+                   "\"max_batch\": %zu, \"tokens_per_s\": %.2f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"steps\": %zu, "
+                   "\"preemptions\": %zu, \"kv_peak_bytes\": %zu, "
+                   "\"gpu_peak_bytes\": %zu}%s\n",
+                   r.offered, r.kv_budget, r.max_batch, r.tokens_per_s,
+                   r.p50_ms, r.p99_ms, r.steps, r.preemptions,
+                   r.kv_peak_bytes, r.gpu_peak_bytes,
+                   i + 1 < long_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_serve.json\n");
   }

@@ -7,15 +7,22 @@
 
 namespace sh::baselines::detail {
 
-/// Kernel-level forward seconds of one block shard on a single stream.
+/// Kernel-level forward seconds of one block shard on a single stream. The
+/// dense GEMMs and the thin attention score/context kernels run at different
+/// measured efficiencies (re-fit against BENCH_kernels.json), so their FLOP
+/// shares are priced separately.
 inline double t_fwd_block(const Workload& w, const sim::GpuSpec& gpu) {
-  return sim::block_fwd_flops(w.model, w.batch) / gpu.effective_flops(w.batch);
+  const double attn = sim::block_attn_fwd_flops(w.model, w.batch);
+  const double dense = sim::block_fwd_flops(w.model, w.batch) - attn;
+  return dense / gpu.effective_flops(w.batch) +
+         attn / gpu.effective_attention_flops(w.batch);
 }
 
 /// Kernel-level backward seconds (incl. recompute when checkpointing).
+/// Backward FLOPs are a uniform multiple of forward FLOPs (2x, +1x when
+/// recomputing), so the dense/attention split carries over unchanged.
 inline double t_bwd_block(const Workload& w, const sim::GpuSpec& gpu) {
-  return sim::block_bwd_flops(w.model, w.batch, w.checkpoint_activations) /
-         gpu.effective_flops(w.batch);
+  return (w.checkpoint_activations ? 3.0 : 2.0) * t_fwd_block(w, gpu);
 }
 
 /// Kernel-level head (embedding projection) seconds for a full iteration

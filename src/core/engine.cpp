@@ -87,9 +87,20 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
     window_ = std::min<std::size_t>(blocks, fit > 0 ? fit - 1 : 0);
     window_ = std::max<std::size_t>(window_, 1);
   }
-  const std::size_t slots =
+  std::size_t slots =
       window_ < blocks ? window_ + 1 : blocks;  // +1 prefetch stage slot
+  // Second stage slot (best-effort, honestly accounted against the device
+  // capacity): with only one, the BP loop's blocking prefetch acquire waits
+  // for the PREVIOUS eviction's whole d2h job — gradient quantise + copy +
+  // link throttle — to release its buffer, which serialises gradient
+  // offload against backward compute (measured ~16% d2h overlap in
+  // bench_fig4_trace). With two, the incoming fetch and the outgoing
+  // eviction each own a stage buffer and the d2h drain overlaps the next
+  // layer's backward. Skipped when the device cannot fit it; the pipeline
+  // then degrades to the old serialised handoff instead of failing.
+  if (slots < blocks && slots + 1 <= fit) ++slots;
   slot_floats_ = slot_floats;
+  slots_reserved_ = slots;
   // Throws mem::OomError when the requested window cannot be reserved.
   if (cfg_.window_mode == WindowMode::UniformSlots) {
     pool_ = std::make_unique<UniformSlotAllocator>(gpu_pool_, slot_floats,
@@ -813,8 +824,20 @@ void StrongholdEngine::maybe_update_window() {
   }
   if (new_window > window_) {
     const std::size_t blocks = num_blocks();
-    pool_->ensure_window(slot_floats_,
-                         new_window < blocks ? new_window + 1 : blocks);
+    std::size_t slots = new_window < blocks ? new_window + 1 : blocks;
+    // Keep the second (eviction) stage slot through auto-window growth when
+    // the device still fits it — same double-buffering rationale as the
+    // construction-time slot sizing.
+    const std::size_t slot_bytes = slot_floats_ * sizeof(float);
+    const std::size_t growth_bytes =
+        slots > slots_reserved_ ? (slots - slots_reserved_) * slot_bytes : 0;
+    if (slots < blocks &&
+        growth_bytes + slot_bytes <= gpu_pool_.free_bytes()) {
+      ++slots;
+    }
+    slots = std::max(slots, slots_reserved_);
+    pool_->ensure_window(slot_floats_, slots);
+    slots_reserved_ = slots;
   }
   window_ = new_window;
   window_frozen_ = true;

@@ -369,6 +369,7 @@ class StrongholdEngine {
   OptimizerPool opts_;
   std::unique_ptr<SlotAllocator> pool_;
   std::size_t slot_floats_ = 0;
+  std::size_t slots_reserved_ = 0;  // window + stage slots currently held
 
   // Pinned (always-resident) buffers for the first/last layer.
   float* pinned_emb_ = nullptr;   // params then grads

@@ -2,7 +2,10 @@
 //
 // UniformSlotAllocator implements the paper's default: m+1 reserved
 // fixed-size slots recycled round-robin, sized for the largest layer — best
-// cache locality for homogeneous Transformer stacks (Section III-E3).
+// cache locality for homogeneous Transformer stacks (Section III-E3). The
+// engine adds a second stage slot (m+2) when the device fits it, so the
+// incoming prefetch and the outgoing eviction's throttled d2h drain each own
+// a buffer instead of serialising on one (see engine.cpp slot sizing).
 // BudgetSlotAllocator implements the alternative the paper offers for
 // heterogeneous layer structures: one fixed-size buffer whose resident layer
 // count varies dynamically (Section III-D).

@@ -7,12 +7,14 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/attention_kernel.hpp"
 #include "tensor/ops.hpp"
 
 namespace sh::nn {
 
 namespace {
 /// Copies a [seq, head_dim] head slice out of [tokens, stride] storage.
+/// (Reference path only — the fused kernel packs head planes in place.)
 void gather_head(const float* src, float* dst, std::int64_t base_row,
                  std::int64_t seq, std::int64_t col0, std::int64_t head_dim,
                  std::int64_t stride) {
@@ -66,7 +68,34 @@ tensor::Tensor CausalSelfAttention::forward(const tensor::Tensor& x,
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
   cached_qkv_ = qkv_.forward(x, shape);
+  const std::int64_t stride = 3 * hidden_;
+
+  if (tensor::use_fused_attention()) {
+    // One-pass tiled kernel straight over the strided QKV head planes — no
+    // gather copies, no [seq, seq] probability tensor. Only the context and
+    // the per-row (max, normaliser) stats are kept for the backward.
+    auto ctx = tensor::Tensor::zeros({tokens, hidden_});
+    cached_stats_ = tensor::Tensor::zeros({2, bs * heads_ * seq});
+    cached_probs_ = tensor::Tensor();
+    const tensor::AttnPlanes qpl{cached_qkv_.data(), seq * stride, head_dim_,
+                                 stride};
+    const tensor::AttnPlanes kpl{cached_qkv_.data() + hidden_, seq * stride,
+                                 head_dim_, stride};
+    const tensor::AttnPlanes vpl{cached_qkv_.data() + 2 * hidden_,
+                                 seq * stride, head_dim_, stride};
+    const tensor::AttnPlanesMut opl{ctx.data(), seq * hidden_, head_dim_,
+                                    hidden_};
+    float* row_max = cached_stats_.data();
+    float* row_sum = cached_stats_.data() + bs * heads_ * seq;
+    tensor::attention_forward(qpl, kpl, vpl, opl, row_max, row_sum, bs, heads_,
+                              seq, seq, head_dim_, /*causal_offset=*/0, scale);
+    cached_ctx_ = ctx;
+    return proj_.forward(ctx, shape);
+  }
+
   cached_probs_ = tensor::Tensor::zeros({bs * heads_ * seq, seq});
+  cached_ctx_ = tensor::Tensor();
+  cached_stats_ = tensor::Tensor();
   auto ctx = tensor::Tensor::zeros({tokens, hidden_});
 
   std::vector<float> q(seq * head_dim_), k(seq * head_dim_), v(seq * head_dim_);
@@ -74,7 +103,6 @@ tensor::Tensor CausalSelfAttention::forward(const tensor::Tensor& x,
   std::vector<std::int64_t> allowed(static_cast<std::size_t>(seq));
   for (std::int64_t t = 0; t < seq; ++t) allowed[t] = t;
 
-  const std::int64_t stride = 3 * hidden_;
   for (std::int64_t b = 0; b < bs; ++b) {
     for (std::int64_t h = 0; h < heads_; ++h) {
       const std::int64_t col = h * head_dim_;
@@ -121,16 +149,14 @@ tensor::Tensor CausalSelfAttention::forward_incremental(
   const std::int64_t total = pos0 + n_new;
   const std::int64_t stride = 3 * hidden_;
 
-  std::vector<float> scores(static_cast<std::size_t>(total));
+  // Append the new tokens' K and V to the cache planes.
   for (std::int64_t b = 0; b < bs; ++b) {
     for (std::int64_t h = 0; h < heads_; ++h) {
       const std::int64_t col = h * head_dim_;
-      // Cache plane for (b, h): [capacity, head_dim].
       float* kc = cache.k.data() +
                   ((b * heads_ + h) * cache.capacity) * head_dim_;
       float* vc = cache.v.data() +
                   ((b * heads_ + h) * cache.capacity) * head_dim_;
-      // Append the new tokens' K and V.
       for (std::int64_t t = 0; t < n_new; ++t) {
         const float* row = qkv.data() + (b * n_new + t) * stride;
         std::copy_n(row + hidden_ + col, head_dim_,
@@ -138,6 +164,38 @@ tensor::Tensor CausalSelfAttention::forward_incremental(
         std::copy_n(row + 2 * hidden_ + col, head_dim_,
                     vc + (pos0 + t) * head_dim_);
       }
+    }
+  }
+
+  if (tensor::use_fused_attention()) {
+    // Same fused kernel as training: queries are the new tokens, keys/values
+    // the cache prefix, causal offset = prefix length. Stats are not needed
+    // (no backward through decode).
+    const tensor::AttnPlanes qpl{qkv.data(), n_new * stride, head_dim_,
+                                 stride};
+    const tensor::AttnPlanes kpl{cache.k.data(),
+                                 heads_ * cache.capacity * head_dim_,
+                                 cache.capacity * head_dim_, head_dim_};
+    const tensor::AttnPlanes vpl{cache.v.data(),
+                                 heads_ * cache.capacity * head_dim_,
+                                 cache.capacity * head_dim_, head_dim_};
+    const tensor::AttnPlanesMut opl{ctx.data(), n_new * hidden_, head_dim_,
+                                    hidden_};
+    tensor::attention_forward(qpl, kpl, vpl, opl, nullptr, nullptr, bs, heads_,
+                              n_new, total, head_dim_, /*causal_offset=*/pos0,
+                              scale);
+    cache.length = total;
+    return proj_.forward(ctx, shape);
+  }
+
+  std::vector<float> scores(static_cast<std::size_t>(total));
+  for (std::int64_t b = 0; b < bs; ++b) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t col = h * head_dim_;
+      const float* kc = cache.k.data() +
+                        ((b * heads_ + h) * cache.capacity) * head_dim_;
+      const float* vc = cache.v.data() +
+                        ((b * heads_ + h) * cache.capacity) * head_dim_;
       // Attend each new query over the prefix [0, pos0 + t].
       for (std::int64_t t = 0; t < n_new; ++t) {
         const float* q = qkv.data() + (b * n_new + t) * stride + col;
@@ -179,13 +237,40 @@ tensor::Tensor CausalSelfAttention::backward(const tensor::Tensor& grad_out,
 
   auto grad_ctx = proj_.backward(grad_out, shape);
   auto grad_qkv = tensor::Tensor::zeros({tokens, 3 * hidden_});
+  const std::int64_t stride = 3 * hidden_;
+
+  if (tensor::use_fused_attention()) {
+    // Tile scores are recomputed from cached Q/K/V plus the saved per-row
+    // stats; dQ/dK/dV land directly in their strided grad-QKV head planes.
+    const tensor::AttnPlanes qpl{cached_qkv_.data(), seq * stride, head_dim_,
+                                 stride};
+    const tensor::AttnPlanes kpl{cached_qkv_.data() + hidden_, seq * stride,
+                                 head_dim_, stride};
+    const tensor::AttnPlanes vpl{cached_qkv_.data() + 2 * hidden_,
+                                 seq * stride, head_dim_, stride};
+    const tensor::AttnPlanes opl{cached_ctx_.data(), seq * hidden_, head_dim_,
+                                 hidden_};
+    const tensor::AttnPlanes gpl{grad_ctx.data(), seq * hidden_, head_dim_,
+                                 hidden_};
+    const tensor::AttnPlanesMut dqpl{grad_qkv.data(), seq * stride, head_dim_,
+                                     stride};
+    const tensor::AttnPlanesMut dkpl{grad_qkv.data() + hidden_, seq * stride,
+                                     head_dim_, stride};
+    const tensor::AttnPlanesMut dvpl{grad_qkv.data() + 2 * hidden_,
+                                     seq * stride, head_dim_, stride};
+    const float* row_max = cached_stats_.data();
+    const float* row_sum = cached_stats_.data() + bs * heads_ * seq;
+    tensor::attention_backward(qpl, kpl, vpl, opl, gpl, row_max, row_sum,
+                               dqpl, dkpl, dvpl, bs, heads_, seq, head_dim_,
+                               scale);
+    return qkv_.backward(grad_qkv, shape);
+  }
 
   std::vector<float> q(seq * head_dim_), k(seq * head_dim_), v(seq * head_dim_);
   std::vector<float> gc(seq * head_dim_), gq(seq * head_dim_),
       gk(seq * head_dim_), gv(seq * head_dim_);
   std::vector<float> gprobs(seq * seq), gscores(seq * seq);
 
-  const std::int64_t stride = 3 * hidden_;
   for (std::int64_t b = 0; b < bs; ++b) {
     for (std::int64_t h = 0; h < heads_; ++h) {
       const std::int64_t col = h * head_dim_;

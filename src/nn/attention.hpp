@@ -35,7 +35,14 @@ class CausalSelfAttention final : public Layer {
   std::int64_t head_dim_;
   Linear qkv_;
   Linear proj_;
-  tensor::Tensor cached_qkv_;    // [tokens, 3*hidden]
+  tensor::Tensor cached_qkv_;  // [tokens, 3*hidden]
+  // Fused path (default): context output plus per-row online-softmax stats
+  // ([2, batch*heads*seq]: running max, normaliser) — O(seq * hidden) total;
+  // the backward recomputes tile scores from cached_qkv_ + these.
+  tensor::Tensor cached_ctx_;    // [tokens, hidden]
+  tensor::Tensor cached_stats_;  // [2, batch*heads*seq]
+  // Reference path (set_use_fused_attention(false)): the materialised
+  // probability matrix — O(seq^2) activation bytes.
   tensor::Tensor cached_probs_;  // [batch*heads*seq, seq]
 };
 

@@ -46,12 +46,14 @@ double working_activation_bytes(const ModelSpec& m, double batch) {
   const double tokens = batch * static_cast<double>(m.seq);
   const double hd = static_cast<double>(m.hidden);
   // QKV (3hd) + attention context (hd) + MLP intermediate (8hd) + LN (2hd)
-  // caches, plus the attention probability matrices.
+  // caches, plus the fused attention kernel's per-row online-softmax stats
+  // (running max + normaliser: 2 floats per head-row). The fused kernel never
+  // materialises the [seq, seq] probability matrix, so the former
+  // 4*B*H*seq^2 probs term is gone — attention activations are O(seq*hidden).
   const double dense = kF32 * tokens * 14.0 * hd / m.model_parallel;
-  const double probs = kF32 * batch * static_cast<double>(m.heads) *
-                       static_cast<double>(m.seq) * static_cast<double>(m.seq) /
-                       m.model_parallel;
-  return dense + probs;
+  const double stats = kF32 * 2.0 * batch * static_cast<double>(m.heads) *
+                       static_cast<double>(m.seq) / m.model_parallel;
+  return dense + stats;
 }
 
 double activation_bytes_checkpointed(const ModelSpec& m, double batch) {
@@ -68,9 +70,13 @@ double block_fwd_flops(const ModelSpec& m, double batch) {
   const double tokens = batch * static_cast<double>(m.seq);
   const double hd = static_cast<double>(m.hidden);
   const double dense = 24.0 * tokens * hd * hd;
-  const double attn = 4.0 * batch * static_cast<double>(m.seq) *
-                      static_cast<double>(m.seq) * hd;
-  return (dense + attn) / m.model_parallel;
+  return dense / m.model_parallel + block_attn_fwd_flops(m, batch);
+}
+
+double block_attn_fwd_flops(const ModelSpec& m, double batch) {
+  const double hd = static_cast<double>(m.hidden);
+  return 4.0 * batch * static_cast<double>(m.seq) *
+         static_cast<double>(m.seq) * hd / m.model_parallel;
 }
 
 double block_bwd_flops(const ModelSpec& m, double batch,

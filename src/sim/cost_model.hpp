@@ -65,6 +65,10 @@ double activation_bytes_full(const ModelSpec& m, double batch);
 /// Forward FLOPs of one block shard for a `batch`-sample step:
 /// 24 T hd^2 + 4 bs seq^2 hd (T = batch * seq), divided over MP shards.
 double block_fwd_flops(const ModelSpec& m, double batch);
+/// The attention score/context share of block_fwd_flops (4 bs seq^2 hd).
+/// Split out because those thin [seq, head_dim] kernels run at a lower
+/// efficiency than the fat dense GEMMs (GpuSpec::attention_efficiency).
+double block_attn_fwd_flops(const ModelSpec& m, double batch);
 /// Backward is 2x forward; activation recomputation adds one more forward.
 double block_bwd_flops(const ModelSpec& m, double batch,
                        bool recompute_forward);

@@ -18,6 +18,12 @@ struct GpuSpec {
   double mem_bytes;          // device memory capacity
   double peak_flops;         // FP32 peak
   double kernel_efficiency;  // fraction of peak a saturated dense kernel hits
+  /// Attention-shape efficiency relative to kernel_efficiency. The
+  /// score/context products run on [seq, head_dim]-thin panels that cannot
+  /// amortise packing like the fat dense GEMMs; re-fit against
+  /// BENCH_kernels.json on the blocked substrate (dense forward shapes
+  /// ~73 GFLOPS vs attention shapes ~60 GFLOPS => ~0.81).
+  double attention_efficiency = 0.81;
   double bubble_ratio;       // non-compute bubble per kernel, as a fraction of
                              // its compute time (launch gaps, dependency
                              // stalls). Multi-stream execution divides this.
@@ -29,6 +35,11 @@ struct GpuSpec {
   double effective_flops(double bs) const noexcept {
     const double occupancy = bs / (bs + 1.0);
     return peak_flops * kernel_efficiency * occupancy;
+  }
+
+  /// Effective FLOP/s of the attention score/context kernels.
+  double effective_attention_flops(double bs) const noexcept {
+    return effective_flops(bs) * attention_efficiency;
   }
 };
 

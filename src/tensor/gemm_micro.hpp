@@ -1,0 +1,145 @@
+// Shared internals of the blocked GEMM substrate: packing routines, the
+// register-tiled micro-kernel, and the cache-blocking constants. gemm.cpp
+// assembles them into the general matmul; attention_kernel.cpp rides the same
+// machinery for the fused tiled attention (scores and context GEMMs per
+// KC-sized key tile), so both kernels share one deterministic accumulation
+// contract: lane (r, j) of a micro-tile performs the scalar sequence
+// acc += a * b over ascending p, independent of thread count and vector width.
+//
+// Include only from kernel TUs (members of SH_KERNEL_TUS in src/CMakeLists):
+// those are compiled with -ffp-contract=off, which the bit-exactness
+// guarantees here rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sh::tensor::micro {
+
+// Register micro-tile: MR x NR accumulators (6 x 16 floats) live in
+// registers across the whole KC loop. NR = 16 spans one AVX-512 vector or
+// two AVX2 vectors; MR = 6 gives enough independent accumulator chains to
+// hide vector-add latency while fitting the AVX2 register file (12 ymm
+// accumulators + B vectors + broadcast).
+constexpr std::int64_t kMR = 6;
+constexpr std::int64_t kNR = 16;
+// Cache blocking: the packed A panel (MC x KC = 96 KiB) targets L2, the
+// packed B strip touched by one micro-kernel call (KC x NR = 16 KiB) L1,
+// and the full packed B panel (KC x NC = 512 KiB) L2/L3.
+constexpr std::int64_t kMC = 96;
+constexpr std::int64_t kKC = 256;
+constexpr std::int64_t kNC = 512;
+
+/// Packs op(A)[i0:i0+mc, p0:p0+kc] into MR-row strips: strip r-index varies
+/// fastest, zero-padded past mc so the micro-kernel never branches on edges.
+/// Element (i, p) of op(A) reads a[p * lda + i] when transposed, else
+/// a[i * lda + p] — lda is the storage leading dimension, which lets callers
+/// pack head-sized planes out of wider activations (QKV rows, KV-cache
+/// slabs) without a gather copy.
+inline void pack_a(const float* a, float* ap, std::int64_t i0, std::int64_t mc,
+                   std::int64_t p0, std::int64_t kc, bool transpose_a,
+                   std::int64_t lda) {
+  for (std::int64_t ir = 0; ir < mc; ir += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ir);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        const std::int64_t i = i0 + ir + r;
+        *ap++ = r < mr ? (transpose_a ? a[(p0 + p) * lda + i]
+                                      : a[i * lda + (p0 + p)])
+                       : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs op(B)[p0:p0+kc, j0:j0+nc] into NR-column strips, zero-padded past
+/// nc. Element (p, j) of op(B) reads b[j * ldb + p] when transposed, else
+/// b[p * ldb + j].
+inline void pack_b(const float* b, float* bp, std::int64_t p0, std::int64_t kc,
+                   std::int64_t j0, std::int64_t nc, bool transpose_b,
+                   std::int64_t ldb) {
+  for (std::int64_t jr = 0; jr < nc; jr += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jr);
+    for (std::int64_t p = 0; p < kc; ++p) {
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        const std::int64_t jj = j0 + jr + j;
+        *bp++ = j < nr ? (transpose_b ? b[jj * ldb + (p0 + p)]
+                                      : b[(p0 + p) * ldb + jj])
+                       : 0.0f;
+      }
+    }
+  }
+}
+
+/// acc[r, j] += sum_p ap[p, r] * bp[p, j] over a full KC strip. Both panels
+/// are contiguous and edge-padded, so this is a branch-free hot loop.
+///
+/// On GCC/Clang the NR lanes are expressed as a portable vector-extension
+/// type so the row accumulators provably stay in SIMD registers for the
+/// whole KC loop (plain scalar loops get SLP-vectorized across the *rows*,
+/// 4 lanes wide, which is ~4x slower). Lane j of row r performs exactly the
+/// scalar sequence acc += a*b over ascending p, so results are identical to
+/// the scalar fallback and independent of vector width.
+#if defined(__GNUC__) || defined(__clang__)
+// One 16-lane vector per micro-tile row. GCC/Clang lower this to a single
+// zmm on AVX-512, two ymm on AVX2, or four xmm on SSE — the source stays
+// width-agnostic and lane j of row r always performs the scalar sequence
+// acc += a * b over ascending p, so results are identical everywhere.
+using V16f __attribute__((vector_size(kNR * sizeof(float)), aligned(4),
+                          may_alias)) = float;
+
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  V16f c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMR;
+    const V16f b = *reinterpret_cast<const V16f*>(bp + p * kNR);
+    c0 += av[0] * b;
+    c1 += av[1] * b;
+    c2 += av[2] * b;
+    c3 += av[3] * b;
+    c4 += av[4] * b;
+    c5 += av[5] * b;
+  }
+  auto* out = reinterpret_cast<V16f*>(acc);
+  out[0] = c0;
+  out[1] = c1;
+  out[2] = c2;
+  out[3] = c3;
+  out[4] = c4;
+  out[5] = c5;
+}
+#else
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* av = ap + p * kMR;
+    const float* bv = bp + p * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float ar = av[r];
+      float* accr = acc + r * kNR;
+      for (std::int64_t j = 0; j < kNR; ++j) accr[j] += ar * bv[j];
+    }
+  }
+}
+#endif
+
+/// Writes the valid mr x nr corner of a micro-tile back into C, folding in
+/// alpha/beta. The per-row loops are branch-free so both cases vectorize.
+inline void write_tile(const float* acc, float* c, std::int64_t ldc,
+                       std::int64_t mr, std::int64_t nr, float alpha,
+                       float beta) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    const float* accr = acc + r * kNR;
+    float* crow = c + r * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = alpha * accr[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = alpha * accr[j] + beta * crow[j];
+      }
+    }
+  }
+}
+
+}  // namespace sh::tensor::micro
