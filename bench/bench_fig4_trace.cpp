@@ -61,6 +61,8 @@ int main() {
   nn::GptModel model(mc);
 
   obs::MetricsSnapshot metrics;
+  const std::size_t steps = 6;
+  double f32_h2d_per_step = 0.0;
   {
     core::EngineConfig cfg;
     cfg.window = 2;
@@ -72,7 +74,6 @@ int main() {
     engine.init_params(1);
 
     data::SyntheticCorpus corpus(mc.vocab, /*seed=*/7);
-    const std::size_t steps = 6;
     for (std::size_t i = 0; i < steps; ++i) {
       const auto batch = corpus.next_batch(4, mc.max_seq);
       engine.train_step(batch);
@@ -81,8 +82,37 @@ int main() {
     std::vector<float> tmp;
     engine.snapshot_params(tmp);
     metrics = obs::Registry::global().snapshot();
+    f32_h2d_per_step =
+        static_cast<double>(engine.stats().h2d_bytes) / steps;
   }
   obs::Recorder::global().set_enabled(false);
+
+  // Same schedule with the BF16 working window: the wire bytes (and thus
+  // the PCIe throttle time) must halve while FP32 masters stay the ground
+  // truth. Recorded alongside the FP32 numbers so check_fig4.py can gate
+  // the halved-transfer claim.
+  double bf16_h2d_per_step = 0.0;
+  {
+    nn::GptModel bf16_model(mc);
+    core::EngineConfig cfg;
+    cfg.window = 2;
+    cfg.optimizer_workers = 2;
+    cfg.h2d_bytes_per_s = 4.0e9;
+    cfg.d2h_bytes_per_s = 4.0e9;
+    cfg.window_dtype = tensor::DType::bf16;
+    core::StrongholdEngine engine(bf16_model, cfg);
+    engine.init_params(1);
+    data::SyntheticCorpus corpus(mc.vocab, /*seed=*/7);
+    for (std::size_t i = 0; i < steps; ++i) {
+      engine.train_step(corpus.next_batch(4, mc.max_seq));
+    }
+    std::vector<float> tmp;
+    engine.snapshot_params(tmp);
+    bf16_h2d_per_step =
+        static_cast<double>(engine.stats().h2d_bytes) / steps;
+  }
+  const double h2d_ratio =
+      f32_h2d_per_step > 0.0 ? bf16_h2d_per_step / f32_h2d_per_step : 0.0;
 
   const std::vector<obs::Span> wall = obs::Recorder::global().snapshot();
   const sim::Trace real = obs::to_sim_trace(wall);
@@ -98,7 +128,13 @@ int main() {
       "h2d overlap w/ compute: %5.1f%% of transfer time\n"
       "d2h overlap w/ compute: %5.1f%% of transfer time\n",
       100.0 * util, 100.0 * h2d_ov, 100.0 * d2h_ov);
+  std::printf(
+      "h2d bytes/step        : %.0f (f32)  %.0f (bf16 window)  ratio %.3f\n",
+      f32_h2d_per_step, bf16_h2d_per_step, h2d_ratio);
 
+  metrics.add("fig4.real.h2d_bytes_per_step", f32_h2d_per_step, "bytes");
+  metrics.add("fig4.bf16.h2d_bytes_per_step", bf16_h2d_per_step, "bytes");
+  metrics.add("fig4.bf16.h2d_bytes_ratio", h2d_ratio, "");
   metrics.add("fig4.real.gpu_utilization", util, "");
   metrics.add("fig4.real.h2d_overlap_fraction", h2d_ov, "");
   metrics.add("fig4.real.d2h_overlap_fraction", d2h_ov, "");

@@ -23,6 +23,7 @@
 #include "nn/attention.hpp"
 #include "nn/gpt.hpp"
 #include "tensor/attention_kernel.hpp"
+#include "tensor/dtype.hpp"
 #include "tensor/matmul_ref.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
@@ -288,6 +289,76 @@ AttnStepRow run_attn_train_step(std::int64_t seq, bool smoke) {
   return row;
 }
 
+struct DtypeRow {
+  std::size_t numel = 0;
+  double enc_rne_gbps = 0.0;    // f32 -> bf16, round-to-nearest-even
+  double enc_sr_gbps = 0.0;     // f32 -> bf16, stochastic rounding
+  double dec_gbps = 0.0;        // bf16 -> f32
+};
+
+/// Bulk conversion bandwidth (GB/s of f32 source bytes processed) for the
+/// three kernels the BF16 window exercises on every fetch/evict.
+DtypeRow run_dtype_convert(std::size_t numel, double budget_s) {
+  sh::tensor::Rng rng(13);
+  std::vector<float> src(numel);
+  std::vector<float> back(numel);
+  std::vector<sh::tensor::bf16> enc(numel);
+  rng.fill_uniform(src, 2.0f);
+
+  DtypeRow row;
+  row.numel = numel;
+  const double gb = static_cast<double>(numel * sizeof(float)) * 1e-9;
+  row.enc_rne_gbps =
+      gb / time_best(budget_s, [&] {
+        sh::tensor::convert_float_to_bf16(src.data(), enc.data(), numel);
+      });
+  sh::tensor::Rng sr_rng(17);
+  row.enc_sr_gbps =
+      gb / time_best(budget_s, [&] {
+        sh::tensor::convert_float_to_bf16_stochastic(src.data(), enc.data(),
+                                                     numel, sr_rng);
+      });
+  row.dec_gbps =
+      gb / time_best(budget_s, [&] {
+        sh::tensor::convert_bf16_to_float(enc.data(), back.data(), numel);
+      });
+  return row;
+}
+
+struct FaultInRow {
+  std::size_t params = 0;
+  double f32_ms = 0.0;   // memcpy master in + zero grads
+  double bf16_ms = 0.0;  // encode master + zero grads + decode for compute
+  double wire_ratio = 0.5;  // bf16 wire bytes / f32 wire bytes
+};
+
+/// One layer fault-in round-trip as the engine performs it: FP32 windows
+/// memcpy the master and zero the grad half; BF16 windows encode the master
+/// into the slot, zero the bf16 grad half, then decode into the f32 compute
+/// stage. The halved wire bytes buy back the conversion cost on any real
+/// PCIe link; this row measures the memory-side cost alone.
+FaultInRow run_fault_in(std::size_t params, double budget_s) {
+  sh::tensor::Rng rng(19);
+  std::vector<float> master(params);
+  rng.fill_uniform(master, 1.0f);
+  std::vector<float> f32_slot(2 * params);
+  std::vector<sh::tensor::bf16> b16_slot(2 * params);
+  std::vector<float> stage(params);
+
+  FaultInRow row;
+  row.params = params;
+  row.f32_ms = 1e3 * time_best(budget_s, [&] {
+    std::memcpy(f32_slot.data(), master.data(), params * sizeof(float));
+    std::fill_n(f32_slot.data() + params, params, 0.0f);
+  });
+  row.bf16_ms = 1e3 * time_best(budget_s, [&] {
+    sh::tensor::convert_float_to_bf16(master.data(), b16_slot.data(), params);
+    std::fill_n(b16_slot.data() + params, params, sh::tensor::bf16{0});
+    sh::tensor::convert_bf16_to_float(b16_slot.data(), stage.data(), params);
+  });
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,6 +443,23 @@ int main(int argc, char** argv) {
                  astep.fused_ms, astep.ref_tok_s(), astep.fused_tok_s(),
                  astep.speedup());
 
+  // BF16 window substrate: conversion-kernel bandwidth and the layer
+  // fault-in round-trip the engine pays per window fill.
+  sh::bench::header("dtype — bf16<->f32 convert bandwidth (GB/s of f32)");
+  sh::bench::row("%10s %12s %12s %12s", "numel", "enc RNE", "enc SR", "dec");
+  const std::size_t conv_n = smoke ? (std::size_t{1} << 18)
+                                   : (std::size_t{1} << 22);
+  const DtypeRow conv = run_dtype_convert(conv_n, budget);
+  sh::bench::row("%10zu %10.2f %10.2f %10.2f", conv.numel, conv.enc_rne_gbps,
+                 conv.enc_sr_gbps, conv.dec_gbps);
+
+  sh::bench::header("dtype — layer fault-in round-trip, f32 vs bf16 window");
+  const std::size_t fault_params = smoke ? (std::size_t{1} << 18)
+                                         : (std::size_t{1} << 21);
+  const FaultInRow fault = run_fault_in(fault_params, budget);
+  sh::bench::row("%10zu params %10.3f ms (f32) %10.3f ms (bf16) wire 0.50x",
+                 fault.params, fault.f32_ms, fault.bf16_ms);
+
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n  \"bench\": \"kernels\",\n  \"smoke\": %s,\n",
@@ -423,10 +511,20 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"attn_train_step\": {\"seq\": %lld, \"ref_ms\": %.3f, "
                  "\"fused_ms\": %.3f, \"ref_tokens_per_s\": %.1f, "
-                 "\"fused_tokens_per_s\": %.1f, \"speedup\": %.3f}\n}\n",
+                 "\"fused_tokens_per_s\": %.1f, \"speedup\": %.3f},\n",
                  static_cast<long long>(astep.seq), astep.ref_ms,
                  astep.fused_ms, astep.ref_tok_s(), astep.fused_tok_s(),
                  astep.speedup());
+    std::fprintf(f,
+                 "  \"dtype_convert\": {\"numel\": %zu, "
+                 "\"encode_rne_gbps\": %.2f, \"encode_stochastic_gbps\": "
+                 "%.2f, \"decode_gbps\": %.2f},\n",
+                 conv.numel, conv.enc_rne_gbps, conv.enc_sr_gbps,
+                 conv.dec_gbps);
+    std::fprintf(f,
+                 "  \"dtype_fault_in\": {\"params\": %zu, \"f32_ms\": %.4f, "
+                 "\"bf16_ms\": %.4f, \"wire_bytes_ratio\": 0.5}\n}\n",
+                 fault.params, fault.f32_ms, fault.bf16_ms);
     std::fclose(f);
     std::printf("\nwrote BENCH_kernels.json\n");
   }

@@ -6,11 +6,11 @@
 #include <thread>
 #include <vector>
 
-#include "core/buffer_pool.hpp"
 #include "core/window_model.hpp"
 #include "dist/process_group.hpp"
-#include "hw/memory_pool.hpp"
 #include "hw/transfer.hpp"
+#include "mem/device_arena.hpp"
+#include "mem/pool_policies.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/rng.hpp"
 
@@ -64,10 +64,11 @@ void BM_Softmax(benchmark::State& state) {
 BENCHMARK(BM_Softmax)->Arg(128)->Arg(512);
 
 void BM_BufferPoolRecycle(benchmark::State& state) {
-  sh::hw::MemoryPool gpu("gpu", 1 << 24);
-  sh::core::BufferPool pool(gpu, 1024, static_cast<std::size_t>(state.range(0)));
+  sh::mem::DeviceArena gpu("gpu", 1 << 24);
+  sh::mem::BufferPool pool(gpu, 4096,
+                           static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
-    float* s = pool.acquire();
+    std::byte* s = pool.acquire();
     benchmark::DoNotOptimize(s);
     pool.release(s);
   }

@@ -59,6 +59,15 @@ def main() -> int:
         "measured d2h overlap collapses to ~0.16 (vs ~0.73 with it; the "
         "simulator predicts 0.98)",
     )
+    parser.add_argument(
+        "--max-bf16-h2d-ratio",
+        type=float,
+        default=env_float("SH_FIG4_MAX_BF16_H2D_RATIO", 0.55),
+        help="ceiling on fig4.bf16.h2d_bytes_ratio (default: %(default)s). "
+        "Gates the halved-transfer claim of the BF16 working window: h2d "
+        "bytes/step with window_dtype=bf16 must be at most this fraction of "
+        "the FP32 run (exactly 0.5 when the schedules match)",
+    )
     args = parser.parse_args()
 
     try:
@@ -75,6 +84,10 @@ def main() -> int:
         "fig4.real.d2h_overlap_fraction": args.min_d2h_overlap,
     }
 
+    ceilings = {
+        "fig4.bf16.h2d_bytes_ratio": args.max_bf16_h2d_ratio,
+    }
+
     failed = False
     for name, floor in floors.items():
         value = values.get(name)
@@ -86,11 +99,22 @@ def main() -> int:
         print(f"{verdict} {name} = {value:.3f} (floor {floor:.2f})")
         failed = failed or value < floor
 
+    for name, ceiling in ceilings.items():
+        value = values.get(name)
+        if not isinstance(value, (int, float)):
+            print(f"FAIL {name}: missing from {args.path}")
+            failed = True
+            continue
+        verdict = "ok  " if value <= ceiling else "FAIL"
+        print(f"{verdict} {name} = {value:.3f} (ceiling {ceiling:.2f})")
+        failed = failed or value > ceiling
+
     if failed:
-        print("check_fig4: overlap regression — compute is no longer hiding "
-              "transfers (or the bench did not run)")
+        print("check_fig4: overlap/transfer regression — compute is no "
+              "longer hiding transfers, or the BF16 window stopped halving "
+              "wire bytes (or the bench did not run)")
         return 1
-    print("check_fig4: overlap floors hold")
+    print("check_fig4: overlap floors and bf16 transfer ceiling hold")
     return 0
 
 

@@ -13,23 +13,27 @@ namespace {
 /// Per-iteration GPU-memory cost of one additional concurrent stream:
 /// its own gradient staging in the window plus working activations for a
 /// micro-batch (checkpoints are shared; parameters are shared by design).
-double stream_overhead_bytes(const Workload& w, double micro_batch) {
-  return sim::block_window_bytes(w.model) +
+double stream_overhead_bytes(const Workload& w, double micro_batch,
+                             double elem_bytes) {
+  return sim::block_window_bytes(w.model, elem_bytes) +
          sim::working_activation_bytes(w.model, micro_batch);
 }
 
 /// Bytes STRONGHOLD keeps pinned on the GPU for the first/last layer.
+/// Always FP32: pinned layers never cross the wire per step, so the window
+/// encoding does not apply to them.
 double pinned_bytes(const Workload& w) {
   return 2.0 * sim::kF32 * sim::embedding_params(w.model) /
          w.model.model_parallel;
 }
 
-/// Per-layer slot footprint: parameters + gradients + the layer's saved
-/// input (activation checkpoint). STRONGHOLD's working window carries the
-/// "layer-specific inputs" with the layer (Section III-C), so checkpoints of
-/// out-of-window layers live in CPU RAM, not GPU memory.
-double slot_bytes(const Workload& w) {
-  return sim::block_window_bytes(w.model) +
+/// Per-layer slot footprint: parameters + gradients (priced in the window
+/// element encoding) + the layer's saved input (activation checkpoint, FP32
+/// compute format). STRONGHOLD's working window carries the "layer-specific
+/// inputs" with the layer (Section III-C), so checkpoints of out-of-window
+/// layers live in CPU RAM, not GPU memory.
+double slot_bytes(const Workload& w, double elem_bytes) {
+  return sim::block_window_bytes(w.model, elem_bytes) +
          sim::checkpoint_bytes(w.model, w.batch);
 }
 
@@ -38,9 +42,10 @@ double slot_bytes(const Workload& w) {
 CapacityReport StrongholdStrategy::capacity(
     const Workload& w, const sim::MachineSpec& machine) const {
   CapacityReport r;
+  const double eb = options_.window_bytes_per_element;
   // Minimum viable window: two slots (one computing, one prefetching), plus
   // transient working activations of the layer being computed.
-  r.gpu_regions.window = pinned_bytes(w) + 2.0 * slot_bytes(w);
+  r.gpu_regions.window = pinned_bytes(w) + 2.0 * slot_bytes(w, eb);
   r.gpu_regions.activations = sim::working_activation_bytes(w.model, w.batch);
   r.gpu_regions.workspace = machine.gpu.runtime_reserved_bytes;
   r.gpu_bytes =
@@ -82,7 +87,8 @@ int StrongholdStrategy::stream_count(const Workload& w,
   int streams = 1;
   while (streams < machine.gpu.max_streams &&
          static_cast<double>(streams + 1) <= w.batch) {
-    const double need = stream_overhead_bytes(w, w.batch / (streams + 1.0));
+    const double need = stream_overhead_bytes(w, w.batch / (streams + 1.0),
+                                              options_.window_bytes_per_element);
     if (free_bytes < need) break;
     free_bytes -= need;
     ++streams;
@@ -101,9 +107,11 @@ core::WindowModelInput StrongholdStrategy::build_model_input(
       machine.nvme_bytes_per_s * calib::kStrongholdLinkEfficiency;
   const double in_rate = options_.use_nvme ? std::min(link, nvme) : link;
   const double out_rate = in_rate;
-  // A layer moves with its parameters plus its saved input checkpoint.
+  // A layer moves with its parameters (in the window element encoding) plus
+  // its saved input checkpoint (FP32).
   const double move_bytes =
-      sim::block_param_bytes(w.model) + sim::checkpoint_bytes(w.model, w.batch);
+      sim::block_param_bytes(w.model, options_.window_bytes_per_element) +
+      sim::checkpoint_bytes(w.model, w.batch);
 
   const double bubble = detail::bubble_multiplier(machine.gpu, streams);
   core::LayerProfile p;
@@ -111,8 +119,8 @@ core::WindowModelInput StrongholdStrategy::build_model_input(
   p.t_bp = detail::t_bwd_block(w, machine.gpu) * bubble;
   p.t_c2g = move_bytes / in_rate + machine.pcie_latency_s;
   p.t_g2c = move_bytes / out_rate + machine.pcie_latency_s;
-  p.s_fp = slot_bytes(w);
-  p.s_bp = slot_bytes(w);
+  p.s_fp = slot_bytes(w, options_.window_bytes_per_element);
+  p.s_bp = slot_bytes(w, options_.window_bytes_per_element);
   p.t_opt_gpu = sim::block_params(w.model) / w.model.model_parallel /
                 calib::kGpuAdamParamsPerS;
   const double cpu_rate =
@@ -177,7 +185,8 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
 
   const auto n = static_cast<std::size_t>(w.model.layers);
   const double move_bytes =
-      sim::block_param_bytes(w.model) + sim::checkpoint_bytes(w.model, w.batch);
+      sim::block_param_bytes(w.model, options_.window_bytes_per_element) +
+      sim::checkpoint_bytes(w.model, w.batch);
   // Without user-level memory management (Section III-E3) buffers cannot be
   // pinned and reused: every move pays per-tensor CUDA (de)allocations with
   // implicit synchronisation, and the copies are effectively synchronous

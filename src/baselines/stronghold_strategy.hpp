@@ -18,6 +18,10 @@ struct StrongholdOptions {
   bool multi_stream = true;        // Section IV-A
   bool use_nvme = false;           // Section III-G
   std::size_t fixed_window = 0;    // 0 = analytical model (Section III-D)
+  /// Bytes per element of the GPU working window / CPU<->GPU wire format
+  /// (sim::kF32 default; sim::kBf16 models a BF16 window over FP32 masters —
+  /// halves slot and transfer bytes, leaves CPU-side state untouched).
+  double window_bytes_per_element = sim::kF32;
 };
 
 class StrongholdStrategy final : public Strategy {

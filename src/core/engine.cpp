@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,7 @@
 #include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "tensor/half.hpp"
+#include "tensor/rng.hpp"
 
 #include "dist/process_group.hpp"
 #include "tensor/ops.hpp"
@@ -65,6 +67,21 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   if (store_.size() < 3) {
     throw std::invalid_argument("model must have at least one block");
   }
+  // Window dtype: SH_WINDOW_DTYPE / SH_WINDOW_ROUNDING override the config,
+  // mirroring the SH_FAULT_* / SH_CKPT_* convention. Resolved before any
+  // slot sizing so the fit math prices actual bytes.
+  if (const char* env = std::getenv("SH_WINDOW_DTYPE")) {
+    cfg_.window_dtype = tensor::parse_dtype(env);
+  }
+  if (const char* env = std::getenv("SH_WINDOW_ROUNDING")) {
+    cfg_.window_rounding = tensor::parse_rounding(env);
+  }
+  if (cfg_.fp16 && bf16_window()) {
+    throw std::invalid_argument(
+        "EngineConfig: fp16 and window_dtype=bf16 are mutually exclusive "
+        "(both re-encode the CPU<->GPU wire)");
+  }
+  elem_bytes_ = tensor::bytes_per_element(cfg_.window_dtype);
   setup_pinned_layers();
 
   const std::size_t blocks = num_blocks();
@@ -72,8 +89,15 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   for (std::size_t b = 1; b <= blocks; ++b) {
     max_block_params = std::max(max_block_params, store_.state(b).params);
   }
-  const std::size_t slot_floats = 2 * static_cast<std::size_t>(max_block_params);
-  const std::size_t slot_bytes = slot_floats * sizeof(float);
+  max_block_params_ = static_cast<std::size_t>(max_block_params);
+  // BF16 windows compute in FP32 on a decoded staging view (per-layer
+  // compute is barrier-serialised, so one params+grads buffer suffices).
+  if (bf16_window()) stage_.assign(2 * max_block_params_, 0.0f);
+  const std::size_t slot_elems = 2 * max_block_params_;
+  // Slots are priced in bytes under the window dtype: bf16 halves
+  // slot_bytes, so `fit` (and with it the auto window) roughly doubles at a
+  // fixed device budget.
+  const std::size_t slot_bytes = slot_elems * elem_bytes_;
   const std::size_t fit = gpu_pool_.free_bytes() / slot_bytes;
 
   if (cfg_.window != 0) {
@@ -99,16 +123,18 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
   // layer's backward. Skipped when the device cannot fit it; the pipeline
   // then degrades to the old serialised handoff instead of failing.
   if (slots < blocks && slots + 1 <= fit) ++slots;
-  slot_floats_ = slot_floats;
+  slot_bytes_ = slot_bytes;
   slots_reserved_ = slots;
   // Throws mem::OomError when the requested window cannot be reserved.
   if (cfg_.window_mode == WindowMode::UniformSlots) {
-    pool_ = std::make_unique<UniformSlotAllocator>(gpu_pool_, slot_floats,
+    pool_ = std::make_unique<UniformSlotAllocator>(gpu_pool_, slot_bytes,
                                                    slots);
   } else {
+    // window_budget_floats is specified in elements; price it into bytes
+    // under the window dtype.
     const std::size_t budget = cfg_.window_budget_floats != 0
-                                   ? cfg_.window_budget_floats
-                                   : slots * slot_floats;
+                                   ? cfg_.window_budget_floats * elem_bytes_
+                                   : slots * slot_bytes;
     pool_ = std::make_unique<BudgetSlotAllocator>(gpu_pool_, budget);
   }
 
@@ -182,12 +208,14 @@ StrongholdEngine::~StrongholdEngine() {
 void StrongholdEngine::setup_pinned_layers() {
   LayerState& emb = store_.state(0);
   LayerState& head = store_.state(head_index());
+  // Pinned layers always hold f32 elements — they never cross the wire per
+  // step, so a bf16 encoding would cost precision without saving traffic.
   pinned_emb_ = gpu_pool_.allocate_floats(
       2 * static_cast<std::size_t>(emb.params), mem::DeviceArena::kWindow);
   pinned_head_ = gpu_pool_.allocate_floats(
       2 * static_cast<std::size_t>(head.params), mem::DeviceArena::kWindow);
-  emb.gpu_slot = pinned_emb_;
-  head.gpu_slot = pinned_head_;
+  emb.gpu_slot = reinterpret_cast<std::byte*>(pinned_emb_);
+  head.gpu_slot = reinterpret_cast<std::byte*>(pinned_head_);
 }
 
 void StrongholdEngine::init_params(std::uint64_t seed) {
@@ -227,8 +255,9 @@ void StrongholdEngine::normalize_residency() {
 void StrongholdEngine::prefetch(std::size_t index) {
   LayerState& st = store_.state(index);
   if (st.gpu_slot != nullptr) return;  // already resident or in flight
-  const std::size_t need = 2 * static_cast<std::size_t>(st.params);
-  float* slot;
+  const std::size_t need =
+      2 * static_cast<std::size_t>(st.params) * elem_bytes_;
+  std::byte* slot;
   if (pool_->blocking_prefetch_safe()) {
     slot = pool_->acquire(need);
   } else {
@@ -241,8 +270,7 @@ void StrongholdEngine::prefetch(std::size_t index) {
       // Report through the shared pressure layer first: a registered
       // callback (e.g. serve preempt-to-CPU on a co-located arena) may free
       // capacity and earn one retry.
-      if (gpu_pool_.signal_pressure(mem::DeviceArena::kWindow,
-                                    need * sizeof(float))) {
+      if (gpu_pool_.signal_pressure(mem::DeviceArena::kWindow, need)) {
         slot = pool_->try_acquire(need);
       }
     }
@@ -257,40 +285,59 @@ void StrongholdEngine::prefetch(std::size_t index) {
   issue_fetch(st, slot);
 }
 
-void StrongholdEngine::issue_fetch(LayerState& st, float* slot) {
+void StrongholdEngine::issue_fetch(LayerState& st, std::byte* slot) {
   st.gpu_slot = slot;
   auto update_done = st.update_done;  // wait for a pending optimizer step
   const auto params = static_cast<std::size_t>(st.params);
   const double rate = cfg_.h2d_bytes_per_s;
+  // Deterministic stochastic-rounding stream: the event counter is drawn on
+  // the issuing (control) thread, so the rounding sequence depends only on
+  // the fetch order, not on worker timing.
+  const std::uint64_t rng_seq = st.rng_seq++;
   LayerProfile* prof = (st.index >= 1 && st.index <= num_blocks())
                            ? &profiles_[st.index - 1]
                            : nullptr;
-  st.ready =
-      h2d_.run_async([this, &st, slot, params, update_done, rate, prof] {
-        if (update_done.valid()) update_done.wait();
-        // Fault the master in from the NVMe tier if needed (Section III-G).
-        // get(), not wait(): a tier read whose retry budget is exhausted
-        // must propagate its IoError into st.ready instead of silently
-        // copying a stale master onto the device.
-        store_.fault_in(st.index).get();
-        const double t0 = now_seconds();
-        std::memcpy(slot, st.cpu_params.data(), params * sizeof(float));
-        std::fill_n(slot + params, params, 0.0f);  // fresh gradient buffer
-        if (cfg_.fp16) {
-          // The wire format is FP16: the copy lands rounded, at half the
-          // bytes.
-          tensor::quantize_fp16_inplace(slot, params);
-        }
-        throttle_sleep(
-            static_cast<double>(params) * sizeof(float) / (cfg_.fp16 ? 2 : 1),
-            rate);
-        if (prof != nullptr) prof->t_c2g = now_seconds() - t0;
-        trace_span("h2d", "p", t0, now_seconds());
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.h2d_transfers;
-        // Wire bytes: FP16 halves the transfer volume.
-        stats_.h2d_bytes += params * sizeof(float) / (cfg_.fp16 ? 2 : 1);
-      });
+  st.ready = h2d_.run_async([this, &st, slot, params, update_done, rate, prof,
+                             rng_seq] {
+    if (update_done.valid()) update_done.wait();
+    // Fault the master in from the NVMe tier if needed (Section III-G).
+    // get(), not wait(): a tier read whose retry budget is exhausted
+    // must propagate its IoError into st.ready instead of silently
+    // copying a stale master onto the device.
+    store_.fault_in(st.index).get();
+    const double t0 = now_seconds();
+    if (bf16_window()) {
+      // The wire format is BF16: the FP32 master lands encoded, at half
+      // the bytes; the slot genuinely stores 2-byte elements.
+      auto* dst = reinterpret_cast<tensor::bf16*>(slot);
+      if (cfg_.window_rounding == tensor::Rounding::stochastic) {
+        tensor::Rng rng(
+            tensor::mix_seed(cfg_.rounding_seed, st.index, rng_seq));
+        tensor::convert_float_to_bf16_stochastic(st.cpu_params.data(), dst,
+                                                 params, rng);
+      } else {
+        tensor::convert_float_to_bf16(st.cpu_params.data(), dst, params);
+      }
+      std::fill_n(dst + params, params, tensor::bf16{0});  // fresh grads
+    } else {
+      auto* dst = reinterpret_cast<float*>(slot);
+      std::memcpy(dst, st.cpu_params.data(), params * sizeof(float));
+      std::fill_n(dst + params, params, 0.0f);  // fresh gradient buffer
+      if (cfg_.fp16) {
+        // The wire format is FP16: the copy lands rounded, at half the
+        // bytes (storage stays f32; only bf16 re-types the slot).
+        tensor::quantize_fp16_inplace(dst, params);
+      }
+    }
+    const std::size_t wire = wire_param_bytes(st.params);
+    throttle_sleep(static_cast<double>(wire), rate);
+    if (prof != nullptr) prof->t_c2g = now_seconds() - t0;
+    trace_span("h2d", "p", t0, now_seconds());
+    h2d_.record_transfer(wire);  // true wire bytes on the link's own stats
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.h2d_transfers;
+    stats_.h2d_bytes += wire;
+  });
 }
 
 void StrongholdEngine::wait_ready(LayerState& st) {
@@ -299,7 +346,8 @@ void StrongholdEngine::wait_ready(LayerState& st) {
     // now every previously computed layer's eviction is queued, so the
     // blocking acquire makes progress.
     const double t0 = now_seconds();
-    float* slot = pool_->acquire(2 * static_cast<std::size_t>(st.params));
+    std::byte* slot =
+        pool_->acquire(2 * static_cast<std::size_t>(st.params) * elem_bytes_);
     issue_fetch(st, slot);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.demand_fetches;
@@ -321,17 +369,56 @@ void StrongholdEngine::wait_ready(LayerState& st) {
   st.ready.get();
 }
 
+float* StrongholdEngine::bind_params_f32(LayerState& st) {
+  // Pinned layers and FP32/FP16 windows store f32 elements in place; a BF16
+  // window decodes into the staging buffer (barrier-serialized per layer, so
+  // one buffer suffices — the stage models the f32 compute view and is not
+  // charged to the window region, mirroring FP16's in-place rounding).
+  if (!bf16_window() || st.pinned_on_gpu) return slot_f32(st);
+  tensor::convert_bf16_to_float(slot_b16(st), stage_.data(),
+                                static_cast<std::size_t>(st.params));
+  return stage_.data();
+}
+
+void StrongholdEngine::encode_slot(LayerState& st, const float* src,
+                                   std::size_t offset, std::size_t n) {
+  tensor::bf16* dst = slot_b16(st) + offset;
+  if (cfg_.window_rounding == tensor::Rounding::stochastic) {
+    // One fresh, deterministic stream per encode event: encodes of the same
+    // layer are serialized (fetch by ready-future, grad encode by barriers,
+    // update encode after the grad encode), so the counter orders them.
+    tensor::Rng rng(tensor::mix_seed(cfg_.rounding_seed, st.index,
+                                     st.rng_seq++));
+    tensor::convert_float_to_bf16_stochastic(src, dst, n, rng);
+  } else {
+    tensor::convert_float_to_bf16(src, dst, n);
+  }
+}
+
+void StrongholdEngine::refresh_device_copy(LayerState& st) {
+  const auto params = static_cast<std::size_t>(st.params);
+  if (!st.pinned_on_gpu && bf16_window()) {
+    encode_slot(st, st.cpu_params.data(), 0, params);
+    std::fill_n(slot_b16(st) + params, params, tensor::bf16{0});
+    return;
+  }
+  float* buf = slot_f32(st);
+  std::memcpy(buf, st.cpu_params.data(), params * sizeof(float));
+  if (cfg_.fp16) tensor::quantize_fp16_inplace(buf, params);
+  std::fill_n(buf + params, params, 0.0f);
+}
+
 void StrongholdEngine::evict_after_forward(LayerState& st) {
   // Parameters were not modified during FP and the CPU master is coherent,
   // so recycling the buffer needs no copy-back. Routed through the d2h queue
   // so it is ordered after any pending master-sync of this slot.
-  float* slot = st.gpu_slot;
+  std::byte* slot = st.gpu_slot;
   st.gpu_slot = nullptr;
   d2h_.run_async([this, slot] { pool_->release(slot); });
 }
 
 void StrongholdEngine::evict_after_backward(LayerState& st) {
-  float* slot = st.gpu_slot;
+  std::byte* slot = st.gpu_slot;
   st.gpu_slot = nullptr;
   const auto params = static_cast<std::size_t>(st.params);
   const double rate = cfg_.d2h_bytes_per_s;
@@ -344,21 +431,35 @@ void StrongholdEngine::evict_after_backward(LayerState& st) {
   auto copied = d2h_.run_async([this, &st, slot, params, rate, prof, clip,
                                 overwrite] {
     const double t0 = now_seconds();
-    // FP16 wire format: the gradients cross the link rounded to half
-    // precision; overflow (inf after rounding) triggers a skipped step.
-    if (cfg_.fp16) {
-      quantize_grads_and_check(slot + params, st.params);
-    }
-    // First micro-step overwrites the CPU-side gradient accumulator;
-    // later ones accumulate (gradient accumulation cycles).
-    if (overwrite) {
-      std::memcpy(st.cpu_grads.data(), slot + params, params * sizeof(float));
+    if (bf16_window()) {
+      // BF16 wire format: the gradient half of the slot already holds the
+      // rounded encoding (the executor encoded the reduced FP32 gradients);
+      // decode it back into the FP32 CPU accumulator.
+      const tensor::bf16* g = reinterpret_cast<tensor::bf16*>(slot) + params;
+      if (overwrite) {
+        tensor::convert_bf16_to_float(g, st.cpu_grads.data(), params);
+      } else {
+        std::vector<float> tmp(params);
+        tensor::convert_bf16_to_float(g, tmp.data(), params);
+        tensor::axpy(1.0f, tmp.data(), st.cpu_grads.data(), st.params);
+      }
     } else {
-      tensor::axpy(1.0f, slot + params, st.cpu_grads.data(), st.params);
+      float* g = reinterpret_cast<float*>(slot) + params;
+      // FP16 wire format: the gradients cross the link rounded to half
+      // precision; overflow (inf after rounding) triggers a skipped step.
+      if (cfg_.fp16) {
+        quantize_grads_and_check(g, st.params);
+      }
+      // First micro-step overwrites the CPU-side gradient accumulator;
+      // later ones accumulate (gradient accumulation cycles).
+      if (overwrite) {
+        std::memcpy(st.cpu_grads.data(), g, params * sizeof(float));
+      } else {
+        tensor::axpy(1.0f, g, st.cpu_grads.data(), st.params);
+      }
     }
-    throttle_sleep(
-        static_cast<double>(params) * sizeof(float) / (cfg_.fp16 ? 2 : 1),
-        rate);
+    const std::size_t wire = wire_param_bytes(st.params);
+    throttle_sleep(static_cast<double>(wire), rate);
     if (prof != nullptr) prof->t_g2c = now_seconds() - t0;
     trace_span("d2h", "g", t0, now_seconds());
     if (clip) {
@@ -366,9 +467,10 @@ void StrongholdEngine::evict_after_backward(LayerState& st) {
           tensor::dot(st.cpu_grads.data(), st.cpu_grads.data(), st.params);
     }
     pool_->release(slot);
+    d2h_.record_transfer(wire);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.d2h_transfers;
-    stats_.d2h_bytes += params * sizeof(float) / (cfg_.fp16 ? 2 : 1);
+    stats_.d2h_bytes += wire;
   });
   if (!accum_final_) return;  // mid-cycle: accumulate only, no update
   // Concurrent CPU-side update (Section III-E1), then NVMe write-back. With
@@ -404,17 +506,38 @@ void StrongholdEngine::update_resident_layer(LayerState& st) {
   // paper updates these on the GPU (t_opt_gpu). Gradients accumulate in the
   // CPU master; on the final micro-step the GPU-resident parameter copy is
   // updated in place and the master synced asynchronously.
-  float* slot = st.gpu_slot;
   const auto params = static_cast<std::size_t>(st.params);
-  if (cfg_.fp16) quantize_grads_and_check(slot + params, st.params);
-  if (accum_first_) {
-    std::copy_n(slot + params, params, st.cpu_grads.data());
+  if (bf16_window()) {
+    // The executor encoded the reduced FP32 gradients into the slot's BF16
+    // grad half; decode into the staging buffer, then accumulate in FP32.
+    float* g = stage_.data() + max_block_params_;
+    tensor::convert_bf16_to_float(slot_b16(st) + params, g, params);
+    if (accum_first_) {
+      std::copy_n(g, params, st.cpu_grads.data());
+    } else {
+      tensor::axpy(1.0f, g, st.cpu_grads.data(), st.params);
+    }
   } else {
-    tensor::axpy(1.0f, slot + params, st.cpu_grads.data(), st.params);
+    float* g = slot_f32(st) + params;
+    if (cfg_.fp16) quantize_grads_and_check(g, st.params);
+    if (accum_first_) {
+      std::copy_n(g, params, st.cpu_grads.data());
+    } else {
+      tensor::axpy(1.0f, g, st.cpu_grads.data(), st.params);
+    }
   }
   if (!accum_final_) return;
-  auto body = [this, &st, slot, params] {
-    if (cfg_.fp16) {
+  auto body = [this, &st, params] {
+    if (bf16_window()) {
+      // The FP32 master is authoritative; the GPU copy is re-quantized on
+      // write-back, exactly like a fresh fault-in.
+      opts_.update_now(st, st.cpu_params.data(), st.cpu_grads.data(),
+                       current_lr_);
+      encode_slot(st, st.cpu_params.data(), 0, params);
+      st.update_done =
+          d2h_.run_async([this, &st] { store_.write_back(st.index); });
+    } else if (cfg_.fp16) {
+      float* slot = slot_f32(st);
       // The FP32 master is authoritative; the GPU copy is refreshed as FP16.
       opts_.update_now(st, st.cpu_params.data(), st.cpu_grads.data(),
                        current_lr_);
@@ -423,6 +546,7 @@ void StrongholdEngine::update_resident_layer(LayerState& st) {
       st.update_done =
           d2h_.run_async([this, &st] { store_.write_back(st.index); });
     } else {
+      float* slot = slot_f32(st);
       opts_.update_now(st, slot, st.cpu_grads.data(), current_lr_);
       st.update_done = d2h_.run_async([this, &st, slot, params] {
         std::memcpy(st.cpu_params.data(), slot, params * sizeof(float));
@@ -664,12 +788,15 @@ float StrongholdEngine::train_step_body(const data::Batch& batch) {
       LayerState& st = block(b);
       if (e == 0) {
         wait_ready(st);
+        // Decode the BF16 window copy into the FP32 staging view before the
+        // bind barrier; every executor computes on the decoded parameters.
+        if (bf16_window()) bind_params_f32(st);
         if (b + window_ <= blocks) prefetch(b + window_);
       }
       bar.arrive_and_wait();
       const auto params = static_cast<std::size_t>(st.params);
       std::fill_n(scratch, params, 0.0f);
-      mdl.layer(b).bind(st.gpu_slot, scratch);
+      mdl.layer(b).bind(bf16_window() ? stage_.data() : slot_f32(st), scratch);
       const double t0 = now_seconds();
       x = mdl.layer(b).forward(x, micro_shape);
       if (e == 0 && profiling) {
@@ -715,12 +842,13 @@ float StrongholdEngine::train_step_body(const data::Batch& batch) {
       LayerState& st = block(b);
       if (e == 0) {
         wait_ready(st);
+        if (bf16_window()) bind_params_f32(st);
         if (b > window_) prefetch(b - window_);
       }
       bar.arrive_and_wait();
       const auto params = static_cast<std::size_t>(st.params);
       std::fill_n(scratch, params, 0.0f);
-      mdl.layer(b).bind(st.gpu_slot, scratch);
+      mdl.layer(b).bind(bf16_window() ? stage_.data() : slot_f32(st), scratch);
       const double t0 = now_seconds();
       g = mdl.layer(b).backward(g, micro_shape);
       if (e == 0 && profiling) {
@@ -731,11 +859,24 @@ float StrongholdEngine::train_step_body(const data::Batch& batch) {
       if (e == 0) {
         // Gradient all-reduce across executors into the GPU buffer
         // (Section IV-A), then offload + update, or in-place update for the
-        // layers that stay resident for the next iteration (III-E1).
-        reduce_grads_into(st.gpu_slot + params, params);
-        if (cfg_.grad_reducer) {
-          cfg_.grad_reducer(st.index, st.gpu_slot + params,
-                            static_cast<std::int64_t>(params));
+        // layers that stay resident for the next iteration (III-E1). Under a
+        // BF16 window the reduce happens in FP32 on the staging buffer and
+        // the sum is rounded once onto the wire — this encode is THE
+        // precision-loss event of the gradient path.
+        if (bf16_window()) {
+          float* gsum = stage_.data() + max_block_params_;
+          reduce_grads_into(gsum, params);
+          if (cfg_.grad_reducer) {
+            cfg_.grad_reducer(st.index, gsum,
+                              static_cast<std::int64_t>(params));
+          }
+          encode_slot(st, gsum, params, params);
+        } else {
+          reduce_grads_into(slot_f32(st) + params, params);
+          if (cfg_.grad_reducer) {
+            cfg_.grad_reducer(st.index, slot_f32(st) + params,
+                              static_cast<std::int64_t>(params));
+          }
         }
         if (b > window_) {
           evict_after_backward(st);
@@ -828,7 +969,7 @@ void StrongholdEngine::maybe_update_window() {
     // Keep the second (eviction) stage slot through auto-window growth when
     // the device still fits it — same double-buffering rationale as the
     // construction-time slot sizing.
-    const std::size_t slot_bytes = slot_floats_ * sizeof(float);
+    const std::size_t slot_bytes = slot_bytes_;
     const std::size_t growth_bytes =
         slots > slots_reserved_ ? (slots - slots_reserved_) * slot_bytes : 0;
     if (slots < blocks &&
@@ -836,7 +977,7 @@ void StrongholdEngine::maybe_update_window() {
       ++slots;
     }
     slots = std::max(slots, slots_reserved_);
-    pool_->ensure_window(slot_floats_, slots);
+    pool_->ensure_window(slot_bytes_, slots);
     slots_reserved_ = slots;
   }
   window_ = new_window;
@@ -857,7 +998,7 @@ void StrongholdEngine::stream_layers(const LayerVisitor& visit) {
     LayerState& st = block(b);
     wait_ready(st);
     if (b + window_ <= blocks) prefetch(b + window_);
-    model_.layer(b).bind(st.gpu_slot, scratch.data());
+    model_.layer(b).bind(bind_params_f32(st), scratch.data());
     visit(b, model_.layer(b));
     if (b + window_ <= blocks) evict_after_forward(st);
   }
@@ -900,7 +1041,7 @@ void StrongholdEngine::quiesce_and_sync_masters() {
   if (!cfg_.fp16) {
     for (std::size_t i : {std::size_t{0}, head_index()}) {
       LayerState& st = store_.state(i);
-      std::memcpy(st.cpu_params.data(), st.gpu_slot,
+      std::memcpy(st.cpu_params.data(), slot_f32(st),
                   sizeof(float) * static_cast<std::size_t>(st.params));
     }
   }
@@ -1042,13 +1183,12 @@ void StrongholdEngine::save_checkpoint(const std::string& path) {
 void StrongholdEngine::load_checkpoint(const std::string& path) {
   quiesce_and_sync_masters();
   read_checkpoint(path, store_);
-  // Refresh every GPU-resident copy from the restored masters.
+  // Refresh every GPU-resident copy from the restored masters, re-applying
+  // the wire-format rounding a fresh fetch would have (fp16/bf16).
   for (std::size_t i = 0; i < store_.size(); ++i) {
     LayerState& st = store_.state(i);
     if (st.gpu_slot == nullptr) continue;
-    const auto params = static_cast<std::size_t>(st.params);
-    std::memcpy(st.gpu_slot, st.cpu_params.data(), params * sizeof(float));
-    std::fill_n(st.gpu_slot + params, params, 0.0f);
+    refresh_device_copy(st);
     if (st.swap_backed) store_.write_back(i);
   }
   // Swap-backed layers that are not resident also need their tier refreshed.
@@ -1086,7 +1226,7 @@ ckpt::Snapshot StrongholdEngine::capture_snapshot() {
   if (!cfg_.fp16) {
     for (std::size_t i : {std::size_t{0}, head_index()}) {
       LayerState& st = store_.state(i);
-      std::memcpy(st.cpu_params.data(), st.gpu_slot,
+      std::memcpy(st.cpu_params.data(), slot_f32(st),
                   sizeof(float) * static_cast<std::size_t>(st.params));
     }
   }
@@ -1225,15 +1365,12 @@ void StrongholdEngine::restore_snapshot(const ckpt::Snapshot& snap) {
   }
 
   // Refresh every GPU-resident copy (and the swap tier) from the restored
-  // masters, exactly as load_checkpoint does — plus the FP16 rounding the
-  // wire format would have applied to a freshly fetched layer.
+  // masters, exactly as load_checkpoint does — plus the wire-format rounding
+  // (fp16/bf16) that a freshly fetched layer would carry.
   for (std::size_t i = 0; i < store_.size(); ++i) {
     LayerState& st = store_.state(i);
     if (st.gpu_slot == nullptr) continue;
-    const auto params = static_cast<std::size_t>(st.params);
-    std::memcpy(st.gpu_slot, st.cpu_params.data(), params * sizeof(float));
-    if (cfg_.fp16) tensor::quantize_fp16_inplace(st.gpu_slot, params);
-    std::fill_n(st.gpu_slot + params, params, 0.0f);
+    refresh_device_copy(st);
     if (st.swap_backed) store_.write_back(i);
   }
   if (swap_ != nullptr) {
@@ -1324,10 +1461,21 @@ void StrongholdEngine::export_metrics(obs::MetricsSnapshot& out) const {
   out.add("engine.demand_fetches", n(s.demand_fetches));
   out.add("engine.h2d_transfers", n(s.h2d_transfers));
   out.add("engine.h2d_bytes", n(s.h2d_bytes), "bytes");
+  out.add("engine.h2d_bytes_per_step",
+          n(s.h2d_bytes) / n(std::max<std::size_t>(s.iterations, 1)),
+          "bytes");
   out.add("engine.h2d_queue_depth", n(h2d_.queue_depth()));
   out.add("engine.d2h_transfers", n(s.d2h_transfers));
   out.add("engine.d2h_bytes", n(s.d2h_bytes), "bytes");
+  out.add("engine.d2h_bytes_per_step",
+          n(s.d2h_bytes) / n(std::max<std::size_t>(s.iterations, 1)),
+          "bytes");
   out.add("engine.d2h_queue_depth", n(d2h_.queue_depth()));
+  // True wire bytes as seen by the links themselves (dtype-honest: fp16 and
+  // bf16 both report 2 bytes/element).
+  out.add("engine.h2d_link_bytes", n(h2d_.bytes_transferred()), "bytes");
+  out.add("engine.d2h_link_bytes", n(d2h_.bytes_transferred()), "bytes");
+  out.add("engine.window_elem_bytes", n(elem_bytes_), "bytes");
   out.add("engine.swap_backed_layers", n(s.swap_backed_layers), "layers");
   out.add("engine.loss_scale", s.loss_scale, "");
   out.add("engine.skipped_updates", n(s.skipped_updates));

@@ -41,7 +41,6 @@
 #include "core/optimizer_pool.hpp"
 #include "core/window_model.hpp"
 #include "data/synthetic.hpp"
-#include "hw/memory_pool.hpp"  // hw:: compat aliases over sh::mem
 #include "hw/transfer.hpp"
 #include "mem/device_arena.hpp"
 #include "nn/gpt.hpp"
@@ -50,6 +49,7 @@
 #include "optim/schedule.hpp"
 #include "sim/trace.hpp"
 #include "storage/swap_file.hpp"
+#include "tensor/dtype.hpp"
 
 namespace sh::core {
 
@@ -66,8 +66,9 @@ struct EngineConfig {
   /// analytical model after the warm-up iterations.
   std::size_t window = 0;
   WindowMode window_mode = WindowMode::UniformSlots;
-  /// ByteBudget mode: size of the fixed window buffer in floats
-  /// (0 derives it from the uniform-slot requirement).
+  /// ByteBudget mode: size of the fixed window buffer in elements (priced
+  /// into bytes under window_dtype; 0 derives it from the uniform-slot
+  /// requirement).
   std::size_t window_budget_floats = 0;
   std::size_t warmup_iterations = 2;
   std::size_t optimizer_workers = 2;
@@ -98,6 +99,22 @@ struct EngineConfig {
   /// overflowed steps [12].
   bool fp16 = false;
   LossScalerConfig loss_scaler{};
+  /// Element encoding of the GPU working window (block slots and their
+  /// CPU<->GPU transfers). With bf16, slots genuinely store 2-byte elements:
+  /// fault-in encodes the FP32 master to bf16, compute runs FP32 on a
+  /// decoded staging view, gradients round through bf16 on the wire, and
+  /// the CPU optimizer updates FP32 masters — which stay the only persisted
+  /// truth (checkpoints/swap are dtype-blind). Halves window bytes and PCIe
+  /// traffic; bf16 keeps the f32 exponent range so no loss scaling is
+  /// needed (mutually exclusive with fp16). The SH_WINDOW_DTYPE environment
+  /// variable ("f32"/"bf16") overrides this at engine construction.
+  tensor::DType window_dtype = tensor::DType::f32;
+  /// How f32 -> bf16 encodes round: nearest-even (default) or stochastic
+  /// (unbiased; deterministic per (rounding_seed, layer, event)). Overridden
+  /// by SH_WINDOW_ROUNDING ("nearest_even"/"stochastic") at construction.
+  tensor::Rounding window_rounding = tensor::Rounding::nearest_even;
+  /// Seed for the stochastic-rounding streams.
+  std::uint64_t rounding_seed = 0x57484F4C44ull;
   /// CPU RAM budget for master state; 0 = unlimited. When exceeded, layers
   /// are backed by the swap file at `swap_path` (Section III-G).
   std::size_t cpu_capacity_bytes = 0;
@@ -329,9 +346,37 @@ class StrongholdEngine {
                              std::int64_t n_new);
   void prefetch(std::size_t index);
   /// Binds `slot` to the layer and enqueues the asynchronous host->device
-  /// copy (with optimizer/tier dependencies).
-  void issue_fetch(LayerState& st, float* slot);
+  /// copy (with optimizer/tier dependencies). The copy encodes the FP32
+  /// master into the window dtype.
+  void issue_fetch(LayerState& st, std::byte* slot);
   void wait_ready(LayerState& st);
+  bool bf16_window() const noexcept {
+    return cfg_.window_dtype == tensor::DType::bf16;
+  }
+  /// Bytes one layer's parameters occupy on the CPU<->GPU wire (fp16 and
+  /// bf16 both halve them; they are mutually exclusive).
+  std::size_t wire_param_bytes(std::int64_t params) const noexcept {
+    return static_cast<std::size_t>(params) * (cfg_.fp16 ? 2 : elem_bytes_);
+  }
+  /// f32 view of a block slot's parameter half (f32/fp16 windows only).
+  float* slot_f32(LayerState& st) noexcept {
+    return reinterpret_cast<float*>(st.gpu_slot);
+  }
+  /// bf16 view of a block slot (bf16 windows only).
+  tensor::bf16* slot_b16(LayerState& st) noexcept {
+    return reinterpret_cast<tensor::bf16*>(st.gpu_slot);
+  }
+  /// BF16: decodes the slot's parameter half into the f32 compute staging
+  /// buffer and returns it; f32/fp16: returns the slot directly.
+  float* bind_params_f32(LayerState& st);
+  /// Encodes `n` f32 values into the slot at element offset `offset`,
+  /// honouring the configured rounding mode (stochastic draws a fresh
+  /// deterministic stream per call). Only valid for bf16 windows.
+  void encode_slot(LayerState& st, const float* src, std::size_t offset,
+                   std::size_t n);
+  /// Refreshes a layer's device-resident copy from its FP32 master after a
+  /// checkpoint restore (dtype-aware; pinned layers stay f32).
+  void refresh_device_copy(LayerState& st);
   void evict_after_forward(LayerState& st);
   void evict_after_backward(LayerState& st);
   void update_resident_layer(LayerState& st);
@@ -368,8 +413,18 @@ class StrongholdEngine {
   optim::Adam adam_proto_;
   OptimizerPool opts_;
   std::unique_ptr<SlotAllocator> pool_;
-  std::size_t slot_floats_ = 0;
+  std::size_t slot_bytes_ = 0;      // 2 * max block params, priced in bytes
+  std::size_t elem_bytes_ = 4;      // bytes per window element (dtype)
+  std::size_t max_block_params_ = 0;
   std::size_t slots_reserved_ = 0;  // window + stage slots currently held
+  /// BF16 windows: f32 compute staging — [0, max_block_params_) holds the
+  /// decoded parameters of the layer being computed, [max_block_params_,
+  /// 2*max_block_params_) the executor-reduced f32 gradients before they
+  /// round onto the wire. Per-layer compute is barrier-serialised, so one
+  /// buffer suffices; it is deliberately not charged to the window region
+  /// (it models the f32 compute view, as the fp16 path's in-place rounding
+  /// does).
+  std::vector<float> stage_;
 
   // Pinned (always-resident) buffers for the first/last layer.
   float* pinned_emb_ = nullptr;   // params then grads

@@ -7,6 +7,7 @@
 // CPU capacity are backed by a swap file and faulted in ahead of prefetch.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -33,11 +34,17 @@ struct LayerState {
   bool pinned_on_gpu = false;  // embedding/head stay GPU-resident
   bool swap_backed = false;    // master params+opt live on the NVMe tier
 
-  // GPU residency (managed by the engine). Layout of the slot:
-  // [0, params) parameters, [params, 2*params) gradients.
-  float* gpu_slot = nullptr;
+  // GPU residency (managed by the engine). The slot is byte-typed: it holds
+  // 2*params elements in the engine's window dtype (f32 or bf16), laid out
+  // [0, params) parameters, [params, 2*params) gradients. Pinned layers
+  // (embedding/head) always store f32 elements.
+  std::byte* gpu_slot = nullptr;
   std::shared_future<void> ready;        // prefetch completion
   std::shared_future<void> update_done;  // optimizer-step completion
+  // Stochastic-rounding event counter: each encode of this layer draws a
+  // fresh Rng stream seeded from (config seed, layer index, rng_seq), so
+  // rounding is deterministic for a given issue order.
+  std::uint64_t rng_seq = 0;
 };
 
 class LayerStore {

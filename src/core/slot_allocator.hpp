@@ -9,8 +9,13 @@
 // BudgetSlotAllocator implements the alternative the paper offers for
 // heterogeneous layer structures: one fixed-size buffer whose resident layer
 // count varies dynamically (Section III-D).
+//
+// The interface is byte-typed: the engine prices a layer's elements into
+// bytes under the configured window dtype (f32 or bf16) before asking for
+// space, so slot fit and window accounting see actual device bytes.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "mem/pool_policies.hpp"
@@ -24,20 +29,19 @@ class SlotAllocator {
  public:
   virtual ~SlotAllocator() = default;
 
-  /// Obtains GPU space for a layer of `floats` floats; blocks until
-  /// available.
-  virtual float* acquire(std::size_t floats) = 0;
+  /// Obtains GPU space for a layer of `bytes` bytes; blocks until available.
+  virtual std::byte* acquire(std::size_t bytes) = 0;
 
   /// Non-blocking variant: nullptr when nothing fits right now. Used for
   /// opportunistic prefetching in the byte-budget mode, where a blocking
   /// fetch from the control thread could wait on space that only the
   /// control thread's own progress can free.
-  virtual float* try_acquire(std::size_t floats) = 0;
+  virtual std::byte* try_acquire(std::size_t bytes) = 0;
 
-  virtual void release(float* ptr) = 0;
+  virtual void release(std::byte* ptr) = 0;
 
   /// Adjusts capacity for a new window decision (grow-only semantics).
-  virtual void ensure_window(std::size_t slot_floats, std::size_t slots) = 0;
+  virtual void ensure_window(std::size_t slot_bytes, std::size_t slots) = 0;
 
   /// True when hook-time prefetches may block safely (uniform slots: the
   /// m+1-slot invariant guarantees progress). Byte-budget mode defers
@@ -47,25 +51,25 @@ class SlotAllocator {
 
 class UniformSlotAllocator final : public SlotAllocator {
  public:
-  UniformSlotAllocator(mem::DeviceArena& arena, std::size_t slot_floats,
+  UniformSlotAllocator(mem::DeviceArena& arena, std::size_t slot_bytes,
                        std::size_t slots)
-      : pool_(arena, slot_floats, slots) {}
+      : pool_(arena, slot_bytes, slots) {}
 
-  float* acquire(std::size_t floats) override {
-    if (floats > pool_.slot_floats()) {
+  std::byte* acquire(std::size_t bytes) override {
+    if (bytes > pool_.slot_bytes()) {
       throw std::logic_error("layer exceeds the uniform slot size");
     }
     return pool_.acquire();
   }
-  float* try_acquire(std::size_t floats) override {
-    if (floats > pool_.slot_floats()) {
+  std::byte* try_acquire(std::size_t bytes) override {
+    if (bytes > pool_.slot_bytes()) {
       throw std::logic_error("layer exceeds the uniform slot size");
     }
     return pool_.try_acquire();
   }
-  void release(float* ptr) override { pool_.release(ptr); }
-  void ensure_window(std::size_t slot_floats, std::size_t slots) override {
-    pool_.grow(slot_floats, slots);
+  void release(std::byte* ptr) override { pool_.release(ptr); }
+  void ensure_window(std::size_t slot_bytes, std::size_t slots) override {
+    pool_.grow(slot_bytes, slots);
   }
   bool blocking_prefetch_safe() const override { return true; }
 
@@ -77,14 +81,16 @@ class UniformSlotAllocator final : public SlotAllocator {
 
 class BudgetSlotAllocator final : public SlotAllocator {
  public:
-  BudgetSlotAllocator(mem::DeviceArena& arena, std::size_t budget_floats)
-      : pool_(arena, budget_floats) {}
+  BudgetSlotAllocator(mem::DeviceArena& arena, std::size_t budget_bytes)
+      : pool_(arena, budget_bytes) {}
 
-  float* acquire(std::size_t floats) override { return pool_.acquire(floats); }
-  float* try_acquire(std::size_t floats) override {
-    return pool_.try_acquire(floats);
+  std::byte* acquire(std::size_t bytes) override {
+    return pool_.acquire(bytes);
   }
-  void release(float* ptr) override { pool_.release(ptr); }
+  std::byte* try_acquire(std::size_t bytes) override {
+    return pool_.try_acquire(bytes);
+  }
+  void release(std::byte* ptr) override { pool_.release(ptr); }
   void ensure_window(std::size_t, std::size_t) override {
     // The buffer is fixed-size by design; the layer count adapts instead.
   }

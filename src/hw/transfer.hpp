@@ -52,9 +52,14 @@ class TransferEngine {
   TransferEngine(const TransferEngine&) = delete;
   TransferEngine& operator=(const TransferEngine&) = delete;
 
-  /// Enqueues an asynchronous copy of `n` floats. The returned future
-  /// becomes ready when the copy has completed. Source and destination must
-  /// stay valid until then.
+  /// Enqueues an asynchronous copy of `bytes` bytes (the primary, byte-typed
+  /// entry point — transfers are priced in actual wire bytes, whatever the
+  /// element encoding). The returned future becomes ready when the copy has
+  /// completed. Source and destination must stay valid until then.
+  std::shared_future<void> copy_async(const void* src, void* dst,
+                                      std::size_t bytes);
+
+  /// Float-typed convenience wrapper: copies `n` floats (n * 4 bytes).
   std::shared_future<void> copy_async(const float* src, float* dst,
                                       std::size_t n);
 
@@ -73,6 +78,13 @@ class TransferEngine {
 
   /// Blocks until every enqueued operation has completed.
   void wait_all();
+
+  /// Accounts `bytes` of wire traffic performed by a run_async job body.
+  /// copy_async records its own bytes; jobs that move data themselves (the
+  /// engine's fault-in/evict paths) call this with the true transferred
+  /// byte count so bytes_transferred() stays dtype-honest. Safe to call
+  /// from inside a job (jobs run outside the stats lock).
+  void record_transfer(std::size_t bytes);
 
   std::size_t completed_transfers() const;
   std::size_t bytes_transferred() const;

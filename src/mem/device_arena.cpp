@@ -21,7 +21,7 @@ struct RegionInfo {
 };
 
 struct BackedBlock {
-  std::unique_ptr<float[]> storage;
+  std::unique_ptr<std::byte[]> storage;
   std::string region;
   std::size_t bytes = 0;
 };
@@ -42,7 +42,7 @@ struct Ledger {
   std::size_t pressure_releases = 0;
   std::size_t pressure_stalls = 0;
   std::map<std::string, RegionInfo> regions;
-  std::unordered_map<float*, BackedBlock> blocks;
+  std::unordered_map<void*, BackedBlock> blocks;
 
   // Callbacks use their own mutex: signal_pressure must snapshot them while
   // a callback (e.g. KvArena preempt) re-enters the accounting lock above.
@@ -109,8 +109,8 @@ DeviceArena::DeviceArena(std::string name, std::size_t capacity_bytes)
 
 DeviceArena::~DeviceArena() = default;
 
-float* DeviceArena::allocate_floats(std::size_t n, const std::string& region) {
-  const std::size_t bytes = n * sizeof(float);
+std::byte* DeviceArena::allocate_bytes(std::size_t bytes,
+                                       const std::string& region) {
   // Bounded retry: each failed admission runs the pressure layer once; a
   // callback that frees bytes earns another attempt. The cap guards against
   // a callback that keeps claiming success without making room.
@@ -119,10 +119,12 @@ float* DeviceArena::allocate_floats(std::size_t n, const std::string& region) {
       std::lock_guard<std::mutex> lock(ledger_->mu);
       if (ledger_->hard + bytes <= ledger_->capacity) {
         detail::BackedBlock block;
-        block.storage = std::make_unique<float[]>(n);
+        // operator new[] gives max_align_t alignment, so the block can back
+        // f32 as well as bf16 element storage.
+        block.storage = std::make_unique<std::byte[]>(bytes);
         block.region = region;
         block.bytes = bytes;
-        float* ptr = block.storage.get();
+        std::byte* ptr = block.storage.get();
         detail::RegionInfo& r = ledger_->regions[region];
         ledger_->hard += bytes;
         r.hard += bytes;
@@ -143,7 +145,11 @@ float* DeviceArena::allocate_floats(std::size_t n, const std::string& region) {
   throw OomError(ledger_->name, bytes, free);
 }
 
-void DeviceArena::deallocate(float* ptr) {
+float* DeviceArena::allocate_floats(std::size_t n, const std::string& region) {
+  return reinterpret_cast<float*>(allocate_bytes(n * sizeof(float), region));
+}
+
+void DeviceArena::deallocate(void* ptr) {
   if (ptr == nullptr) return;
   std::lock_guard<std::mutex> lock(ledger_->mu);
   auto it = ledger_->blocks.find(ptr);

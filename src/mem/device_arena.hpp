@@ -104,12 +104,18 @@ class DeviceArena {
   DeviceArena(const DeviceArena&) = delete;
   DeviceArena& operator=(const DeviceArena&) = delete;
 
-  /// Allocates `n` floats charged to `region`. On exhaustion the pressure
-  /// layer runs first; throws OomError only when no callback can free bytes.
+  /// Allocates `bytes` of storage charged to `region` (the primary, byte-
+  /// typed entry point — window slots may hold f32 or bf16 elements). The
+  /// block is max_align_t-aligned. On exhaustion the pressure layer runs
+  /// first; throws OomError only when no callback can free bytes.
+  std::byte* allocate_bytes(std::size_t bytes,
+                            const std::string& region = kWorkspace);
+
+  /// Float-typed convenience wrapper: allocate_bytes(n * sizeof(float)).
   float* allocate_floats(std::size_t n, const std::string& region = kWorkspace);
 
-  /// Releases a block returned by allocate_floats.
-  void deallocate(float* ptr);
+  /// Releases a block returned by allocate_bytes/allocate_floats.
+  void deallocate(void* ptr);
 
   /// Reserves `bytes` of capacity in `region` without backing storage.
   /// Returns false (no state change, no pressure signal) when the free

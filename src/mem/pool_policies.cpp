@@ -1,21 +1,26 @@
 #include "mem/pool_policies.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
 namespace sh::mem {
 
-BufferPool::BufferPool(DeviceArena& arena, std::size_t slot_floats,
+namespace {
+inline std::size_t align_up(std::size_t bytes) {
+  return (bytes + kRegionAlign - 1) / kRegionAlign * kRegionAlign;
+}
+}  // namespace
+
+BufferPool::BufferPool(DeviceArena& arena, std::size_t slot_bytes,
                        std::size_t num_slots, std::string region)
-    : arena_(arena), region_(std::move(region)), slot_floats_(slot_floats) {
-  if (slot_floats == 0 || num_slots == 0) {
+    : arena_(arena), region_(std::move(region)), slot_bytes_(slot_bytes) {
+  if (slot_bytes == 0 || num_slots == 0) {
     throw std::invalid_argument("BufferPool: slots must be non-empty");
   }
   slots_.reserve(num_slots);
   for (std::size_t i = 0; i < num_slots; ++i) {
-    float* s = arena_.allocate_floats(slot_floats_, region_);
+    std::byte* s = arena_.allocate_bytes(slot_bytes_, region_);
     slots_.push_back(s);
     free_queue_.push_back(s);
   }
@@ -24,30 +29,30 @@ BufferPool::BufferPool(DeviceArena& arena, std::size_t slot_floats,
 BufferPool::~BufferPool() { release_all_to_arena(); }
 
 void BufferPool::release_all_to_arena() {
-  for (float* s : slots_) arena_.deallocate(s);
+  for (std::byte* s : slots_) arena_.deallocate(s);
   slots_.clear();
   free_queue_.clear();
 }
 
-float* BufferPool::acquire() {
+std::byte* BufferPool::acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return !free_queue_.empty(); });
-  float* s = free_queue_.front();
+  std::byte* s = free_queue_.front();
   free_queue_.pop_front();
   ++acquisitions_;
   return s;
 }
 
-float* BufferPool::try_acquire() {
+std::byte* BufferPool::try_acquire() {
   std::lock_guard<std::mutex> lock(mu_);
   if (free_queue_.empty()) return nullptr;
-  float* s = free_queue_.front();
+  std::byte* s = free_queue_.front();
   free_queue_.pop_front();
   ++acquisitions_;
   return s;
 }
 
-void BufferPool::release(float* slot) {
+void BufferPool::release(std::byte* slot) {
   std::lock_guard<std::mutex> lock(mu_);
   if (std::find(slots_.begin(), slots_.end(), slot) == slots_.end()) {
     throw std::logic_error("BufferPool: releasing a foreign pointer");
@@ -56,25 +61,26 @@ void BufferPool::release(float* slot) {
       free_queue_.end()) {
     throw std::logic_error("BufferPool: double release");
   }
-  // Poison so stale layer views read NaN instead of old parameters.
-  std::fill_n(slot, slot_floats_, std::numeric_limits<float>::quiet_NaN());
+  // Poison so stale layer views read NaN (under f32 and bf16 alike)
+  // instead of old parameters.
+  std::fill_n(slot, slot_bytes_, kPoisonByte);
   free_queue_.push_back(slot);
   cv_.notify_one();
 }
 
-void BufferPool::grow(std::size_t slot_floats, std::size_t num_slots) {
+void BufferPool::grow(std::size_t slot_bytes, std::size_t num_slots) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (slot_floats > slot_floats_) {
+  if (slot_bytes > slot_bytes_) {
     if (free_queue_.size() != slots_.size()) {
       throw std::logic_error("BufferPool: cannot resize slots while in use");
     }
-    for (float*& s : slots_) arena_.deallocate(s);
+    for (std::byte*& s : slots_) arena_.deallocate(s);
     slots_.clear();
     free_queue_.clear();
-    slot_floats_ = slot_floats;
+    slot_bytes_ = slot_bytes;
     const std::size_t count = std::max(num_slots, std::size_t{1});
     for (std::size_t i = 0; i < count; ++i) {
-      float* s = arena_.allocate_floats(slot_floats_, region_);
+      std::byte* s = arena_.allocate_bytes(slot_bytes_, region_);
       slots_.push_back(s);
       free_queue_.push_back(s);
     }
@@ -82,16 +88,16 @@ void BufferPool::grow(std::size_t slot_floats, std::size_t num_slots) {
     return;
   }
   while (slots_.size() < num_slots) {
-    float* s = arena_.allocate_floats(slot_floats_, region_);
+    std::byte* s = arena_.allocate_bytes(slot_bytes_, region_);
     slots_.push_back(s);
     free_queue_.push_back(s);
     cv_.notify_one();
   }
 }
 
-std::size_t BufferPool::slot_floats() const {
+std::size_t BufferPool::slot_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return slot_floats_;
+  return slot_bytes_;
 }
 
 std::size_t BufferPool::num_slots() const {
@@ -109,32 +115,32 @@ std::size_t BufferPool::total_acquisitions() const {
   return acquisitions_;
 }
 
-bool BufferPool::owns(const float* ptr) const {
+bool BufferPool::owns(const std::byte* ptr) const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::find(slots_.begin(), slots_.end(), ptr) != slots_.end();
 }
 
-ByteBudgetPool::ByteBudgetPool(DeviceArena& arena, std::size_t budget_floats,
+ByteBudgetPool::ByteBudgetPool(DeviceArena& arena, std::size_t budget_bytes,
                                std::string region)
-    : arena_(arena), budget_(budget_floats) {
-  if (budget_floats == 0) {
+    : arena_(arena), budget_(align_up(budget_bytes)) {
+  if (budget_bytes == 0) {
     throw std::invalid_argument("ByteBudgetPool: empty budget");
   }
-  base_ = arena_.allocate_floats(budget_, region);
+  base_ = arena_.allocate_bytes(budget_, region);
   free_[0] = budget_;
 }
 
 ByteBudgetPool::~ByteBudgetPool() { arena_.deallocate(base_); }
 
-float* ByteBudgetPool::take_first_fit_locked(std::size_t floats) {
+std::byte* ByteBudgetPool::take_first_fit_locked(std::size_t bytes) {
   for (auto it = free_.begin(); it != free_.end(); ++it) {
-    if (it->second < floats) continue;
+    if (it->second < bytes) continue;
     const std::size_t offset = it->first;
-    const std::size_t remaining = it->second - floats;
+    const std::size_t remaining = it->second - bytes;
     free_.erase(it);
-    if (remaining > 0) free_[offset + floats] = remaining;
-    allocated_[offset] = floats;
-    in_use_ += floats;
+    if (remaining > 0) free_[offset + bytes] = remaining;
+    allocated_[offset] = bytes;
+    in_use_ += bytes;
     peak_ = std::max(peak_, in_use_);
     ++acquisitions_;
     return base_ + offset;
@@ -142,30 +148,26 @@ float* ByteBudgetPool::take_first_fit_locked(std::size_t floats) {
   return nullptr;
 }
 
-float* ByteBudgetPool::acquire(std::size_t floats) {
-  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
-  if (floats > budget_) {
-    throw OomError("window-budget", floats * sizeof(float),
-                   budget_ * sizeof(float));
-  }
+std::byte* ByteBudgetPool::acquire(std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("acquire of zero bytes");
+  const std::size_t need = align_up(bytes);
+  if (need > budget_) throw OomError("window-budget", need, budget_);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (float* p = take_first_fit_locked(floats)) return p;
+    if (std::byte* p = take_first_fit_locked(need)) return p;
     cv_.wait(lock);
   }
 }
 
-float* ByteBudgetPool::try_acquire(std::size_t floats) {
-  if (floats == 0) throw std::invalid_argument("acquire of zero floats");
-  if (floats > budget_) {
-    throw OomError("window-budget", floats * sizeof(float),
-                   budget_ * sizeof(float));
-  }
+std::byte* ByteBudgetPool::try_acquire(std::size_t bytes) {
+  if (bytes == 0) throw std::invalid_argument("acquire of zero bytes");
+  const std::size_t need = align_up(bytes);
+  if (need > budget_) throw OomError("window-budget", need, budget_);
   std::lock_guard<std::mutex> lock(mu_);
-  return take_first_fit_locked(floats);
+  return take_first_fit_locked(need);
 }
 
-void ByteBudgetPool::release(float* ptr) {
+void ByteBudgetPool::release(std::byte* ptr) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto offset = static_cast<std::size_t>(ptr - base_);
   auto it = allocated_.find(offset);
@@ -173,7 +175,7 @@ void ByteBudgetPool::release(float* ptr) {
     throw std::logic_error("ByteBudgetPool: releasing unknown region");
   }
   const std::size_t size = it->second;
-  std::fill_n(ptr, size, std::numeric_limits<float>::quiet_NaN());
+  std::fill_n(ptr, size, kPoisonByte);
   allocated_.erase(it);
   in_use_ -= size;
 
@@ -196,12 +198,12 @@ void ByteBudgetPool::release(float* ptr) {
   cv_.notify_all();
 }
 
-std::size_t ByteBudgetPool::floats_in_use() const {
+std::size_t ByteBudgetPool::bytes_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_use_;
 }
 
-std::size_t ByteBudgetPool::peak_floats_in_use() const {
+std::size_t ByteBudgetPool::peak_bytes_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_;
 }

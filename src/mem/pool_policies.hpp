@@ -6,8 +6,8 @@
 // fixed slots once at warm-up (m = working window) and recycles them
 // round-robin: a prefetched layer takes the slot most recently vacated by an
 // evicted layer. Reserved buffers may grow but never shrink. Released slots
-// are poisoned with NaN so a layer computing from a stale window slot fails
-// loudly.
+// are poisoned (every byte 0xFF — a NaN pattern under both f32 and bf16) so
+// a layer computing from a stale window slot fails loudly.
 //
 // ByteBudgetPool — fixed-size GPU working buffer with a dynamically varying
 // number of layers (Section III-D, final paragraph). Uniform slots sized for
@@ -17,8 +17,10 @@
 // coalescing free list — the number of resident layers then adapts to their
 // sizes.
 //
-// Both are policies, not owners: every byte they hand out is backed by (and
-// charged to a region of) the DeviceArena passed at construction.
+// Both are byte-typed: slots hold whatever element encoding the window runs
+// in (f32 or bf16 — the caller prices elements into bytes). Both are
+// policies, not owners: every byte they hand out is backed by (and charged
+// to a region of) the DeviceArena passed at construction.
 #pragma once
 
 #include <condition_variable>
@@ -33,11 +35,20 @@
 
 namespace sh::mem {
 
+/// Byte value released pool memory is filled with. 0xFF repeated is a quiet
+/// NaN bit pattern for f32 (0xFFFFFFFF) and bf16 (0xFFFF) alike, so stale
+/// reads fail loudly under either window dtype.
+inline constexpr std::byte kPoisonByte{0xFF};
+
+/// Sub-allocations from pooled slabs are rounded up to this alignment so a
+/// carved region can always back f32 (or bf16) element storage.
+inline constexpr std::size_t kRegionAlign = 16;
+
 class BufferPool {
  public:
-  /// Reserves `num_slots` buffers of `slot_floats` floats from `arena`,
+  /// Reserves `num_slots` buffers of `slot_bytes` bytes from `arena`,
   /// charged to `region`.
-  BufferPool(DeviceArena& arena, std::size_t slot_floats,
+  BufferPool(DeviceArena& arena, std::size_t slot_bytes,
              std::size_t num_slots,
              std::string region = DeviceArena::kWindow);
   ~BufferPool();
@@ -46,26 +57,26 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Takes the next free slot in round-robin order; blocks until one frees.
-  float* acquire();
+  std::byte* acquire();
 
   /// Non-blocking variant; returns nullptr when all slots are busy.
-  float* try_acquire();
+  std::byte* try_acquire();
 
   /// Returns a slot to the free queue (poisoning its contents).
-  void release(float* slot);
+  void release(std::byte* slot);
 
-  /// Grows the pool to at least `num_slots` slots of at least `slot_floats`
-  /// floats. Shrinking is never performed (paper: buffers grow, not shrink).
+  /// Grows the pool to at least `num_slots` slots of at least `slot_bytes`
+  /// bytes. Shrinking is never performed (paper: buffers grow, not shrink).
   /// All slots must be free when growing the slot size.
-  void grow(std::size_t slot_floats, std::size_t num_slots);
+  void grow(std::size_t slot_bytes, std::size_t num_slots);
 
-  std::size_t slot_floats() const;
+  std::size_t slot_bytes() const;
   std::size_t num_slots() const;
   std::size_t free_slots() const;
   std::size_t total_acquisitions() const;
 
   /// True if `ptr` is one of this pool's slots (any state).
-  bool owns(const float* ptr) const;
+  bool owns(const std::byte* ptr) const;
 
  private:
   void release_all_to_arena();
@@ -74,37 +85,38 @@ class BufferPool {
   const std::string region_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::size_t slot_floats_;
-  std::vector<float*> slots_;      // all slots, in reservation order
-  std::deque<float*> free_queue_;  // round-robin free list
+  std::size_t slot_bytes_;
+  std::vector<std::byte*> slots_;      // all slots, in reservation order
+  std::deque<std::byte*> free_queue_;  // round-robin free list
   std::size_t acquisitions_ = 0;
 };
 
 class ByteBudgetPool {
  public:
-  /// Reserves a single `budget_floats` buffer from `arena`, charged to
+  /// Reserves a single `budget_bytes` buffer from `arena`, charged to
   /// `region`.
-  ByteBudgetPool(DeviceArena& arena, std::size_t budget_floats,
+  ByteBudgetPool(DeviceArena& arena, std::size_t budget_bytes,
                  std::string region = DeviceArena::kWindow);
   ~ByteBudgetPool();
 
   ByteBudgetPool(const ByteBudgetPool&) = delete;
   ByteBudgetPool& operator=(const ByteBudgetPool&) = delete;
 
-  /// Carves a `floats`-sized region out of the buffer (first fit); blocks
-  /// until a large-enough contiguous region frees up. Throws OomError if the
-  /// request exceeds the whole budget (it could never be satisfied).
-  float* acquire(std::size_t floats);
+  /// Carves a `bytes`-sized region out of the buffer (first fit, rounded up
+  /// to kRegionAlign); blocks until a large-enough contiguous region frees
+  /// up. Throws OomError if the request exceeds the whole budget (it could
+  /// never be satisfied).
+  std::byte* acquire(std::size_t bytes);
 
   /// Non-blocking variant: nullptr when no region currently fits.
-  float* try_acquire(std::size_t floats);
+  std::byte* try_acquire(std::size_t bytes);
 
   /// Returns a region (poisoning it) and coalesces with free neighbours.
-  void release(float* ptr);
+  void release(std::byte* ptr);
 
-  std::size_t budget_floats() const noexcept { return budget_; }
-  std::size_t floats_in_use() const;
-  std::size_t peak_floats_in_use() const;
+  std::size_t budget_bytes() const noexcept { return budget_; }
+  std::size_t bytes_in_use() const;
+  std::size_t peak_bytes_in_use() const;
   std::size_t live_regions() const;
   std::size_t total_acquisitions() const;
 
@@ -113,14 +125,14 @@ class ByteBudgetPool {
 
  private:
   std::size_t largest_free_locked() const;
-  float* take_first_fit_locked(std::size_t floats);
+  std::byte* take_first_fit_locked(std::size_t bytes);
 
   DeviceArena& arena_;
-  float* base_ = nullptr;
+  std::byte* base_ = nullptr;
   std::size_t budget_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  // offset -> size, for allocated and free regions.
+  // offset -> size in bytes, for allocated and free regions.
   std::map<std::size_t, std::size_t> allocated_;
   std::map<std::size_t, std::size_t> free_;
   std::size_t in_use_ = 0;

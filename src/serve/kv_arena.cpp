@@ -65,7 +65,7 @@ std::int64_t KvArena::round_to_chunk(std::int64_t tokens) const {
 
 std::size_t KvArena::bytes_for(std::int64_t tokens) const {
   const std::int64_t cap = round_to_chunk(tokens);
-  return sizeof(float) *
+  return tensor::bytes_per_element(cfg_.dtype) *
          static_cast<std::size_t>(2 * blocks_ * heads_ * cap * head_dim_);
 }
 

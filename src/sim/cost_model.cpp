@@ -15,12 +15,20 @@ double total_params(const ModelSpec& m) {
   return static_cast<double>(m.layers) * block_params(m) + embedding_params(m);
 }
 
+double block_param_bytes(const ModelSpec& m, double bytes_per_element) {
+  return bytes_per_element * block_params(m) / m.model_parallel;
+}
+
 double block_param_bytes(const ModelSpec& m) {
-  return kF32 * block_params(m) / m.model_parallel;
+  return block_param_bytes(m, kF32);
+}
+
+double block_window_bytes(const ModelSpec& m, double bytes_per_element) {
+  return 2.0 * block_param_bytes(m, bytes_per_element);  // params + grads
 }
 
 double block_window_bytes(const ModelSpec& m) {
-  return 2.0 * block_param_bytes(m);  // params + grads
+  return block_window_bytes(m, kF32);
 }
 
 double block_state_bytes(const ModelSpec& m) {

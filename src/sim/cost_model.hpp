@@ -22,6 +22,8 @@ struct ModelSpec {
 
 /// Bytes of one FP32 float.
 inline constexpr double kF32 = 4.0;
+/// Bytes of one BF16 element (the optional working-window wire format).
+inline constexpr double kBf16 = 2.0;
 /// Bytes of full training state per parameter (param + grad + Adam m, v).
 inline constexpr double kStateBytesPerParam = 16.0;
 
@@ -39,10 +41,16 @@ double embedding_params(const ModelSpec& m);
 double total_params(const ModelSpec& m);
 
 // --- Per-layer state sizes (per model-parallel shard) -----------------------
+//
+// The `bytes_per_element` overloads price the GPU working window / wire in an
+// arbitrary element encoding (kF32 default; kBf16 for a BF16 window). CPU-side
+// training state is always FP32 masters and is not parameterised.
 
-/// FP32 parameter bytes of one block shard (parameters / model_parallel).
+/// Parameter bytes of one block shard (parameters / model_parallel).
+double block_param_bytes(const ModelSpec& m, double bytes_per_element);
 double block_param_bytes(const ModelSpec& m);
 /// Param + grad bytes (what the GPU working window holds per layer).
+double block_window_bytes(const ModelSpec& m, double bytes_per_element);
 double block_window_bytes(const ModelSpec& m);
 /// Full training-state bytes of one block shard (16 B / param).
 double block_state_bytes(const ModelSpec& m);

@@ -17,6 +17,8 @@
 #include <span>
 #include <string>
 
+#include "tensor/dtype.hpp"
+
 namespace sh::tensor {
 
 /// Row-major shape with up to four dimensions.
@@ -64,6 +66,12 @@ class Tensor {
 
   float& at(std::int64_t i) { return data_[i]; }
   float at(std::int64_t i) const { return data_[i]; }
+
+  /// Dtype-tagged view of this tensor's storage (always f32 today); the
+  /// boundary type the byte-typed memory substrate works in.
+  StorageView storage() noexcept {
+    return StorageView(data_, DType::f32, static_cast<std::size_t>(numel()));
+  }
 
   /// Re-points a view at new memory (shape is unchanged). Owning tensors
   /// cannot be rebound.

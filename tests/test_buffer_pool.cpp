@@ -1,30 +1,29 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cmath>
 #include <thread>
 #include <vector>
 
-#include "core/buffer_pool.hpp"
-#include "hw/memory_pool.hpp"
+#include "mem/device_arena.hpp"
+#include "mem/pool_policies.hpp"
 
-namespace sh::core {
+namespace sh::mem {
 namespace {
 
 TEST(BufferPool, ReservesSlotsUpFront) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 100, 4);
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 400, 4);
   EXPECT_EQ(pool.num_slots(), 4u);
   EXPECT_EQ(pool.free_slots(), 4u);
-  EXPECT_EQ(gpu.used(), 4u * 100u * sizeof(float));
+  EXPECT_EQ(gpu.used(), 4u * 400u);
 }
 
 TEST(BufferPool, RoundRobinRecycling) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 16, 3);
-  float* a = pool.acquire();
-  float* b = pool.acquire();
-  float* c = pool.acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 64, 3);
+  std::byte* a = pool.acquire();
+  std::byte* b = pool.acquire();
+  std::byte* c = pool.acquire();
   EXPECT_EQ(pool.free_slots(), 0u);
   pool.release(b);
   pool.release(a);
@@ -39,38 +38,39 @@ TEST(BufferPool, RoundRobinRecycling) {
 }
 
 TEST(BufferPool, ReleasePoisonsSlot) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 1);
-  float* s = pool.acquire();
-  for (int i = 0; i < 8; ++i) s[i] = 1.0f;
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 1);
+  std::byte* s = pool.acquire();
+  std::fill_n(s, 32, std::byte{0});
   pool.release(s);
-  float* again = pool.acquire();
+  std::byte* again = pool.acquire();
   ASSERT_EQ(again, s);
-  for (int i = 0; i < 8; ++i) {
-    EXPECT_TRUE(std::isnan(again[i])) << "slot not poisoned at " << i;
+  // Every byte 0xFF: a NaN bit pattern under f32 and bf16 alike.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(again[i], kPoisonByte) << "slot not poisoned at " << i;
   }
   pool.release(again);
 }
 
 TEST(BufferPool, DoubleReleaseThrows) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  float* s = pool.acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  std::byte* s = pool.acquire();
   pool.release(s);
   EXPECT_THROW(pool.release(s), std::logic_error);
 }
 
 TEST(BufferPool, ForeignPointerReleaseThrows) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 1);
-  float foreign = 0.0f;
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 1);
+  std::byte foreign{0};
   EXPECT_THROW(pool.release(&foreign), std::logic_error);
 }
 
 TEST(BufferPool, TryAcquireDoesNotBlock) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 1);
-  float* s = pool.try_acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 1);
+  std::byte* s = pool.try_acquire();
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(pool.try_acquire(), nullptr);
   pool.release(s);
@@ -78,12 +78,12 @@ TEST(BufferPool, TryAcquireDoesNotBlock) {
 }
 
 TEST(BufferPool, AcquireBlocksUntilRelease) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 1);
-  float* s = pool.acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 1);
+  std::byte* s = pool.acquire();
   std::atomic<bool> acquired{false};
   std::thread waiter([&] {
-    float* t = pool.acquire();
+    std::byte* t = pool.acquire();
     acquired = true;
     pool.release(t);
   });
@@ -95,52 +95,52 @@ TEST(BufferPool, AcquireBlocksUntilRelease) {
 }
 
 TEST(BufferPool, GrowAddsSlotsNeverShrinks) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  pool.grow(8, 5);
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  pool.grow(32, 5);
   EXPECT_EQ(pool.num_slots(), 5u);
-  pool.grow(8, 3);  // smaller request: no shrink
+  pool.grow(32, 3);  // smaller request: no shrink
   EXPECT_EQ(pool.num_slots(), 5u);
 }
 
 TEST(BufferPool, GrowSlotSizeReallocates) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  pool.grow(32, 3);
-  EXPECT_EQ(pool.slot_floats(), 32u);
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  pool.grow(128, 3);
+  EXPECT_EQ(pool.slot_bytes(), 128u);
   EXPECT_EQ(pool.num_slots(), 3u);
-  EXPECT_EQ(gpu.used(), 3u * 32u * sizeof(float));
+  EXPECT_EQ(gpu.used(), 3u * 128u);
 }
 
 TEST(BufferPool, GrowSlotSizeWhileInUseThrows) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  float* s = pool.acquire();
-  EXPECT_THROW(pool.grow(32, 2), std::logic_error);
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  std::byte* s = pool.acquire();
+  EXPECT_THROW(pool.grow(128, 2), std::logic_error);
   pool.release(s);
 }
 
 TEST(BufferPool, GrowBeyondGpuCapacityRaisesOom) {
-  hw::MemoryPool gpu("gpu", 10 * 8 * sizeof(float));
-  BufferPool pool(gpu, 8, 5);
-  EXPECT_THROW(pool.grow(8, 100), hw::OomError);
+  DeviceArena gpu("gpu", 10 * 32);
+  BufferPool pool(gpu, 32, 5);
+  EXPECT_THROW(pool.grow(32, 100), OomError);
 }
 
 TEST(BufferPool, OwnsIdentifiesSlots) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  float* s = pool.acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  std::byte* s = pool.acquire();
   EXPECT_TRUE(pool.owns(s));
-  float foreign = 0.0f;
+  std::byte foreign{0};
   EXPECT_FALSE(pool.owns(&foreign));
   pool.release(s);
 }
 
 TEST(BufferPool, CountsAcquisitions) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 8, 2);
-  float* a = pool.acquire();
-  float* b = pool.acquire();
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 32, 2);
+  std::byte* a = pool.acquire();
+  std::byte* b = pool.acquire();
   pool.release(a);
   pool.release(b);
   pool.release(pool.acquire());
@@ -148,15 +148,15 @@ TEST(BufferPool, CountsAcquisitions) {
 }
 
 TEST(BufferPool, ConcurrentAcquireReleaseStress) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  BufferPool pool(gpu, 4, 3);
+  DeviceArena gpu("gpu", 1 << 20);
+  BufferPool pool(gpu, 16, 3);
   std::atomic<int> total{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&] {
       for (int i = 0; i < 200; ++i) {
-        float* s = pool.acquire();
-        s[0] = 1.0f;  // touch
+        std::byte* s = pool.acquire();
+        s[0] = std::byte{1};  // touch
         pool.release(s);
         total.fetch_add(1);
       }
@@ -168,4 +168,4 @@ TEST(BufferPool, ConcurrentAcquireReleaseStress) {
 }
 
 }  // namespace
-}  // namespace sh::core
+}  // namespace sh::mem

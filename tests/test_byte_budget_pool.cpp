@@ -1,64 +1,78 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cmath>
 #include <thread>
 #include <vector>
 
-#include "core/byte_budget_pool.hpp"
 #include "core/engine.hpp"
 #include "core/monolithic.hpp"
 #include "data/synthetic.hpp"
+#include "mem/device_arena.hpp"
+#include "mem/pool_policies.hpp"
 #include "testing/util.hpp"
 
 namespace sh::core {
 namespace {
 
+// Pool requests below are multiples of mem::kRegionAlign so offsets stay
+// exact; off-multiple sizes round up (AlignsOddRequests covers that).
+
 TEST(ByteBudgetPool, FirstFitAllocation) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 100);
-  float* a = pool.acquire(40);
-  float* b = pool.acquire(40);
-  EXPECT_EQ(b - a, 40);
-  EXPECT_EQ(pool.floats_in_use(), 80u);
-  EXPECT_EQ(pool.largest_free_region(), 20u);
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 1600);
+  std::byte* a = pool.acquire(640);
+  std::byte* b = pool.acquire(640);
+  EXPECT_EQ(b - a, 640);
+  EXPECT_EQ(pool.bytes_in_use(), 1280u);
+  EXPECT_EQ(pool.largest_free_region(), 320u);
   pool.release(a);
   // First fit reuses the freed head region.
-  float* c = pool.acquire(30);
+  std::byte* c = pool.acquire(480);
   EXPECT_EQ(c, a);
   pool.release(b);
   pool.release(c);
-  EXPECT_EQ(pool.floats_in_use(), 0u);
-  EXPECT_EQ(pool.largest_free_region(), 100u);  // fully coalesced
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.largest_free_region(), 1600u);  // fully coalesced
 }
 
 TEST(ByteBudgetPool, CoalescesWithBothNeighbours) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 90);
-  float* a = pool.acquire(30);
-  float* b = pool.acquire(30);
-  float* c = pool.acquire(30);
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 1440);
+  std::byte* a = pool.acquire(480);
+  std::byte* b = pool.acquire(480);
+  std::byte* c = pool.acquire(480);
   pool.release(a);
   pool.release(c);
-  EXPECT_EQ(pool.largest_free_region(), 30u);  // two disjoint 30s
-  pool.release(b);                             // merges all three
-  EXPECT_EQ(pool.largest_free_region(), 90u);
+  EXPECT_EQ(pool.largest_free_region(), 480u);  // two disjoint 480s
+  pool.release(b);                              // merges all three
+  EXPECT_EQ(pool.largest_free_region(), 1440u);
+}
+
+TEST(ByteBudgetPool, AlignsOddRequests) {
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 256);
+  std::byte* a = pool.acquire(17);  // rounds up to 32
+  std::byte* b = pool.acquire(16);
+  EXPECT_EQ(b - a, 32);
+  EXPECT_EQ(pool.bytes_in_use(), 48u);
+  pool.release(a);
+  pool.release(b);
 }
 
 TEST(ByteBudgetPool, OversizedRequestThrowsImmediately) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 64);
-  EXPECT_THROW(pool.acquire(65), hw::OomError);
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 64);
+  EXPECT_THROW(pool.acquire(65), mem::OomError);
   EXPECT_THROW(pool.acquire(0), std::invalid_argument);
 }
 
 TEST(ByteBudgetPool, BlocksUntilSpaceFrees) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 64);
-  float* a = pool.acquire(50);
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 1024);
+  std::byte* a = pool.acquire(800);
   std::atomic<bool> got{false};
   std::thread waiter([&] {
-    float* b = pool.acquire(40);
+    std::byte* b = pool.acquire(640);
     got = true;
     pool.release(b);
   });
@@ -70,22 +84,22 @@ TEST(ByteBudgetPool, BlocksUntilSpaceFrees) {
 }
 
 TEST(ByteBudgetPool, PoisonsReleasedRegions) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 32);
-  float* a = pool.acquire(32);
-  for (int i = 0; i < 32; ++i) a[i] = 1.0f;
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 128);
+  std::byte* a = pool.acquire(128);
+  std::fill_n(a, 128, std::byte{0});
   pool.release(a);
-  float* b = pool.acquire(32);
+  std::byte* b = pool.acquire(128);
   ASSERT_EQ(b, a);
-  for (int i = 0; i < 32; ++i) EXPECT_TRUE(std::isnan(b[i]));
+  for (int i = 0; i < 128; ++i) EXPECT_EQ(b[i], mem::kPoisonByte);
   pool.release(b);
 }
 
 TEST(ByteBudgetPool, UnknownReleaseThrows) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 32);
-  float* a = pool.acquire(16);
-  float foreign = 0.0f;
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 128);
+  std::byte* a = pool.acquire(64);
+  std::byte foreign{0};
   EXPECT_THROW(pool.release(&foreign), std::logic_error);
   EXPECT_THROW(pool.release(a + 1), std::logic_error);  // interior pointer
   pool.release(a);
@@ -93,35 +107,36 @@ TEST(ByteBudgetPool, UnknownReleaseThrows) {
 }
 
 TEST(ByteBudgetPool, TracksPeakUsage) {
-  hw::MemoryPool gpu("gpu", 1 << 20);
-  ByteBudgetPool pool(gpu, 100);
-  float* a = pool.acquire(60);
-  float* b = pool.acquire(30);
+  mem::DeviceArena gpu("gpu", 1 << 20);
+  mem::ByteBudgetPool pool(gpu, 1600);
+  std::byte* a = pool.acquire(960);
+  std::byte* b = pool.acquire(480);
   pool.release(a);
   pool.release(b);
-  EXPECT_EQ(pool.peak_floats_in_use(), 90u);
+  EXPECT_EQ(pool.peak_bytes_in_use(), 1440u);
   EXPECT_EQ(pool.total_acquisitions(), 2u);
 }
 
 TEST(ByteBudgetPool, ConcurrentChurnKeepsInvariants) {
-  hw::MemoryPool gpu("gpu", 1 << 22);
-  ByteBudgetPool pool(gpu, 4096);
+  mem::DeviceArena gpu("gpu", 1 << 22);
+  mem::ByteBudgetPool pool(gpu, 16384);
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < 200; ++i) {
-        const std::size_t n = 64 + 97 * static_cast<std::size_t>((t + i) % 7);
-        float* p = pool.acquire(n);
-        p[0] = 1.0f;
-        p[n - 1] = 2.0f;
+        const std::size_t n =
+            256 + 97 * static_cast<std::size_t>((t + i) % 7);
+        std::byte* p = pool.acquire(n);
+        p[0] = std::byte{1};
+        p[n - 1] = std::byte{2};
         pool.release(p);
       }
     });
   }
   for (auto& th : threads) th.join();
-  EXPECT_EQ(pool.floats_in_use(), 0u);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
   EXPECT_EQ(pool.live_regions(), 0u);
-  EXPECT_EQ(pool.largest_free_region(), 4096u);
+  EXPECT_EQ(pool.largest_free_region(), 16384u);
 }
 
 nn::GptConfig moe_config() {
@@ -196,7 +211,7 @@ TEST(ByteBudgetEngine, FitsWhereUniformSlotsCannot) {
   EngineConfig uniform;
   uniform.window = 2;
   uniform.gpu_memory_bytes = gpu_mem;
-  EXPECT_THROW(StrongholdEngine(m1, uniform), hw::OomError);
+  EXPECT_THROW(StrongholdEngine(m1, uniform), mem::OomError);
 
   nn::GptModel m2(mcfg);
   EngineConfig budget;

@@ -281,7 +281,7 @@ TEST(Engine, OomWhenGpuCannotHoldWindow) {
   EngineConfig ecfg;
   ecfg.window = 4;
   ecfg.gpu_memory_bytes = 16 * 1024;  // pinned layers alone exceed this
-  EXPECT_THROW(StrongholdEngine(model, ecfg), hw::OomError);
+  EXPECT_THROW(StrongholdEngine(model, ecfg), mem::OomError);
 }
 
 TEST(Engine, TracksTransferAndStallStatistics) {

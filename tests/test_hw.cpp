@@ -2,13 +2,19 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
-#include "hw/memory_pool.hpp"
 #include "hw/transfer.hpp"
+#include "mem/device_arena.hpp"
 
 namespace sh::hw {
 namespace {
+
+using mem::DeviceArena;
+using mem::OomError;
+using MemoryPool = mem::DeviceArena;
 
 TEST(MemoryPool, AllocatesWithinCapacity) {
   MemoryPool pool("gpu", 1024);
@@ -66,6 +72,15 @@ TEST(MemoryPool, ZeroCapacityRejectsEverything) {
   EXPECT_THROW(pool.allocate_floats(1), OomError);
 }
 
+TEST(MemoryPool, ByteAllocationsAreThePrimary) {
+  MemoryPool pool("gpu", 1024);
+  std::byte* p = pool.allocate_bytes(100);  // odd sizes are fine in bytes
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(pool.used(), 100u);
+  pool.deallocate(p);
+  EXPECT_EQ(pool.used(), 0u);
+}
+
 TEST(TransferEngine, CopiesData) {
   TransferEngine eng("h2d");
   std::vector<float> src = {1, 2, 3, 4};
@@ -116,6 +131,27 @@ TEST(TransferEngine, WaitAllDrainsQueue) {
   for (int i = 0; i < 10; ++i) eng.copy_async(src.data(), dst.data(), 64);
   eng.wait_all();
   EXPECT_EQ(eng.completed_transfers(), 10u);
+}
+
+TEST(TransferEngine, ByteCopyReportsTrueBytes) {
+  TransferEngine eng("h2d");
+  // A bf16-style wire copy: 6 elements at 2 bytes each.
+  std::vector<std::uint16_t> src = {1, 2, 3, 4, 5, 6};
+  std::vector<std::uint16_t> dst(6, 0);
+  eng.copy_async(src.data(), dst.data(), src.size() * sizeof(std::uint16_t))
+      .get();
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(eng.completed_transfers(), 1u);
+  EXPECT_EQ(eng.bytes_transferred(), 12u);  // not 4 bytes/element
+}
+
+TEST(TransferEngine, RecordTransferAccountsJobBytes) {
+  TransferEngine eng("h2d");
+  // Jobs that move data themselves report their wire bytes explicitly.
+  eng.run_async([&] { eng.record_transfer(512); }).get();
+  eng.record_transfer(256);  // also callable from outside a job
+  EXPECT_EQ(eng.completed_transfers(), 2u);
+  EXPECT_EQ(eng.bytes_transferred(), 768u);
 }
 
 TEST(TransferEngine, PropagatesJobExceptions) {

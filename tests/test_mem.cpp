@@ -34,7 +34,8 @@ TEST(DeviceArena, OomErrorCarriesPoolAndByteMetadata) {
   arena.deallocate(held);
 
   // Policy pools put their own name in the error: a ByteBudgetPool rejects
-  // oversized requests against its budget, not the arena capacity.
+  // oversized requests against its budget, not the arena capacity. Requests
+  // are byte-typed and rounded up to kRegionAlign.
   DeviceArena roomy("gpu", 1 << 20);
   ByteBudgetPool pool(roomy, 64);
   try {
@@ -42,8 +43,8 @@ TEST(DeviceArena, OomErrorCarriesPoolAndByteMetadata) {
     FAIL() << "expected OomError";
   } catch (const OomError& e) {
     EXPECT_EQ(e.pool(), "window-budget");
-    EXPECT_EQ(e.requested_bytes(), 65 * sizeof(float));
-    EXPECT_EQ(e.free_bytes(), 64 * sizeof(float));
+    EXPECT_EQ(e.requested_bytes(), 80u);  // 65 rounded up to 16-byte align
+    EXPECT_EQ(e.free_bytes(), 64u);
   }
 }
 
