@@ -32,16 +32,22 @@ struct FaultRunResult {
   std::size_t retries = 0;
   std::size_t io_errors = 0;
   double retry_backoff_s = 0.0;
+  std::size_t moment_writes = 0;
+  std::size_t moment_update_skips = 0;
 };
 
 FaultRunResult run_faulted(const sh::nn::GptConfig& mc, double fault_rate,
-                           const std::string& swap_path) {
+                           const std::string& swap_path,
+                           bool opt_tier = false) {
   using namespace sh;
   nn::GptModel model(mc);
   core::EngineConfig cfg;
   cfg.window = 2;
   // Budget covers only the first layers; the rest live on the faulted tier.
   cfg.cpu_capacity_bytes = 256 * 1024;
+  // Part 3: additionally page the Adam moments through the same faulted
+  // tier (SH_OPT_TIER=nvme).
+  if (opt_tier) cfg.optimizer_tier = core::OptimizerTier::nvme;
   cfg.swap_path = swap_path;
   cfg.swap_faults.rate = fault_rate;
   cfg.swap_faults.seed = 2026;
@@ -73,6 +79,8 @@ FaultRunResult run_faulted(const sh::nn::GptConfig& mc, double fault_rate,
   r.retries = s.swap_retries;
   r.io_errors = s.swap_io_errors;
   r.retry_backoff_s = s.swap_retry_backoff_s;
+  r.moment_writes = s.moment_writes;
+  r.moment_update_skips = s.moment_update_skips;
   return r;
 }
 
@@ -146,6 +154,43 @@ int main() {
   metrics.add("fig10.fault_rates_swept", static_cast<double>(rates.size()));
   metrics.add("fig10.sim.sh_max_billions", sh_max, "B params");
   metrics.add("fig10.sim.zero_infinity_max_billions", zi_max, "B params");
+
+  // --- Part 3: the NVMe optimizer tier (SH_OPT_TIER=nvme), healthy vs
+  // faulted. Moment paging rides the same faulted tier; throughput degrades
+  // with the rate while the loss stays bit-identical and no update is
+  // skipped (bounded faults always recover within the retry budget). ---
+  bench::header("Optimizer tier (SH_OPT_TIER=nvme) under fault injection");
+  const std::vector<double> tier_rates = {0.0, 0.25, 0.5};
+  std::vector<FaultRunResult> tier_runs;
+  std::printf("%10s %12s %8s %8s %8s %13s\n", "rate", "samples/s", "faults",
+              "m-writes", "skips", "bit-identical");
+  for (std::size_t i = 0; i < tier_rates.size(); ++i) {
+    char path[64];
+    std::snprintf(path, sizeof(path), "bench_fig10_opt_tier_%zu.bin", i);
+    tier_runs.push_back(
+        run_faulted(mc, tier_rates[i], path, /*opt_tier=*/true));
+    const FaultRunResult& r = tier_runs.back();
+    const bool identical = r.losses == tier_runs.front().losses;
+    std::printf("%10.2f %12.2f %8zu %8zu %8zu %13s\n", tier_rates[i],
+                r.samples_per_s, r.faults_injected, r.moment_writes,
+                r.moment_update_skips, identical ? "yes" : "NO");
+
+    char prefix[64];
+    std::snprintf(prefix, sizeof(prefix), "fig10.opt_tier_rate_%g",
+                  tier_rates[i]);
+    const std::string p(prefix);
+    metrics.add(p + ".samples_per_s", r.samples_per_s, "samples/s");
+    metrics.add(p + ".faults_injected", static_cast<double>(r.faults_injected));
+    metrics.add(p + ".moment_writes", static_cast<double>(r.moment_writes));
+    metrics.add(p + ".moment_update_skips",
+                static_cast<double>(r.moment_update_skips));
+    metrics.add(p + ".io_errors", static_cast<double>(r.io_errors));
+    metrics.add(p + ".loss_bit_identical", identical ? 1.0 : 0.0);
+  }
+  metrics.add("fig10.opt_tier.healthy_samples_per_s",
+              tier_runs.front().samples_per_s, "samples/s");
+  metrics.add("fig10.opt_tier.faulted_samples_per_s",
+              tier_runs.back().samples_per_s, "samples/s");
 
   {
     std::ofstream os("BENCH_fig10.json");

@@ -1,0 +1,46 @@
+// Verbatim copy of the docs/MEMORY_TIERS.md "Worked example" code block,
+// compiled by CI. tests/test_docs.cpp asserts this file and the doc block
+// are identical, so the documented capacity story can never drift from the
+// simulator that backs it. CI runs the binary and archives its stdout as the
+// capacity report; a non-zero exit means the >= 2x claim no longer holds.
+#include <cstdio>
+
+#include "baselines/stronghold_strategy.hpp"
+#include "baselines/strategy.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/hardware.hpp"
+
+int main() {
+  using namespace sh;
+  const auto v100 = sim::v100_server();  // 32 GB V100, 640 GiB pinned DDR4
+  const double gib = 1024.0 * 1024.0 * 1024.0;
+
+  baselines::StrongholdOptions tiered;
+  tiered.nvme_optimizer_tier = true;  // what SH_OPT_TIER=nvme enables
+  const baselines::StrongholdStrategy two_tier;            // GPU + CPU
+  const baselines::StrongholdStrategy three_tier(tiered);  // GPU + CPU + NVMe
+
+  // A 43B-parameter geometry (Table 1 shape, hidden 2560): the two-tier plan
+  // overflows pinned CPU RAM, the three-tier plan fits with room to spare.
+  baselines::Workload w;
+  w.model = sim::table1_model(550, 2560);
+  w.batch = 4;
+  std::printf("capacity plan for %.1fB params on the V100 server\n",
+              sim::params_billions(w.model));
+  for (const baselines::StrongholdStrategy* s : {&two_tier, &three_tier}) {
+    const auto cap = s->capacity(w, v100);
+    std::printf("  %-21s gpu %5.1f  cpu %6.1f  nvme %6.1f GiB  %s%s\n",
+                s->name().c_str(), cap.gpu_bytes / gib, cap.cpu_bytes / gib,
+                cap.nvme_bytes / gib, cap.fits ? "fits" : "OOM: ",
+                cap.limiter.c_str());
+  }
+
+  // Fig. 6 methodology: grow the layer count until the plan stops fitting.
+  const double base =
+      baselines::largest_trainable_billions(two_tier, v100, 2560, 1, 4);
+  const double grown =
+      baselines::largest_trainable_billions(three_tier, v100, 2560, 1, 4);
+  std::printf("max trainable at hidden 2560: %.1fB -> %.1fB (%.2fx)\n", base,
+              grown, grown / base);
+  return grown >= 2.0 * base ? 0 : 1;  // CI guards the capacity claim
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Checks that the README's "Environment knobs" table matches the code.
+
+Greps src/ for quoted "SH_*" string literals (the runtime's getenv keys) and
+the README's consolidated knob table for `SH_*` rows, then fails (exit 1) on
+drift in either direction: a knob the code reads but the table omits, or a
+table row naming a knob no code reads. Stdlib only — runs anywhere CI has
+python3.
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# Quoted literals only: getenv("SH_FOO"). Unquoted identifiers like the
+# SH_SOURCE_DIR compile definition are not environment knobs.
+CODE_KNOB_RE = re.compile(r'"(SH_[A-Z0-9_]+)"')
+TABLE_ROW_RE = re.compile(r"^\|\s*`(SH_[A-Z0-9_]+)`", re.MULTILINE)
+SECTION_HEADING = "## Environment knobs"
+
+
+def code_knobs() -> set:
+    knobs = set()
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
+            continue
+        knobs.update(CODE_KNOB_RE.findall(path.read_text(encoding="utf-8")))
+    return knobs
+
+
+def table_knobs() -> set:
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    start = readme.find(SECTION_HEADING)
+    if start < 0:
+        print(f'README.md: missing "{SECTION_HEADING}" section')
+        sys.exit(1)
+    end = readme.find("\n## ", start + len(SECTION_HEADING))
+    section = readme[start:end if end > 0 else len(readme)]
+    return set(TABLE_ROW_RE.findall(section))
+
+
+def main() -> int:
+    in_code = code_knobs()
+    in_table = table_knobs()
+    undocumented = sorted(in_code - in_table)
+    stale = sorted(in_table - in_code)
+    if undocumented:
+        print("knobs read by src/ but missing from the README table:")
+        for k in undocumented:
+            print(f"  {k}")
+    if stale:
+        print("README table rows naming knobs no code in src/ reads:")
+        for k in stale:
+            print(f"  {k}")
+    if undocumented or stale:
+        return 1
+    print(f"ok: {len(in_code)} SH_* knobs in src/ all documented, "
+          "no stale table rows")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,23 @@ double slot_bytes(const Workload& w, double elem_bytes) {
          sim::checkpoint_bytes(w.model, w.batch);
 }
 
+// Separate read/write NVMe queues each sustain ~70% of the device's
+// sequential bandwidth with ~50 us submission latency (Section III-G).
+constexpr double kNvmeDirEfficiency = 0.7;
+constexpr double kNvmeLatencyS = 50e-6;
+
+/// Adam moment bytes (m + v, FP32) of one block shard. With the optimizer
+/// tier these are the bytes paged through NVMe per layer update.
+double block_moment_bytes(const Workload& w) {
+  return 8.0 * sim::block_params(w.model) / w.model.model_parallel;
+}
+
+/// True when only the moments live on NVMe (SH_OPT_TIER=nvme model);
+/// `use_nvme` supersedes it — the full state is on the tier already.
+bool moment_tier_only(const StrongholdOptions& o) {
+  return o.nvme_optimizer_tier && !o.use_nvme;
+}
+
 }  // namespace
 
 CapacityReport StrongholdStrategy::capacity(
@@ -60,6 +77,14 @@ CapacityReport StrongholdStrategy::capacity(
     // FP16 moments); the FP32 masters of in-flight layers stage in CPU RAM.
     r.nvme_bytes = 4.0 * sim::total_params(w.model) / w.model.model_parallel;
     r.cpu_bytes = 32.0 * sim::block_state_bytes(w.model) + ckpt;
+  } else if (options_.nvme_optimizer_tier) {
+    // SH_OPT_TIER=nvme: the Adam moments (8 of the 16 B/param state) move to
+    // the tier, and the activation checkpoints of out-of-window layers spill
+    // there too (the tier's second client). CPU RAM keeps the FP32 masters
+    // (params + grads, the other 8 B/param) plus a small staging ring of
+    // in-flight moment buffers (~one block's worth across the lease pool).
+    r.nvme_bytes = 0.5 * state + ckpt;
+    r.cpu_bytes = 0.5 * state + sim::block_state_bytes(w.model);
   } else {
     r.cpu_bytes = state + ckpt;
   }
@@ -68,7 +93,7 @@ CapacityReport StrongholdStrategy::capacity(
   } else if (!options_.use_nvme &&
              r.cpu_bytes > machine.cpu.pinned_limit_bytes) {
     r.limiter = "cpu-pinned";
-  } else if (options_.use_nvme && r.nvme_bytes > machine.nvme_bytes) {
+  } else if (r.nvme_bytes > 0.0 && r.nvme_bytes > machine.nvme_bytes) {
     r.limiter = "nvme";
   } else if (options_.use_nvme && r.cpu_bytes > machine.cpu.ram_bytes) {
     r.limiter = "cpu";
@@ -129,6 +154,13 @@ core::WindowModelInput StrongholdStrategy::build_model_input(
                 static_cast<double>(machine.cpu.cores)
           : calib::kZeroCpuAdamParamsPerS;
   p.t_opt_cpu = sim::block_params(w.model) / w.model.model_parallel / cpu_rate;
+  if (moment_tier_only(options_)) {
+    // Each update pages the layer's moments through the tier: one prefetch
+    // read plus one write-back at the per-direction effective bandwidth.
+    const double tier_rate = machine.nvme_bytes_per_s * kNvmeDirEfficiency;
+    p.t_opt_io =
+        2.0 * (block_moment_bytes(w) / tier_rate + kNvmeLatencyS);
+  }
 
   core::WindowModelInput input;
   input.layers.assign(static_cast<std::size_t>(w.model.layers), p);
@@ -174,9 +206,19 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
   // Separate read/write queues: STRONGHOLD prioritises prefetch reads over
   // state write-backs, so a lagging write never blocks the fetch pipeline
   // (each direction modelled at ~70% of the device's sequential bandwidth).
-  sim::BandwidthLink nvme("nvme-read", machine.nvme_bytes_per_s * 0.7, 50e-6);
-  sim::BandwidthLink nvme_wr("nvme-write", machine.nvme_bytes_per_s * 0.7,
-                             50e-6);
+  sim::BandwidthLink nvme("nvme-read",
+                          machine.nvme_bytes_per_s * kNvmeDirEfficiency,
+                          kNvmeLatencyS);
+  sim::BandwidthLink nvme_wr("nvme-write",
+                             machine.nvme_bytes_per_s * kNvmeDirEfficiency,
+                             kNvmeLatencyS);
+  const bool tier_opt = moment_tier_only(options_);
+  const double moment_bytes = tier_opt ? block_moment_bytes(w) : 0.0;
+  // With the optimizer tier, out-of-window activation checkpoints spill to
+  // NVMe as well (the tier's second client): spilled on leaving the FP
+  // window, restored on the BP refetch path ahead of the recompute.
+  const double spill_bytes =
+      tier_opt ? sim::checkpoint_bytes(w.model, w.batch) : 0.0;
   const std::size_t opt_lanes =
       options_.concurrent_update
           ? static_cast<std::size_t>(std::max(machine.cpu.cores / 2, 1))
@@ -228,6 +270,12 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
     compute_start[i] = iv.start;
     if (trace != nullptr) trace->record("gpu", "f", iv);
     t = iv.end;
+    if (tier_opt && pinned_io && i + m < n) {
+      // The layer's fresh activation checkpoint spills to the tier when the
+      // layer leaves the FP window.
+      const auto siv = nvme_wr.transfer(iv.end, spill_bytes);
+      if (trace != nullptr) trace->record("nvme", "s", siv);
+    }
   }
   // Head compute.
   {
@@ -251,11 +299,14 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
                    // issued by the pre-backward hook m layers ahead (Fig. 3c)
       if (pinned_io) {
         const sim::Time issue = bp_compute_start[k - m];
-        sim::Interval host = options_.use_nvme
-                                 ? nvme.transfer(issue, move_bytes)
-                                 : sim::Interval{issue, issue};
-        if (trace != nullptr && options_.use_nvme) {
-          trace->record("nvme", "r", host);
+        sim::Interval host{issue, issue};
+        if (options_.use_nvme) {
+          host = nvme.transfer(issue, move_bytes);
+          if (trace != nullptr) trace->record("nvme", "r", host);
+        } else if (tier_opt) {
+          // Restore the spilled activation checkpoint ahead of the recompute.
+          host = nvme.transfer(issue, spill_bytes);
+          if (trace != nullptr) trace->record("nvme", "r", host);
         }
         const auto xfer = h2d.transfer(host.end, move_bytes);
         if (trace != nullptr) trace->record("h2d", "p", xfer);
@@ -272,11 +323,23 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
     if (pinned_io) {
       const auto giv = d2h.transfer(iv.end, move_bytes);
       if (trace != nullptr) trace->record("d2h", "g", giv);
-      const auto oiv = cpu.acquire(giv.end, prof.t_opt_cpu);
+      sim::Time opt_ready = giv.end;
+      if (tier_opt) {
+        // Moment prefetch issued when the layer's backward starts (the
+        // engine's BP hook), overlapping the compute and gradient drain;
+        // the update cannot begin until the moments arrive.
+        const auto miv = nvme.transfer(iv.start, moment_bytes);
+        if (trace != nullptr) trace->record("nvme", "m", miv);
+        opt_ready = std::max(opt_ready, miv.end);
+      }
+      const auto oiv = cpu.acquire(opt_ready, prof.t_opt_cpu);
       if (trace != nullptr) trace->record("cpu", "o", oiv);
       if (options_.use_nvme) {
         const auto wiv =
             nvme_wr.transfer(oiv.end, move_bytes * 4.0);  // p+m+v+g
+        if (trace != nullptr) trace->record("nvme", "w", wiv);
+      } else if (tier_opt) {
+        const auto wiv = nvme_wr.transfer(oiv.end, moment_bytes);
         if (trace != nullptr) trace->record("nvme", "w", wiv);
       }
     } else {
@@ -287,12 +350,20 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
       if (options_.concurrent_update) {
         // Actors still take the update (and tier write-back) off the
         // critical path even when the transfers are synchronous.
-        const auto oiv = cpu.acquire(giv.end, prof.t_opt_cpu);
+        sim::Time opt_ready = giv.end;
+        if (tier_opt) {
+          opt_ready = std::max(
+              opt_ready, nvme.transfer(giv.end, moment_bytes).end);
+        }
+        const auto oiv = cpu.acquire(opt_ready, prof.t_opt_cpu);
         if (trace != nullptr) trace->record("cpu", "o", oiv);
         if (options_.use_nvme) nvme_wr.transfer(oiv.end, move_bytes * 4.0);
+        if (tier_opt) nvme_wr.transfer(oiv.end, moment_bytes);
       } else {
-        // Single optimizer fully serialized with the step.
-        const auto oiv = gpu.acquire(t, prof.t_opt_cpu + nvme_write_s);
+        // Single optimizer fully serialized with the step, including any
+        // tier moment paging (t_opt_io) when the optimizer tier is on.
+        const auto oiv =
+            gpu.acquire(t, prof.t_opt_cpu + nvme_write_s + prof.t_opt_io);
         if (trace != nullptr) trace->record("cpu", "o", oiv);
         t = oiv.end;
       }
@@ -304,7 +375,7 @@ IterationReport StrongholdStrategy::iteration(const Workload& w,
   // actors or the tier lag behind (Eq. 3).
   double end = gpu.busy_until();
   end = std::max(end, cpu.busy_until() - prof.t_fp * static_cast<double>(m));
-  if (options_.use_nvme) {
+  if (options_.use_nvme || tier_opt) {
     const double tier_end =
         std::max(nvme.timeline().busy_until(), nvme_wr.timeline().busy_until());
     end = std::max(end, tier_end - prof.t_fp * static_cast<double>(m));

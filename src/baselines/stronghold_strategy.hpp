@@ -17,6 +17,13 @@ struct StrongholdOptions {
   bool user_level_memory = true;   // Section III-E3
   bool multi_stream = true;        // Section IV-A
   bool use_nvme = false;           // Section III-G
+  /// Models SH_OPT_TIER=nvme: only the Adam moments (8 B/param) live on the
+  /// NVMe tier while the FP32 masters (params + grads) stay in CPU RAM.
+  /// Each CPU update then pages its layer's moments through the tier
+  /// (LayerProfile::t_opt_io). Orthogonal to `use_nvme`, which moves the
+  /// whole 4 B/param FP16 state to the device; setting both keeps the
+  /// `use_nvme` accounting (moments are already on the tier there).
+  bool nvme_optimizer_tier = false;
   std::size_t fixed_window = 0;    // 0 = analytical model (Section III-D)
   /// Bytes per element of the GPU working window / CPU<->GPU wire format
   /// (sim::kF32 default; sim::kBf16 models a BF16 window over FP32 masters —
@@ -30,7 +37,9 @@ class StrongholdStrategy final : public Strategy {
       : options_(options) {}
 
   std::string name() const override {
-    return options_.use_nvme ? "STRONGHOLD(NVMe)" : "STRONGHOLD";
+    if (options_.use_nvme) return "STRONGHOLD(NVMe)";
+    if (options_.nvme_optimizer_tier) return "STRONGHOLD(NVMe-opt)";
+    return "STRONGHOLD";
   }
   CapacityReport capacity(const Workload& w,
                           const sim::MachineSpec& machine) const override;

@@ -32,13 +32,17 @@ void write_checkpoint(const std::string& path, const LayerStore& store) {
   write_pod(os, static_cast<std::uint64_t>(store.size()));
   for (std::size_t i = 0; i < store.size(); ++i) {
     const LayerState& st = store.state(i);
+    // moments_copy is tier-transparent: NVMe-tiered layers read their moment
+    // region, resident layers copy cpu_opt. The on-disk format is identical
+    // either way (FP32 masters + moments are the only persisted truth).
+    const std::vector<float> opt = store.moments_copy(i);
     write_pod(os, static_cast<std::uint64_t>(st.params));
-    write_pod(os, static_cast<std::uint64_t>(st.cpu_opt.size()));
+    write_pod(os, static_cast<std::uint64_t>(opt.size()));
     write_pod(os, static_cast<std::int64_t>(st.step));
     os.write(reinterpret_cast<const char*>(st.cpu_params.data()),
              static_cast<std::streamsize>(st.cpu_params.size() * sizeof(float)));
-    os.write(reinterpret_cast<const char*>(st.cpu_opt.data()),
-             static_cast<std::streamsize>(st.cpu_opt.size() * sizeof(float)));
+    os.write(reinterpret_cast<const char*>(opt.data()),
+             static_cast<std::streamsize>(opt.size() * sizeof(float)));
   }
   if (!os) throw std::runtime_error("checkpoint: write failed for " + path);
 }
@@ -61,16 +65,18 @@ void read_checkpoint(const std::string& path, LayerStore& store) {
       throw std::invalid_argument("checkpoint: param count mismatch at layer " +
                                   std::to_string(i));
     }
-    if (read_pod<std::uint64_t>(is) != st.cpu_opt.size()) {
+    if (read_pod<std::uint64_t>(is) != store.opt_floats(i)) {
       throw std::invalid_argument(
           "checkpoint: optimizer state mismatch at layer " + std::to_string(i));
     }
     st.step = read_pod<std::int64_t>(is);
     is.read(reinterpret_cast<char*>(st.cpu_params.data()),
             static_cast<std::streamsize>(st.cpu_params.size() * sizeof(float)));
-    is.read(reinterpret_cast<char*>(st.cpu_opt.data()),
-            static_cast<std::streamsize>(st.cpu_opt.size() * sizeof(float)));
+    std::vector<float> opt(store.opt_floats(i));
+    is.read(reinterpret_cast<char*>(opt.data()),
+            static_cast<std::streamsize>(opt.size() * sizeof(float)));
     if (!is) throw std::runtime_error("checkpoint: truncated layer data");
+    store.install_moments(i, opt);
   }
 }
 

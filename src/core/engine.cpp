@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/checkpoint.hpp"
+#include "nn/block.hpp"
 #include "obs/obs.hpp"
 #include "tensor/half.hpp"
 #include "tensor/rng.hpp"
@@ -35,10 +36,13 @@ void throttle_sleep(double bytes, double bytes_per_s) {
 }
 
 std::unique_ptr<storage::SwapFile> make_swap(const EngineConfig& cfg) {
-  if (cfg.cpu_capacity_bytes == 0) return nullptr;
+  const bool nvme_opt = cfg.optimizer_tier == OptimizerTier::nvme;
+  if (cfg.cpu_capacity_bytes == 0 && !nvme_opt) return nullptr;
   if (cfg.swap_path.empty()) {
     throw std::invalid_argument(
-        "EngineConfig: cpu_capacity_bytes requires swap_path");
+        cfg.cpu_capacity_bytes != 0
+            ? "EngineConfig: cpu_capacity_bytes requires swap_path"
+            : "EngineConfig: optimizer_tier=nvme requires swap_path");
   }
   // SH_FAULT_* env knobs override the config so any bench/example can run
   // against an unhealthy tier without code changes.
@@ -47,14 +51,32 @@ std::unique_ptr<storage::SwapFile> make_swap(const EngineConfig& cfg) {
       storage::fault_config_from_env(cfg.swap_faults));
 }
 
+// SH_OPT_TIER must be folded into the config BEFORE the member-initialiser
+// list runs: swap_ and store_ are constructed from cfg_, unlike the
+// SH_WINDOW_* overrides which can wait for the constructor body.
+EngineConfig resolve_engine_env(EngineConfig cfg) {
+  if (const char* env = std::getenv("SH_OPT_TIER")) {
+    const std::string v(env);
+    if (v == "cpu") {
+      cfg.optimizer_tier = OptimizerTier::cpu;
+    } else if (v == "nvme") {
+      cfg.optimizer_tier = OptimizerTier::nvme;
+    } else {
+      throw std::invalid_argument("SH_OPT_TIER: expected \"cpu\" or \"nvme\"");
+    }
+  }
+  return cfg;
+}
+
 }  // namespace
 
 StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
     : model_(model),
-      cfg_(std::move(config)),
+      cfg_(resolve_engine_env(std::move(config))),
       swap_(make_swap(cfg_)),
       store_(model, /*opt_state_per_param=*/2, cfg_.cpu_capacity_bytes,
-             swap_.get()),
+             swap_.get(),
+             /*tier_optimizer=*/cfg_.optimizer_tier == OptimizerTier::nvme),
       gpu_pool_("gpu", cfg_.gpu_memory_bytes),
       h2d_("h2d"),
       d2h_("d2h"),
@@ -153,6 +175,22 @@ StrongholdEngine::StrongholdEngine(nn::GptModel& model, EngineConfig config)
 
   stats_.swap_backed_layers = store_.swap_backed_count();
 
+  if (opt_tier_nvme()) {
+    opts_.enable_moment_tier(store_);
+    // Activation-checkpoint spill: second client of the same tier.
+    // Single-executor only — with several executors the blocks run
+    // micro-batches concurrently and no block's checkpoint is quiescent
+    // between forward and backward.
+    act_state_.assign(blocks + 1, ActSpillState{});
+    act_spill_enabled_ = cfg_.num_executors == 1;
+    if (act_spill_enabled_) {
+      act_pressure_cb_ = gpu_pool_.add_pressure_callback(
+          [this](const std::string&, std::size_t) {
+            return spill_one_activation();
+          });
+    }
+  }
+
   trace_epoch_ = now_seconds();
   if (cfg_.record_trace) {
     // Writes the sim trace directly (not through trace_span): the pool
@@ -193,6 +231,7 @@ StrongholdEngine::~StrongholdEngine() {
   // Unregister the metrics provider before tearing anything it reads; after
   // remove_provider returns the registry guarantees the callback never runs.
   obs::Registry::global().remove_provider(obs_provider_id_);
+  if (act_spill_enabled_) gpu_pool_.remove_pressure_callback(act_pressure_cb_);
   opts_.wait_all();
   h2d_.wait_all();
   d2h_.wait_all();
@@ -406,6 +445,78 @@ void StrongholdEngine::refresh_device_copy(LayerState& st) {
   std::memcpy(buf, st.cpu_params.data(), params * sizeof(float));
   if (cfg_.fp16) tensor::quantize_fp16_inplace(buf, params);
   std::fill_n(buf + params, params, 0.0f);
+}
+
+void StrongholdEngine::mark_act_spillable(std::size_t b) {
+  auto* blk = dynamic_cast<nn::TransformerBlock*>(&model_.layer(b));
+  // Only checkpointing blocks are eligible: after their forward the caches
+  // are dropped and the kept input is quiescent until backward. A block with
+  // live caches needs more than the checkpoint to run backward.
+  if (blk == nullptr || !blk->checkpoint_activations() ||
+      blk->has_live_caches()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(act_mu_);
+  act_state_[b].spillable = true;
+  act_state_[b].spilled = false;
+}
+
+bool StrongholdEngine::spill_one_activation() {
+  std::lock_guard<std::mutex> lock(act_mu_);
+  // Spill the lowest-index spillable block: backward visits blocks in
+  // reverse, so it is the checkpoint needed furthest in the future.
+  for (std::size_t b = 1; b < act_state_.size(); ++b) {
+    ActSpillState& as = act_state_[b];
+    if (!as.spillable || as.spilled) continue;
+    auto* blk = static_cast<nn::TransformerBlock*>(&model_.layer(b));
+    tensor::Tensor t = blk->take_checkpoint();
+    if (t.data() == nullptr) {
+      as.spillable = false;
+      continue;
+    }
+    try {
+      // Synchronous, retrying tier write (same FaultPlan as the window
+      // tier). FP32 in, FP32 out: the round trip is bit-exact.
+      swap_->write(act_key(b),
+                   std::span<const float>(
+                       t.data(), static_cast<std::size_t>(t.numel())));
+    } catch (const storage::IoError&) {
+      // Tier refused (exhausted retries or a shape-changed region): hand the
+      // checkpoint back and let the arena degrade some other way.
+      blk->put_checkpoint(std::move(t));
+      return false;
+    }
+    as.shape = t.shape();
+    as.spilled = true;
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.act_spills;
+    }
+    // `t` dies here, releasing the soft-charged activation bytes.
+    return true;
+  }
+  return false;
+}
+
+void StrongholdEngine::restore_spilled_activation(std::size_t b) {
+  if (b >= act_state_.size()) return;
+  std::lock_guard<std::mutex> lock(act_mu_);
+  ActSpillState& as = act_state_[b];
+  if (as.spilled) {
+    mem::ScopedTensorCharge charge(gpu_pool_, mem::DeviceArena::kActivations);
+    tensor::Tensor t = tensor::Tensor::zeros(as.shape);
+    // Synchronous tier read; exhausted retries throw the typed IoError into
+    // the step body, where the last-gasp checkpoint path takes over.
+    swap_->read(act_key(b),
+                std::span<float>(t.data(),
+                                 static_cast<std::size_t>(t.numel())));
+    static_cast<nn::TransformerBlock*>(&model_.layer(b))
+        ->put_checkpoint(std::move(t));
+    as.spilled = false;
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.act_restores;
+  }
+  as.spillable = false;  // backward is about to consume the checkpoint
 }
 
 void StrongholdEngine::evict_after_forward(LayerState& st) {
@@ -810,6 +921,9 @@ float StrongholdEngine::train_step_body(const data::Batch& batch) {
       if (e == 0 && b + window_ <= blocks) {
         evict_after_forward(st);
       }
+      // The block's checkpointed input is now quiescent until its backward:
+      // eligible to spill to the NVMe tier under arena pressure.
+      if (e == 0 && act_spill_enabled_) mark_act_spillable(b);
       bar.arrive_and_wait();
     }
 
@@ -844,6 +958,15 @@ float StrongholdEngine::train_step_body(const data::Batch& batch) {
         wait_ready(st);
         if (bf16_window()) bind_params_f32(st);
         if (b > window_) prefetch(b - window_);
+        // NVMe optimizer tier: issue the tier read of this layer's moments
+        // now, so it overlaps the backward compute below and the update task
+        // finds them staged. Skipped under the clip/fp16 gate — the update
+        // may be skipped wholesale, and a lease held across the gate could
+        // starve the staging ring.
+        if (accum_final_ && !update_gate_active()) opts_.prefetch_moments(st);
+        // Page this block's spilled activation checkpoint back before its
+        // backward re-runs the forward from it.
+        if (act_spill_enabled_) restore_spilled_activation(b);
       }
       bar.arrive_and_wait();
       const auto params = static_cast<std::size_t>(st.params);
@@ -1253,7 +1376,10 @@ ckpt::Snapshot StrongholdEngine::capture_snapshot() {
     const LayerState& st = store_.state(i);
     const std::string prefix = "L" + std::to_string(i);
     snap.tensors.push_back({prefix + ".params", st.cpu_params});
-    snap.tensors.push_back({prefix + ".opt", st.cpu_opt});
+    // NVMe-tiered layers have no host moment plane; moments_copy reads the
+    // tier's moment region (the only place they live). The snapshot format
+    // is unchanged — SH_OPT_TIER does not change what a checkpoint contains.
+    snap.tensors.push_back({prefix + ".opt", store_.moments_copy(i)});
     if (mid_cycle) snap.tensors.push_back({prefix + ".grads", st.cpu_grads});
     steps[i] = st.step;
     geom.total_params += static_cast<std::uint64_t>(st.params);
@@ -1337,7 +1463,7 @@ void StrongholdEngine::restore_snapshot(const ckpt::Snapshot& snap) {
     const std::string prefix = "L" + std::to_string(i);
     const auto params = static_cast<std::size_t>(store_.state(i).params);
     (void)tensor_for(prefix + ".params", params);
-    (void)tensor_for(prefix + ".opt", store_.state(i).cpu_opt.size());
+    (void)tensor_for(prefix + ".opt", store_.opt_floats(i));
     if (mid_cycle) (void)tensor_for(prefix + ".grads", params);
   }
   for (std::size_t i = 0; i < store_.size(); ++i) {
@@ -1346,8 +1472,8 @@ void StrongholdEngine::restore_snapshot(const ckpt::Snapshot& snap) {
     const auto params = static_cast<std::size_t>(st.params);
     const auto& p = tensor_for(prefix + ".params", params);
     std::copy(p.begin(), p.end(), st.cpu_params.begin());
-    const auto& o = tensor_for(prefix + ".opt", st.cpu_opt.size());
-    std::copy(o.begin(), o.end(), st.cpu_opt.begin());
+    const auto& o = tensor_for(prefix + ".opt", store_.opt_floats(i));
+    store_.install_moments(i, o);
     if (mid_cycle) {
       const auto& g = tensor_for(prefix + ".grads", params);
       std::copy(g.begin(), g.end(), st.cpu_grads.begin());
@@ -1447,6 +1573,11 @@ EngineStats StrongholdEngine::stats() const {
     s.swap_io_errors = swap_->io_errors();
     s.swap_retry_backoff_s = swap_->retry_backoff_seconds();
   }
+  s.opt_tiered_layers = store_.opt_tiered_count();
+  s.moment_prefetches = opts_.moment_prefetches();
+  s.moment_demand_reads = opts_.moment_demand_reads();
+  s.moment_update_skips = opts_.moment_update_skips();
+  s.moment_writes = opts_.moment_writes();
   return s;
 }
 
@@ -1484,6 +1615,13 @@ void StrongholdEngine::export_metrics(obs::MetricsSnapshot& out) const {
   out.add("optimizer.updates", n(s.optimizer_updates));
   out.add("optimizer.in_flight", n(opts_.in_flight()));
   out.add("optimizer.workers", n(opts_.workers()));
+  out.add("optimizer.tier_layers", n(s.opt_tiered_layers), "layers");
+  out.add("optimizer.tier_prefetches", n(s.moment_prefetches));
+  out.add("optimizer.tier_demand_reads", n(s.moment_demand_reads));
+  out.add("optimizer.tier_update_skips", n(s.moment_update_skips));
+  out.add("optimizer.tier_writes", n(s.moment_writes));
+  out.add("engine.act_spills", n(s.act_spills));
+  out.add("engine.act_restores", n(s.act_restores));
   out.add("arena.capacity_bytes", n(s.arena.capacity), "bytes");
   out.add("arena.bytes_in_use", n(s.arena.bytes_in_use), "bytes");
   out.add("arena.peak_bytes", n(s.arena.peak_bytes), "bytes");

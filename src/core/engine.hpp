@@ -53,6 +53,15 @@
 
 namespace sh::core {
 
+/// Where the Adam moments (m/v) live between updates.
+enum class OptimizerTier {
+  /// Host RAM, alongside the FP32 masters (paper default).
+  cpu,
+  /// NVMe-resident (ZeRO-Infinity-style): moments page through the swap
+  /// tier's I/O worker, prefetched one layer ahead of the update.
+  nvme,
+};
+
 enum class WindowMode {
   /// m+1 reserved uniform slots, round-robin recycled (paper default).
   UniformSlots,
@@ -119,6 +128,17 @@ struct EngineConfig {
   /// are backed by the swap file at `swap_path` (Section III-G).
   std::size_t cpu_capacity_bytes = 0;
   std::string swap_path{};
+  /// Third memory tier for optimizer state (ZeRO-Infinity-style). With
+  /// `nvme`, every non-pinned layer's Adam moments live in a dedicated
+  /// region set of the swap file at `swap_path` (required) instead of host
+  /// RAM: the optimizer pool prefetches layer i+1's moments while updating
+  /// layer i, update tasks stage them through a small buffer ring, and
+  /// write-backs ride the same retrying I/O worker as the window tier. FP32
+  /// masters remain the only persisted truth — checkpoint files and the
+  /// snapshot format are unchanged. Activation checkpoints additionally
+  /// spill to the same tier under device-arena pressure (single-executor
+  /// training). Overridden by SH_OPT_TIER ("cpu"/"nvme") at construction.
+  OptimizerTier optimizer_tier = OptimizerTier::cpu;
   /// Fault injection + bounded-retry policy for the swap tier (default:
   /// healthy). SH_FAULT_* environment variables override these fields at
   /// engine construction (storage::fault_config_from_env). Transient faults
@@ -175,6 +195,14 @@ struct EngineStats {
   std::size_t d2h_bytes = 0;
   std::size_t optimizer_updates = 0;
   std::size_t swap_backed_layers = 0;
+  // Optimizer-tier (SH_OPT_TIER=nvme) counters.
+  std::size_t opt_tiered_layers = 0;    // layers with NVMe-resident moments
+  std::size_t moment_prefetches = 0;    // overlapped moment reads issued
+  std::size_t moment_demand_reads = 0;  // reads issued inside the update task
+  std::size_t moment_update_skips = 0;  // updates dropped on tier exhaustion
+  std::size_t moment_writes = 0;        // moment write-backs issued
+  std::size_t act_spills = 0;           // activation ckpts spilled to tier
+  std::size_t act_restores = 0;         // spilled ckpts paged back for BP
   // Swap-tier fault/recovery counters (all zero with a healthy tier).
   std::size_t swap_faults_injected = 0;
   std::size_t swap_retries = 0;
@@ -402,6 +430,19 @@ class StrongholdEngine {
   /// possibly torn — only let the in-flight staged save finish).
   void last_gasp_checkpoint(bool consistent);
 
+  bool opt_tier_nvme() const noexcept {
+    return cfg_.optimizer_tier == OptimizerTier::nvme;
+  }
+  // Activation-checkpoint spill — the second client of the NVMe tier.
+  // Enabled for single-executor training with checkpointing blocks when the
+  // optimizer tier is nvme: between forward(b) and backward(b) the block's
+  // checkpointed input is eligible to spill; the arena pressure callback
+  // pages out the lowest-index spillable block (the one backward needs
+  // last), and the BP loop pages it back in just before backward(b).
+  void mark_act_spillable(std::size_t b);
+  void restore_spilled_activation(std::size_t b);
+  bool spill_one_activation();
+
   nn::GptModel& model_;
   EngineConfig cfg_;
   std::unique_ptr<ckpt::Checkpointer> ckpt_;
@@ -455,6 +496,23 @@ class StrongholdEngine {
   std::promise<void> clip_promise_;
   std::vector<double> grad_sumsq_;           // per layer unit, layer order
   std::vector<std::function<void()>> deferred_updates_;
+
+  // Activation-spill registry (one entry per transformer block). Keys on the
+  // swap tier: kActKeyBase + block, disjoint from the layer/moment key
+  // spaces.
+  struct ActSpillState {
+    bool spillable = false;  // block holds a checkpoint eligible to spill
+    bool spilled = false;    // checkpoint currently resides on the tier
+    tensor::Shape shape{};   // shape for the restoring read
+  };
+  static constexpr std::int64_t kActKeyBase = std::int64_t{1} << 21;
+  static std::int64_t act_key(std::size_t b) {
+    return kActKeyBase + static_cast<std::int64_t>(b);
+  }
+  bool act_spill_enabled_ = false;
+  std::uint64_t act_pressure_cb_ = 0;
+  std::mutex act_mu_;
+  std::vector<ActSpillState> act_state_;
 
   // Executor replicas (index 0 reuses model_) and per-executor grad scratch.
   std::vector<std::unique_ptr<nn::GptModel>> replicas_;

@@ -6,8 +6,13 @@
 namespace sh::core {
 
 LayerStore::LayerStore(nn::GptModel& model, std::int64_t opt_state_per_param,
-                       std::size_t cpu_capacity_bytes, storage::SwapFile* swap)
+                       std::size_t cpu_capacity_bytes, storage::SwapFile* swap,
+                       bool tier_optimizer)
     : opt_state_per_param_(opt_state_per_param), swap_(swap) {
+  if (tier_optimizer && swap_ == nullptr) {
+    throw std::invalid_argument(
+        "LayerStore: optimizer tier requires a swap file");
+  }
   const std::size_t n = model.num_layers();
   std::size_t cumulative = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -17,13 +22,23 @@ LayerStore::LayerStore(nn::GptModel& model, std::int64_t opt_state_per_param,
     st->params = st->layer->param_count();
     st->cpu_params.resize(static_cast<std::size_t>(st->params));
     st->cpu_grads.resize(static_cast<std::size_t>(st->params));
-    st->cpu_opt.resize(
-        static_cast<std::size_t>(st->params * opt_state_per_param_));
     st->pinned_on_gpu = (i == 0 || i + 1 == n);
+    st->opt_tiered =
+        tier_optimizer && !st->pinned_on_gpu && opt_state_per_param_ > 0;
+    if (st->opt_tiered) {
+      ++opt_tiered_;
+    } else {
+      st->cpu_opt.resize(
+          static_cast<std::size_t>(st->params * opt_state_per_param_));
+    }
     max_params_ = std::max(max_params_, st->params);
 
-    const std::size_t state_bytes = static_cast<std::size_t>(
-        st->params * (2 + opt_state_per_param_) * sizeof(float));
+    // Tiered layers hold only params+grads in host RAM; their moments live on
+    // the NVMe tier, so they do not count against the CPU budget.
+    const std::int64_t planes =
+        st->opt_tiered ? 2 : (2 + opt_state_per_param_);
+    const std::size_t state_bytes =
+        static_cast<std::size_t>(st->params * planes * sizeof(float));
     cumulative += state_bytes;
     if (cpu_capacity_bytes != 0 && cumulative > cpu_capacity_bytes &&
         !st->pinned_on_gpu) {
@@ -62,8 +77,34 @@ void LayerStore::init_params(std::uint64_t seed) {
     st.step = 0;
     if (st.swap_backed) {
       swap_->write(swap_key_params(st.index), st.cpu_params);
-      swap_->write(swap_key_opt(st.index), st.cpu_opt);
+      if (!st.opt_tiered) {
+        swap_->write(swap_key_opt(st.index), st.cpu_opt);
+      }
     }
+    if (st.opt_tiered) {
+      const std::vector<float> zeros(opt_floats(st.index), 0.0f);
+      swap_->write(moment_key(st.index), zeros);
+    }
+  }
+}
+
+std::vector<float> LayerStore::moments_copy(std::size_t i) const {
+  const LayerState& st = state(i);
+  if (!st.opt_tiered) return st.cpu_opt;
+  std::vector<float> out(opt_floats(i));
+  swap_->read(moment_key(i), out);
+  return out;
+}
+
+void LayerStore::install_moments(std::size_t i, std::span<const float> m) {
+  LayerState& st = state(i);
+  if (m.size() != opt_floats(i)) {
+    throw std::invalid_argument("LayerStore::install_moments: size mismatch");
+  }
+  if (st.opt_tiered) {
+    swap_->write(moment_key(i), m);
+  } else {
+    std::copy(m.begin(), m.end(), st.cpu_opt.begin());
   }
 }
 
@@ -71,6 +112,9 @@ std::shared_future<void> LayerStore::fault_in(std::size_t i) {
   LayerState& st = state(i);
   if (!st.swap_backed) return ready_future();
   auto f1 = swap_->read_async(swap_key_params(i), st.cpu_params);
+  // Tiered layers have no host-resident opt plane: their moments stay in the
+  // tier's moment region and are paged by the optimizer pool instead.
+  if (st.opt_tiered) return f1;
   auto f2 = swap_->read_async(swap_key_opt(i), st.cpu_opt);
   // Join on the FIFO tier queue: completion implies both reads completed,
   // and the joined future carries the FIRST failure of either read — a
@@ -82,6 +126,7 @@ std::shared_future<void> LayerStore::write_back(std::size_t i) {
   LayerState& st = state(i);
   if (!st.swap_backed) return ready_future();
   auto f1 = swap_->write_async(swap_key_params(i), st.cpu_params);
+  if (st.opt_tiered) return f1;
   auto f2 = swap_->write_async(swap_key_opt(i), st.cpu_opt);
   return swap_->join_async({std::move(f1), std::move(f2)});
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/gpt.hpp"
@@ -33,6 +34,7 @@ struct LayerState {
 
   bool pinned_on_gpu = false;  // embedding/head stay GPU-resident
   bool swap_backed = false;    // master params+opt live on the NVMe tier
+  bool opt_tiered = false;     // Adam moments live NVMe-resident (cpu_opt empty)
 
   // GPU residency (managed by the engine). The slot is byte-typed: it holds
   // 2*params elements in the engine's window dtype (f32 or bf16), laid out
@@ -53,9 +55,14 @@ class LayerStore {
   /// state exceeds `cpu_capacity_bytes` are marked swap-backed (requires
   /// `swap`); 0 means unlimited CPU RAM. The first and last layer are never
   /// swap-backed (they are pinned on the GPU).
+  ///
+  /// With `tier_optimizer` set (requires `swap`), non-pinned layers keep their
+  /// Adam moments NVMe-resident: `cpu_opt` stays empty and the moments are
+  /// paged through the tier by the optimizer pool. Tiered layers only charge
+  /// params+grads (8 bytes/param) against the CPU budget.
   LayerStore(nn::GptModel& model, std::int64_t opt_state_per_param,
              std::size_t cpu_capacity_bytes = 0,
-             storage::SwapFile* swap = nullptr);
+             storage::SwapFile* swap = nullptr, bool tier_optimizer = false);
 
   /// Binds every layer to its CPU blobs and initialises parameters.
   /// Swap-backed layers are written out to the tier afterwards.
@@ -67,7 +74,28 @@ class LayerStore {
 
   std::int64_t max_layer_params() const noexcept { return max_params_; }
   std::size_t swap_backed_count() const noexcept { return swap_backed_; }
+  std::size_t opt_tiered_count() const noexcept { return opt_tiered_; }
   storage::SwapFile* swap() noexcept { return swap_; }
+
+  /// Swap key of layer i's NVMe-resident moment region (tiered layers only).
+  /// Disjoint from the params/opt key space used by swap-backed layers.
+  static std::int64_t moment_key(std::size_t i) {
+    return kMomentKeyBase + static_cast<std::int64_t>(i);
+  }
+
+  /// Number of optimizer-state floats layer i owns (params * planes).
+  std::size_t opt_floats(std::size_t i) const {
+    return static_cast<std::size_t>(state(i).params * opt_state_per_param_);
+  }
+
+  /// Snapshot of layer i's moments regardless of tier: a copy of `cpu_opt`
+  /// for resident layers, a synchronous tier read for tiered ones. Throws
+  /// storage::IoError once the tier's retry budget is exhausted.
+  std::vector<float> moments_copy(std::size_t i) const;
+
+  /// Installs `m` as layer i's moments (restore path): writes through to the
+  /// tier for tiered layers, copies into `cpu_opt` otherwise. Size-checked.
+  void install_moments(std::size_t i, std::span<const float> m);
 
   /// Asynchronously loads a swap-backed layer's params (+opt state) into its
   /// CPU staging blobs. No-op future for CPU-resident layers. Transient tier
@@ -86,10 +114,13 @@ class LayerStore {
   std::int64_t swap_key_params(std::size_t i) const;
   std::int64_t swap_key_opt(std::size_t i) const;
 
+  static constexpr std::int64_t kMomentKeyBase = std::int64_t{1} << 20;
+
   std::vector<std::unique_ptr<LayerState>> states_;
   std::int64_t opt_state_per_param_;
   std::int64_t max_params_ = 0;
   std::size_t swap_backed_ = 0;
+  std::size_t opt_tiered_ = 0;
   storage::SwapFile* swap_ = nullptr;
 };
 

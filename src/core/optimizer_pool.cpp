@@ -1,6 +1,10 @@
 #include "core/optimizer_pool.hpp"
 
+#include <algorithm>
+#include <span>
+
 #include "obs/obs.hpp"
+#include "storage/fault_plan.hpp"
 
 namespace sh::core {
 
@@ -12,6 +16,83 @@ OptimizerPool::OptimizerPool(const optim::Optimizer& prototype,
   const std::size_t n = workers == 0 ? 1 : workers;
   actors_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) actors_.push_back(prototype.clone());
+}
+
+void OptimizerPool::enable_moment_tier(LayerStore& store) {
+  store_ = &store;
+  std::size_t max_floats = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store.state(i).opt_tiered) {
+      max_floats = std::max(max_floats, store.opt_floats(i));
+    }
+  }
+  // A few slots beyond the worker count so prefetched moments can sit staged
+  // while every actor is mid-update.
+  leases_.resize(actors_.size() + 4);
+  for (auto& l : leases_) l.buf.resize(max_floats);
+}
+
+void OptimizerPool::prefetch_moments(LayerState& st) {
+  if (store_ == nullptr || !st.opt_tiered) return;
+  MomentLease* lease = nullptr;
+  {
+    std::unique_lock lk(moment_mu_);
+    for (auto& l : leases_) {
+      if (l.owner == &st) return;  // read already staged or pending
+    }
+    moment_cv_.wait(lk, [&] {
+      for (auto& l : leases_) {
+        if (l.owner == nullptr) {
+          lease = &l;
+          return true;
+        }
+      }
+      return false;
+    });
+    lease->owner = &st;
+  }
+  // The previous owner's write-back must land before the buffer is reused.
+  // FIFO tier ordering then guarantees this read observes that write.
+  if (lease->last_op.valid()) lease->last_op.wait();
+  lease->read = store_->swap()->read_async(
+      LayerStore::moment_key(st.index),
+      std::span<float>(lease->buf.data(), store_->opt_floats(st.index)));
+  moment_prefetches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+OptimizerPool::MomentLease* OptimizerPool::acquire_moments(LayerState& st) {
+  MomentLease* lease = nullptr;
+  {
+    std::unique_lock lk(moment_mu_);
+    for (auto& l : leases_) {
+      if (l.owner == &st) return &l;
+    }
+    moment_cv_.wait(lk, [&] {
+      for (auto& l : leases_) {
+        if (l.owner == nullptr) {
+          lease = &l;
+          return true;
+        }
+      }
+      return false;
+    });
+    lease->owner = &st;
+  }
+  if (lease->last_op.valid()) lease->last_op.wait();
+  lease->read = store_->swap()->read_async(
+      LayerStore::moment_key(st.index),
+      std::span<float>(lease->buf.data(), store_->opt_floats(st.index)));
+  moment_demand_reads_.fetch_add(1, std::memory_order_relaxed);
+  return lease;
+}
+
+void OptimizerPool::release_moments(MomentLease* lease,
+                                    std::shared_future<void> write_back) {
+  std::lock_guard lk(moment_mu_);
+  lease->read = {};
+  lease->last_op = std::move(write_back);
+  lease->owner = nullptr;
+  moment_cv_.notify_all();
 }
 
 std::shared_future<void> OptimizerPool::submit(LayerState& st,
@@ -35,6 +116,28 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
     if (after.valid()) after.wait();
     if (skip && skip()) return;  // overflowed step: discard gradients
     const double t0 = wall_seconds();
+    // Stage NVMe-resident moments. Acquisition is deliberately lazy (after
+    // the skip gate): a skipped step touches the tier not at all, and no
+    // staging buffer is held while waiting on the clip/overflow gate.
+    float* opt_state = st.cpu_opt.data();
+    MomentLease* lease = nullptr;
+    std::size_t lease_floats = 0;
+    if (store_ != nullptr && st.opt_tiered) {
+      lease = acquire_moments(st);
+      lease_floats = store_->opt_floats(st.index);
+      try {
+        lease->read.get();
+      } catch (const storage::IoError&) {
+        // Tier retry budget exhausted: drop this layer's step whole — params,
+        // moments and step count all stay unchanged (no torn update). The
+        // permanent failure is latched in the tier and re-raised as a typed
+        // IoError at the step boundary via SwapFile::rethrow_pending().
+        moment_update_skips_.fetch_add(1, std::memory_order_relaxed);
+        release_moments(lease, {});
+        return;
+      }
+      opt_state = lease->buf.data();
+    }
     if (scale) {
       const float s = scale();
       if (s != 1.0f) {
@@ -42,8 +145,15 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
       }
     }
     ++st.step;
-    opt->step(st.cpu_params.data(), st.cpu_grads.data(), st.cpu_opt.data(),
-              st.step, st.params, lr);
+    opt->step(st.cpu_params.data(), st.cpu_grads.data(), opt_state, st.step,
+              st.params, lr);
+    if (lease != nullptr) {
+      auto wb = store_->swap()->write_async(
+          LayerStore::moment_key(st.index),
+          std::span<const float>(lease->buf.data(), lease_floats));
+      moment_writes_.fetch_add(1, std::memory_order_relaxed);
+      release_moments(lease, std::move(wb));
+    }
     if (post) post();
     const double t1 = wall_seconds();
     obs::span("cpu-opt", "update", t0, t1);
@@ -57,8 +167,31 @@ std::shared_future<void> OptimizerPool::submit(LayerState& st,
 void OptimizerPool::update_now(LayerState& st, float* params,
                                const float* grads, float lr) {
   obs::ObsScope scope("cpu-opt", "update_now");
+  float* opt_state = st.cpu_opt.data();
+  MomentLease* lease = nullptr;
+  std::size_t lease_floats = 0;
+  if (store_ != nullptr && st.opt_tiered) {
+    lease = acquire_moments(st);
+    lease_floats = store_->opt_floats(st.index);
+    try {
+      lease->read.get();
+    } catch (...) {
+      // Synchronous caller (control thread): release the slot and let the
+      // typed IoError propagate to the step boundary before any mutation.
+      release_moments(lease, {});
+      throw;
+    }
+    opt_state = lease->buf.data();
+  }
   ++st.step;
-  actors_[0]->step(params, grads, st.cpu_opt.data(), st.step, st.params, lr);
+  actors_[0]->step(params, grads, opt_state, st.step, st.params, lr);
+  if (lease != nullptr) {
+    auto wb = store_->swap()->write_async(
+        LayerStore::moment_key(st.index),
+        std::span<const float>(lease->buf.data(), lease_floats));
+    moment_writes_.fetch_add(1, std::memory_order_relaxed);
+    release_moments(lease, std::move(wb));
+  }
   completed_.fetch_add(1, std::memory_order_relaxed);
 }
 

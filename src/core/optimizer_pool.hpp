@@ -8,9 +8,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/layer_store.hpp"
@@ -59,12 +61,63 @@ class OptimizerPool {
     observer_ = std::move(observer);
   }
 
+  /// Enables NVMe-resident moment paging (ZeRO-Infinity-style optimizer
+  /// offload): updates of `store`'s opt-tiered layers stage their Adam
+  /// moments through a small ring of reusable host buffers, reading from and
+  /// writing back to the store's swap tier. Call once before training.
+  void enable_moment_tier(LayerStore& store);
+  bool moment_tier_enabled() const noexcept { return store_ != nullptr; }
+
+  /// Issues the tier read of `st`'s moments ahead of its update so the read
+  /// overlaps preceding compute (call from the control thread; no-op for
+  /// non-tiered layers). Blocks only when every staging buffer is in use —
+  /// backpressure, since buffers free as queued updates drain.
+  void prefetch_moments(LayerState& st);
+
+  /// Moment-tier counters (zero when the tier is disabled).
+  std::size_t moment_prefetches() const noexcept {
+    return moment_prefetches_.load();
+  }
+  std::size_t moment_demand_reads() const noexcept {
+    return moment_demand_reads_.load();
+  }
+  std::size_t moment_update_skips() const noexcept {
+    return moment_update_skips_.load();
+  }
+  std::size_t moment_writes() const noexcept { return moment_writes_.load(); }
+
  private:
+  // One staging slot of the moment ring. `read` is the pending tier read of
+  // `owner`'s moments into `buf`; `last_op` is the last tier op touching
+  // `buf` (the previous owner's write-back) and must complete before reuse.
+  struct MomentLease {
+    std::vector<float> buf;
+    std::shared_future<void> read;
+    std::shared_future<void> last_op;
+    LayerState* owner = nullptr;
+  };
+
+  /// Returns the lease staging `st`'s moments, issuing a demand read when no
+  /// prefetch is pending. The pending read is NOT yet waited on.
+  MomentLease* acquire_moments(LayerState& st);
+  void release_moments(MomentLease* lease,
+                       std::shared_future<void> write_back);
+
   std::vector<std::unique_ptr<optim::Optimizer>> actors_;
   std::atomic<std::size_t> next_actor_{0};
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> in_flight_{0};
   std::function<void(double, double)> observer_;
+
+  LayerStore* store_ = nullptr;  // non-null once the moment tier is enabled
+  std::vector<MomentLease> leases_;
+  std::mutex moment_mu_;
+  std::condition_variable moment_cv_;
+  std::atomic<std::size_t> moment_prefetches_{0};
+  std::atomic<std::size_t> moment_demand_reads_{0};
+  std::atomic<std::size_t> moment_update_skips_{0};
+  std::atomic<std::size_t> moment_writes_{0};
+
   parallel::ThreadPool pool_;
 };
 

@@ -119,18 +119,23 @@ WindowDecision solve_window(const WindowModelInput& input) {
   d.soft_bp = soft_ok(ls, d.m, false);
 
   // Eq. 3: each CPU-side update must finish within the remaining FP+BP
-  // compute plus the GPU-side updates of the window layers.
+  // compute plus the GPU-side updates of the window layers. With the NVMe
+  // optimizer tier the update additionally pages its Adam moments through
+  // the tier (t_opt_io: prefetch read + write-back), so the hidden-update
+  // condition charges t_opt_cpu + t_opt_io against the same budget.
+  // tier_io_hidden evaluates the I/O share alone, separating "CPU update too
+  // slow" from "tier bandwidth too slow" when Eq. 3 fails.
   const double gpu_opt_window = std::accumulate(
       ls.begin(), ls.begin() + static_cast<std::ptrdiff_t>(std::min(d.m, n)),
       0.0, [](double acc, const LayerProfile& l) { return acc + l.t_opt_gpu; });
   d.update_hidden = true;
+  d.tier_io_hidden = true;
   for (std::size_t k = d.m; k < n; ++k) {
     double budget = gpu_opt_window;
     for (std::size_t i = 0; i <= k; ++i) budget += ls[i].t_fp + ls[i].t_bp;
-    if (ls[k].t_opt_cpu > budget) {
-      d.update_hidden = false;
-      break;
-    }
+    if (ls[k].t_opt_cpu + ls[k].t_opt_io > budget) d.update_hidden = false;
+    if (ls[k].t_opt_io > budget) d.tier_io_hidden = false;
+    if (!d.update_hidden && !d.tier_io_hidden) break;
   }
 
   // Eq. 4: 5 n t_async <= sum_{i=m}^{n} t_opt_gpu (the GPU-side update time

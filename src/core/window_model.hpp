@@ -28,6 +28,10 @@ struct LayerProfile {
   double s_bp = 0.0;   // bytes resident during BP (params + grads)
   double t_opt_gpu = 0.0;  // GPU-side parameter update seconds
   double t_opt_cpu = 0.0;  // CPU-side parameter update seconds
+  // NVMe optimizer tier (SH_OPT_TIER=nvme): seconds to page the layer's
+  // Adam moments through the tier for one update (read + write-back at the
+  // tier's effective bandwidth). Zero with CPU-resident moments.
+  double t_opt_io = 0.0;
 };
 
 struct WindowModelInput {
@@ -43,8 +47,13 @@ struct WindowDecision {
   bool feasible = false;    // hard constraints satisfiable within memory
   bool soft_fp = false;     // (1d) satisfied at the chosen m
   bool soft_bp = false;     // (2d) satisfied at the chosen m
-  bool update_hidden = false;  // Eq. 3 holds (CPU updates fully overlapped)
+  bool update_hidden = false;  // Eq. 3 holds (CPU updates fully overlapped,
+                               // including the tier's moment paging t_opt_io)
   bool async_amortized = false;  // Eq. 4/5 holds
+  // Three-tier refinement of Eq. 3: the moment-paging I/O alone fits the
+  // same budget — distinguishes "updates too slow" from "tier too slow"
+  // when update_hidden fails. True whenever t_opt_io is all-zero.
+  bool tier_io_hidden = false;
   std::size_t max_m_by_memory = 0;  // largest window memory permits
 };
 

@@ -46,6 +46,15 @@ class TransformerBlock final : public Layer {
   /// True while the block holds activation caches required by backward.
   bool has_live_caches() const noexcept { return caches_live_; }
 
+  /// Activation-spill support (checkpoint mode, between forward and
+  /// backward): moves the checkpointed input out of the block so the caller
+  /// can page it to a storage tier. put_checkpoint must restore an identical
+  /// tensor before backward runs.
+  tensor::Tensor take_checkpoint() noexcept { return std::move(cached_input_); }
+  void put_checkpoint(tensor::Tensor t) noexcept {
+    cached_input_ = std::move(t);
+  }
+
  private:
   tensor::Tensor run_forward(const tensor::Tensor& x, const BatchShape& shape);
   void drop_caches();

@@ -64,4 +64,28 @@ TEST(Docs, ReadmeMentionsTheCompiledQuickstart) {
   EXPECT_NE(readme.find("examples/quickstart_readme.cpp"), std::string::npos);
 }
 
+TEST(Docs, MemoryTiersWorkedExampleMatchesCompiledExample) {
+  const std::string root = SH_SOURCE_DIR;
+  const std::string doc = read_file(root + "/docs/MEMORY_TIERS.md");
+  const std::string example = read_file(root + "/examples/capacity_readme.cpp");
+
+  const std::string block = extract_cpp_block(doc, "## Worked example");
+  const std::string compiled = strip_header_comment(example);
+  EXPECT_EQ(block, compiled)
+      << "docs/MEMORY_TIERS.md worked example and "
+         "examples/capacity_readme.cpp have drifted apart; "
+         "update both together.";
+}
+
+TEST(Docs, MemoryTiersIsLinkedFromReadmeAndDesign) {
+  const std::string root = SH_SOURCE_DIR;
+  EXPECT_NE(read_file(root + "/README.md").find("docs/MEMORY_TIERS.md"),
+            std::string::npos);
+  EXPECT_NE(read_file(root + "/DESIGN.md").find("docs/MEMORY_TIERS.md"),
+            std::string::npos);
+  EXPECT_NE(read_file(root + "/docs/MEMORY_TIERS.md")
+                .find("examples/capacity_readme.cpp"),
+            std::string::npos);
+}
+
 }  // namespace
