@@ -1,16 +1,23 @@
 // Serving throughput/latency bench: continuous batching through the
-// STRONGHOLD working window vs. offered load and KV-arena budget.
+// STRONGHOLD working window vs. offered load and KV-arena budget, plus
+// router-fleet goodput-vs-offered-load curves (replicas 1/2/4 on one host
+// budget) and a chaos row serving through a fault-injected NVMe tier.
 //
-// Prints a fixed-width table and writes machine-readable BENCH_serve.json
-// (tokens/sec, p50/p99 request latency, preemption counts) to seed the
-// serving perf trajectory across PRs.
+// Prints fixed-width tables and writes machine-readable BENCH_serve.json;
+// scripts/check_serve.py gates the router section in CI. `--smoke` runs a
+// reduced sweep with the same JSON shape for the sanitizer jobs.
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/engine.hpp"
+#include "serve/router.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
 
 namespace {
 
@@ -63,9 +70,77 @@ Row run_load(sh::core::StrongholdEngine& engine, std::size_t offered,
   return row;
 }
 
+struct RouterRow {
+  std::size_t replicas = 0;
+  double rate = 0.0;  // offered requests per virtual second
+  std::size_t offered = 0;
+  double goodput = 0.0;  // fraction finished within their tier deadline
+  double p50_s = 0.0;    // virtual-time latency percentiles
+  double p99_s = 0.0;
+  std::size_t preemptions = 0;
+  double prefill_savings = 1.0;
+};
+
+/// Open-loop fleet traffic: Poisson arrivals, heavy-tail lengths, a shared
+/// system prompt on half the requests, interactive/batch deadline tiers.
+sh::serve::Workload make_traffic(double rate, std::size_t requests) {
+  sh::serve::WorkloadSpec spec;
+  spec.seed = 2026;
+  spec.requests = requests;
+  spec.arrival_rate = rate;
+  spec.vocab = 64;
+  spec.prompt_min = 2;
+  spec.prompt_max = 6;
+  spec.output_min = 4;
+  spec.output_max = 16;
+  spec.tiers = {{"interactive", 0.25}, {"batch", 6.0}};
+  spec.tier_weights = {3.0, 1.0};
+  spec.shared_prefix = {2, 3, 4, 5};
+  spec.prefix_share = 0.5;
+  spec.temperature = 0.8f;
+  spec.top_k = 16;
+  return sh::serve::generate_workload(spec);
+}
+
+sh::serve::RouterConfig fleet_config(std::size_t replicas) {
+  sh::serve::RouterConfig rcfg;
+  rcfg.replicas = replicas;
+  rcfg.step_dt = 0.01;
+  rcfg.scheduler.max_batch = 8;
+  rcfg.scheduler.arena.chunk_tokens = 8;
+  // Tight per-replica KV budget (~2.6 full sequences) so heavy offered
+  // load exercises the SLO preemption policy.
+  rcfg.scheduler.arena.budget_bytes = 256 * 1024;
+  rcfg.scheduler.preempt_policy = sh::serve::PreemptPolicy::SloHeadroom;
+  return rcfg;
+}
+
+RouterRow run_fleet(sh::core::StrongholdEngine& engine,
+                    const sh::serve::Workload& wl, std::size_t replicas,
+                    double rate) {
+  sh::serve::Router router(engine, fleet_config(replicas));
+  router.run(wl);
+  RouterRow row;
+  row.replicas = replicas;
+  row.rate = rate;
+  row.offered = wl.items.size();
+  std::size_t met = 0;
+  for (const auto& rep : router.tier_reports()) met += rep.met_deadline;
+  row.goodput = static_cast<double>(met) / static_cast<double>(row.offered);
+  row.p50_s = router.latency_percentile(0.5);
+  row.p99_s = router.latency_percentile(0.99);
+  row.preemptions = router.stats().preemptions;
+  row.prefill_savings = router.prefill_savings();
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+  }
   sh::bench::header("sh::serve — continuous batching on the working window");
 
   sh::nn::GptConfig mcfg;
@@ -87,7 +162,10 @@ int main() {
   std::vector<Row> rows;
   sh::bench::row("%8s %10s %6s %12s %10s %10s %7s %7s", "offered", "kv_budget",
                  "batch", "tokens/s", "p50_ms", "p99_ms", "steps", "preempt");
-  for (const std::size_t offered : {1u, 4u, 8u, 16u, 32u}) {
+  const std::vector<std::size_t> offered_sweep =
+      smoke ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 4, 8, 16, 32};
+  for (const std::size_t offered : offered_sweep) {
     for (const std::size_t budget : {tight, roomy}) {
       const Row r = run_load(engine, offered, budget, /*max_batch=*/16);
       rows.push_back(r);
@@ -104,11 +182,12 @@ int main() {
   // longer max context and near-full sequences to pin that trajectory.
   sh::nn::GptConfig lcfg = mcfg;
   lcfg.max_seq = 512;
+  std::vector<Row> long_rows;
+  if (!smoke) {
   sh::nn::GptModel long_model(lcfg);
   sh::core::StrongholdEngine long_engine(long_model, ecfg);
   long_engine.init_params(42);
 
-  std::vector<Row> long_rows;
   std::printf("\nlong context (max_seq %lld, ~%lld generated tokens/request)\n",
               static_cast<long long>(lcfg.max_seq),
               static_cast<long long>(lcfg.max_seq - 16));
@@ -148,6 +227,113 @@ int main() {
                    r.kv_budget, r.max_batch, r.tokens_per_s, r.p50_ms,
                    r.p99_ms, r.steps, r.preemptions);
   }
+  }  // !smoke
+
+  // Router fleet: goodput-vs-offered-load curves at replica counts 1/2/4.
+  // Latency/goodput are measured on the router's VIRTUAL clock, so these
+  // numbers are a pure function of the workload — stable enough for CI to
+  // gate (scripts/check_serve.py).
+  const std::size_t fleet_requests = smoke ? 10 : 64;
+  const std::vector<double> rate_sweep =
+      smoke ? std::vector<double>{10.0, 50.0}
+            : std::vector<double>{5.0, 20.0, 100.0};
+  const std::vector<std::size_t> replica_sweep =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+  std::printf("\nrouter fleet (open loop, virtual clock, SLO policy)\n");
+  sh::bench::row("%8s %8s %8s %9s %10s %10s %8s %8s", "replicas", "rate",
+                 "offered", "goodput", "p50_vs", "p99_vs", "preempt",
+                 "savings");
+  std::vector<RouterRow> fleet_rows;
+  {
+    sh::core::StrongholdEngine fleet_engine(model, ecfg);
+    fleet_engine.init_params(42);
+    for (const std::size_t replicas : replica_sweep) {
+      for (const double rate : rate_sweep) {
+        const auto wl = make_traffic(rate, fleet_requests);
+        const RouterRow r = run_fleet(fleet_engine, wl, replicas, rate);
+        fleet_rows.push_back(r);
+        sh::bench::row("%8zu %8.1f %8zu %9.3f %10.4f %10.4f %8zu %8.2f",
+                       r.replicas, r.rate, r.offered, r.goodput, r.p50_s,
+                       r.p99_s, r.preemptions, r.prefill_savings);
+      }
+    }
+  }
+
+  // Chaos row: the same fleet served through a swap-backed engine whose
+  // NVMe tier injects bounded transient faults. Virtual-clock outcomes are
+  // bit-identical to the healthy run by construction; what degrades is
+  // WALL latency, and it must stay bounded (retry budget caps each op).
+  const double chaos_rate = 20.0;
+  const auto chaos_wl = make_traffic(chaos_rate, smoke ? 6 : 16);
+  sh::core::EngineConfig swap_cfg = ecfg;
+  swap_cfg.window = 1;
+  swap_cfg.cpu_capacity_bytes = 256 * 1024;  // most layers on "NVMe"
+  double healthy_wall_p99 = 0.0;
+  double faulted_wall_p99 = 0.0;
+  double chaos_goodput = 0.0;
+  std::size_t chaos_faults = 0;
+  bool chaos_tokens_identical = true;
+  {
+    std::map<std::uint64_t, std::vector<std::int32_t>> healthy_tokens;
+    {
+      sh::core::EngineConfig hcfg = swap_cfg;
+      hcfg.swap_path = "bench_serve_swap_healthy.bin";
+      sh::core::StrongholdEngine engine(model, hcfg);
+      engine.init_params(42);
+      sh::serve::Router router(engine, fleet_config(2));
+      router.run(chaos_wl);
+      for (const auto& it : chaos_wl.items) {
+        healthy_tokens[it.id] = router.result(it.id);
+      }
+      for (std::size_t i = 0; i < router.replica_count(); ++i) {
+        healthy_wall_p99 = std::max(
+            healthy_wall_p99,
+            router.replica(i).serve_engine().latency_percentile(0.99));
+      }
+    }
+    {
+      sh::core::EngineConfig fcfg = swap_cfg;
+      fcfg.swap_path = "bench_serve_swap_faulted.bin";
+      fcfg.swap_faults.rate = 0.5;
+      fcfg.swap_faults.seed = 7;
+      fcfg.swap_faults.latency_spike_s = 1e-5;
+      fcfg.swap_faults.max_faults_per_op = 2;  // bounded: retries recover
+      fcfg.swap_faults.max_attempts = 4;
+      fcfg.swap_faults.backoff_initial_s = 1e-6;
+      sh::core::StrongholdEngine engine(model, fcfg);
+      engine.init_params(42);
+      sh::serve::Router router(engine, fleet_config(2));
+      router.run(chaos_wl);
+      std::size_t met = 0, offered = 0;
+      for (const auto& rep : router.tier_reports()) {
+        met += rep.met_deadline;
+        offered += rep.offered;
+      }
+      chaos_goodput = static_cast<double>(met) / static_cast<double>(offered);
+      for (const auto& it : chaos_wl.items) {
+        chaos_tokens_identical =
+            chaos_tokens_identical &&
+            router.result(it.id) == healthy_tokens.at(it.id);
+      }
+      for (std::size_t i = 0; i < router.replica_count(); ++i) {
+        faulted_wall_p99 = std::max(
+            faulted_wall_p99,
+            router.replica(i).serve_engine().latency_percentile(0.99));
+      }
+      chaos_faults = engine.stats().swap_faults_injected;
+    }
+    std::remove("bench_serve_swap_healthy.bin");
+    std::remove("bench_serve_swap_faulted.bin");
+  }
+  const double wall_ratio =
+      healthy_wall_p99 > 0.0 ? faulted_wall_p99 / healthy_wall_p99 : 0.0;
+  std::printf("\nchaos (swap-backed, SH_FAULT-style transient faults)\n");
+  sh::bench::row("%10s %12s %14s %14s %10s %9s", "faults", "identical",
+                 "healthy_p99ms", "faulted_p99ms", "ratio", "goodput");
+  sh::bench::row("%10zu %12s %14.3f %14.3f %10.2f %9.3f", chaos_faults,
+                 chaos_tokens_identical ? "yes" : "NO", healthy_wall_p99 * 1e3,
+                 faulted_wall_p99 * 1e3, wall_ratio, chaos_goodput);
 
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (f != nullptr) {
@@ -181,7 +367,29 @@ int main() {
                    r.kv_peak_bytes, r.gpu_peak_bytes,
                    i + 1 < long_rows.size() ? "," : "");
     }
-    std::fprintf(f, "    ]\n  }\n}\n");
+    std::fprintf(f, "    ]\n  },\n");
+    std::fprintf(f, "  \"router\": {\n    \"smoke\": %s,\n"
+                 "    \"step_dt_s\": 0.01,\n    \"curves\": [\n",
+                 smoke ? "true" : "false");
+    for (std::size_t i = 0; i < fleet_rows.size(); ++i) {
+      const RouterRow& r = fleet_rows[i];
+      std::fprintf(f,
+                   "      {\"replicas\": %zu, \"rate\": %.2f, "
+                   "\"offered\": %zu, \"goodput\": %.4f, "
+                   "\"p50_s\": %.6f, \"p99_s\": %.6f, "
+                   "\"preemptions\": %zu, \"prefill_savings\": %.3f}%s\n",
+                   r.replicas, r.rate, r.offered, r.goodput, r.p50_s,
+                   r.p99_s, r.preemptions, r.prefill_savings,
+                   i + 1 < fleet_rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ],\n    \"chaos\": {\"faults_injected\": %zu, "
+                 "\"tokens_identical\": %s, \"healthy_wall_p99_s\": %.6f, "
+                 "\"faulted_wall_p99_s\": %.6f, \"wall_p99_ratio\": %.3f, "
+                 "\"goodput\": %.4f}\n  }\n}\n",
+                 chaos_faults, chaos_tokens_identical ? "true" : "false",
+                 healthy_wall_p99, faulted_wall_p99, wall_ratio,
+                 chaos_goodput);
     std::fclose(f);
     std::printf("\nwrote BENCH_serve.json\n");
   }

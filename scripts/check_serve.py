@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Regression gate for the serving-fleet goodput/latency measurements.
+
+bench_serve drives open-loop Poisson traffic through serve::Router fleets
+(replica counts 1/2/4 sharing one engine host) and writes goodput-vs-offered-
+load curves plus one chaos row (NVMe-tier fault injection) to the "router"
+section of BENCH_serve.json. All curve numbers are measured on the router's
+VIRTUAL clock, so they are a pure function of the workload file — identical
+on every machine — and can be gated tightly. The chaos wall-latency ratio is
+the only wall-clock number and gets a generous ceiling: faults must degrade
+tail latency boundedly (retry budget caps each op), never unboundedly.
+
+Gates, at the mid offered-load point of the single-replica curve:
+  - goodput floor (fraction of requests finishing inside their tier deadline)
+  - p99/p50 latency ratio ceiling (tail amplification under load)
+  - prefill_savings floor (shared-prefix CoW must actually cut prefill work;
+    relaxed in --smoke runs where the 10-request traffic dilutes sharing)
+  - chaos: faults_injected > 0, tokens bit-identical to the healthy fleet,
+    wall p99 ratio vs healthy under a ceiling
+
+Thresholds are env-tunable (SH_SERVECHK_*) or per-run flags. Stdlib only.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "")
+    try:
+        return float(raw) if raw else default
+    except ValueError:
+        print(f"check_serve: ignoring non-numeric {name}={raw!r}")
+        return default
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default="BENCH_serve.json",
+        help="metrics JSON written by bench_serve (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-goodput",
+        type=float,
+        default=env_float("SH_SERVECHK_MIN_GOODPUT", 0.90),
+        help="floor on single-replica goodput at the mid offered-load point "
+        "(default: %(default)s; measured 1.00)",
+    )
+    parser.add_argument(
+        "--max-tail-ratio",
+        type=float,
+        default=env_float("SH_SERVECHK_MAX_TAIL_RATIO", 4.0),
+        help="ceiling on p99/p50 virtual latency at the mid load point "
+        "(default: %(default)s; measured ~2.2)",
+    )
+    parser.add_argument(
+        "--min-prefill-savings",
+        type=float,
+        default=env_float("SH_SERVECHK_MIN_PREFILL_SAVINGS", 1.5),
+        help="floor on prefill_savings — baseline prefill tokens over actual "
+        "with shared-prefix CoW (default: %(default)s; measured ~1.7). "
+        "Smoke runs use 4/5 of this (fewer requests dilute sharing)",
+    )
+    parser.add_argument(
+        "--max-chaos-wall-ratio",
+        type=float,
+        default=env_float("SH_SERVECHK_MAX_CHAOS_WALL_RATIO", 20.0),
+        help="ceiling on faulted/healthy wall p99 in the chaos row "
+        "(default: %(default)s; measured ~1.3-1.8). Wall clock, so loose: "
+        "it only asserts the fault retry budget keeps the tail bounded",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_serve: cannot read {args.path}: {e}")
+        return 1
+
+    router = doc.get("router")
+    if not isinstance(router, dict):
+        print(f"FAIL router: section missing from {args.path} "
+              "(bench_serve predates the fleet bench, or it crashed)")
+        return 1
+
+    curves = router.get("curves", [])
+    solo = [r for r in curves if r.get("replicas") == 1]
+    if not solo:
+        print("FAIL router.curves: no single-replica rows")
+        return 1
+    mid = sorted(solo, key=lambda r: r.get("rate", 0.0))[len(solo) // 2]
+    smoke = bool(router.get("smoke", False))
+    min_savings = args.min_prefill_savings * (0.8 if smoke else 1.0)
+
+    failed = False
+
+    def gate(label, value, bound, is_floor):
+        nonlocal failed
+        if not isinstance(value, (int, float)):
+            print(f"FAIL {label}: missing")
+            failed = True
+            return
+        ok = value >= bound if is_floor else value <= bound
+        kind = "floor" if is_floor else "ceiling"
+        print(f"{'ok  ' if ok else 'FAIL'} {label} = {value:.3f} "
+              f"({kind} {bound:.2f})")
+        failed = failed or not ok
+
+    label = f"router[replicas=1,rate={mid.get('rate')}]"
+    gate(f"{label}.goodput", mid.get("goodput"), args.min_goodput, True)
+    p50, p99 = mid.get("p50_s"), mid.get("p99_s")
+    tail = (p99 / p50) if isinstance(p50, (int, float)) and p50 > 0 and \
+        isinstance(p99, (int, float)) else None
+    gate(f"{label}.p99/p50", tail, args.max_tail_ratio, False)
+    gate(f"{label}.prefill_savings", mid.get("prefill_savings"),
+         min_savings, True)
+
+    chaos = router.get("chaos", {})
+    faults = chaos.get("faults_injected")
+    if not isinstance(faults, int) or faults <= 0:
+        print(f"FAIL chaos.faults_injected = {faults!r} (must be > 0 — the "
+              "chaos row proved nothing if no fault ever fired)")
+        failed = True
+    else:
+        print(f"ok   chaos.faults_injected = {faults}")
+    if chaos.get("tokens_identical") is not True:
+        print("FAIL chaos.tokens_identical: faulted fleet produced different "
+              "tokens than the healthy fleet")
+        failed = True
+    else:
+        print("ok   chaos.tokens_identical = true")
+    gate("chaos.wall_p99_ratio", chaos.get("wall_p99_ratio"),
+         args.max_chaos_wall_ratio, False)
+
+    if failed:
+        print("check_serve: fleet serving regression — goodput dropped, the "
+              "latency tail blew up, prefix CoW stopped saving prefill, or "
+              "faults leaked into the token stream")
+        return 1
+    print("check_serve: goodput/tail/prefix/chaos gates hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,30 @@ void KvArena::uncharge(std::size_t bytes) {
 }
 
 bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
+  // Copy-on-write: the first reservation of a prefix-sharing sequence
+  // privatizes the alias — charge a private slab, copy the shared rows in,
+  // drop the alias. Failure leaves the alias intact (retry next step).
+  if (auto sh = shared_.find(id); sh != shared_.end()) {
+    Prefix& pre = prefixes_.at(sh->second);
+    const std::int64_t need = std::max(tokens, pre.tokens);
+    if (!try_charge(bytes_for(need))) return false;
+    Slab slab = make_slab(round_to_chunk(need));
+    for (std::size_t b = 0; b < slab.caches.size(); ++b) {
+      const nn::KvCache& src = pre.slab.caches[b];
+      nn::KvCache& dst = slab.caches[b];
+      copy_rows(src.k.data(), src.capacity, dst.k.data(), dst.capacity,
+                heads_, head_dim_, src.length);
+      copy_rows(src.v.data(), src.capacity, dst.v.data(), dst.capacity,
+                heads_, head_dim_, src.length);
+      dst.length = src.length;
+    }
+    slabs_.emplace(id, std::move(slab));
+    --pre.refs;
+    shared_.erase(sh);
+    ++stats_.prefix_privatizations;
+    return true;
+  }
+
   auto it = slabs_.find(id);
   if (it == slabs_.end()) {
     if (preempted(id)) {
@@ -129,6 +153,17 @@ bool KvArena::try_reserve(std::uint64_t id, std::int64_t tokens) {
 }
 
 void KvArena::preempt(std::uint64_t id) {
+  // A still-shared sequence holds no private rows: preemption just drops
+  // the alias (freeing nothing) and remembers the prefix for resume.
+  if (auto sh = shared_.find(id); sh != shared_.end()) {
+    Saved saved;
+    saved.prefix = sh->second;
+    --prefixes_.at(sh->second).refs;
+    shared_.erase(sh);
+    saved_.emplace(id, std::move(saved));
+    ++stats_.preemptions;
+    return;
+  }
   auto it = slabs_.find(id);
   if (it == slabs_.end()) {
     throw std::logic_error("KvArena: preempt of a non-resident sequence");
@@ -160,6 +195,16 @@ bool KvArena::try_resume(std::uint64_t id, std::int64_t tokens) {
     throw std::logic_error("KvArena: resume of a non-preempted sequence");
   }
   const Saved& saved = it->second;
+  if (saved.prefix != 0) {
+    // Alias-preempted: re-adopt the (pinned) prefix slab — free, so this
+    // never fails.
+    const std::uint64_t prefix_id = saved.prefix;
+    saved_.erase(it);
+    ++prefixes_.at(prefix_id).refs;
+    shared_.emplace(id, prefix_id);
+    ++stats_.resumes;
+    return true;
+  }
   const std::int64_t need = std::max(tokens, saved.length);
   if (!try_charge(bytes_for(need))) return false;
   Slab slab = make_slab(round_to_chunk(need));
@@ -178,6 +223,12 @@ bool KvArena::try_resume(std::uint64_t id, std::int64_t tokens) {
 }
 
 void KvArena::release(std::uint64_t id) {
+  if (auto sh = shared_.find(id); sh != shared_.end()) {
+    --prefixes_.at(sh->second).refs;
+    shared_.erase(sh);
+    ++stats_.releases;
+    return;
+  }
   auto it = slabs_.find(id);
   if (it == slabs_.end()) {
     throw std::logic_error("KvArena: release of a non-resident sequence");
@@ -188,11 +239,56 @@ void KvArena::release(std::uint64_t id) {
 }
 
 std::span<nn::KvCache> KvArena::caches(std::uint64_t id) {
+  if (auto sh = shared_.find(id); sh != shared_.end()) {
+    return prefixes_.at(sh->second).slab.caches;
+  }
   auto it = slabs_.find(id);
   if (it == slabs_.end()) {
     throw std::logic_error("KvArena: caches of a non-resident sequence");
   }
   return it->second.caches;
+}
+
+std::uint64_t KvArena::register_prefix(std::int64_t tokens) {
+  if (tokens <= 0) {
+    throw std::invalid_argument("KvArena: prefix must be non-empty");
+  }
+  const std::size_t bytes = bytes_for(tokens);
+  if (!try_charge(bytes)) {
+    throw std::invalid_argument(
+        "KvArena: shared prefix does not fit the KV budget");
+  }
+  Prefix pre;
+  pre.slab = make_slab(round_to_chunk(tokens));
+  pre.tokens = tokens;
+  const std::uint64_t id = next_prefix_id_++;
+  prefixes_.emplace(id, std::move(pre));
+  ++stats_.prefixes;
+  stats_.prefix_bytes += bytes;
+  return id;
+}
+
+std::span<nn::KvCache> KvArena::prefix_caches(std::uint64_t prefix_id) {
+  auto it = prefixes_.find(prefix_id);
+  if (it == prefixes_.end()) {
+    throw std::invalid_argument("KvArena: unknown prefix id");
+  }
+  return it->second.slab.caches;
+}
+
+void KvArena::adopt_prefix(std::uint64_t id, std::uint64_t prefix_id) {
+  if (resident(id) || preempted(id)) {
+    throw std::invalid_argument(
+        "KvArena: adopt_prefix on an already-tracked sequence");
+  }
+  auto it = prefixes_.find(prefix_id);
+  if (it == prefixes_.end()) {
+    throw std::invalid_argument("KvArena: unknown prefix id");
+  }
+  ++it->second.refs;
+  shared_.emplace(id, prefix_id);
+  ++stats_.admissions;
+  ++stats_.prefix_adoptions;
 }
 
 }  // namespace sh::serve

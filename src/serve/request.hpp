@@ -21,6 +21,13 @@ struct Request {
   std::vector<std::int32_t> prompt;
   std::size_t max_new_tokens = 0;
   SamplingParams sampling{};
+  /// Deadline class index (router tier table; reporting only).
+  std::size_t tier = 0;
+  /// Finish within deadline_s virtual seconds of arrival_s. 0 = no deadline
+  /// — the SLO preemption policy treats the sequence as unbounded headroom.
+  double deadline_s = 0.0;
+  /// Virtual arrival time on the router's clock.
+  double arrival_s = 0.0;
 };
 
 enum class SeqStatus {
@@ -49,10 +56,16 @@ struct Sequence {
   /// Admission order; the youngest (largest) sequence is the preemption
   /// victim under KV pressure.
   std::uint64_t admit_order = 0;
+  /// Tokens covered by an adopted shared-prefix slab (0 = not a sharer).
+  /// A sharer is admitted with pos == prefix_tokens: the prefix rows were
+  /// prefilled once into the shared slab, so only the prompt remainder is
+  /// ever fed.
+  std::int64_t prefix_tokens = 0;
   double submit_time = 0.0;
   double finish_time = 0.0;
 
-  bool prefill_pending() const noexcept { return pos == 0; }
+  /// Prompt tokens not yet absorbed (a sharer starts mid-prompt).
+  bool prefill_pending() const noexcept { return pos < prompt_len(); }
   std::int64_t prompt_len() const noexcept {
     return static_cast<std::int64_t>(request.prompt.size());
   }

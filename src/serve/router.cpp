@@ -1,0 +1,191 @@
+#include "serve/router.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace sh::serve {
+
+namespace {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const std::string s(v);
+  if (s == "1" || s == "on" || s == "true") return true;
+  if (s == "0" || s == "off" || s == "false") return false;
+  return fallback;
+}
+
+}  // namespace
+
+RouterConfig router_config_from_env(RouterConfig base) {
+  if (const char* v = std::getenv("SH_SERVE_REPLICAS")) {
+    const long n = std::atol(v);
+    if (n >= 1) base.replicas = static_cast<std::size_t>(n);
+  }
+  if (const char* v = std::getenv("SH_SERVE_POLICY")) {
+    const std::string s(v);
+    if (s == "slo") base.scheduler.preempt_policy = PreemptPolicy::SloHeadroom;
+    if (s == "youngest") base.scheduler.preempt_policy = PreemptPolicy::Youngest;
+  }
+  if (const char* v = std::getenv("SH_SERVE_STEP_DT")) {
+    const double dt = std::atof(v);
+    if (dt > 0.0) base.step_dt = dt;
+  }
+  base.share_prefix = env_flag("SH_SERVE_PREFIX", base.share_prefix);
+  return base;
+}
+
+Router::Router(core::StrongholdEngine& engine, RouterConfig config)
+    : engine_(engine), cfg_(router_config_from_env(config)) {
+  if (cfg_.replicas == 0) {
+    throw std::invalid_argument("Router: replicas must be >= 1");
+  }
+  if (cfg_.step_dt <= 0.0) {
+    throw std::invalid_argument("Router: step_dt must be positive");
+  }
+  cfg_.scheduler.step_dt = cfg_.step_dt;
+  replicas_.reserve(cfg_.replicas);
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    replicas_.push_back(
+        std::make_unique<Scheduler>(engine_, cfg_.scheduler));
+  }
+  outstanding_.assign(cfg_.replicas, 0);
+}
+
+void Router::dispatch(const WorkloadItem& item) {
+  // Least outstanding work, ties to the lowest replica index — a pure
+  // function of prior dispatches and completions, so replay order is exact.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < replicas_.size(); ++i) {
+    if (outstanding_[i] < outstanding_[best]) best = i;
+  }
+
+  Request r;
+  r.id = item.id;
+  r.prompt = item.prompt;
+  r.max_new_tokens = item.max_new_tokens;
+  r.sampling = item.sampling;
+  r.tier = item.tier;
+  r.deadline_s = tiers_.at(item.tier).deadline_s;
+  r.arrival_s = item.arrival_s;
+  replicas_[best]->submit(std::move(r));
+
+  outstanding_[best] += item.prompt.size() + item.max_new_tokens;
+  in_flight_.emplace(item.id, InFlight{best, item.tier, item.arrival_s,
+                                       tiers_.at(item.tier).deadline_s});
+  placed_.emplace(item.id, best);
+  ++tier_offered_.at(item.tier);
+  ++stats_.dispatched;
+  stats_.prefill_baseline_tokens += item.prompt.size();
+  stats_.prefill_tokens +=
+      prefix_active_ && item.shares_prefix
+          ? item.prompt.size() - prefix_len_
+          : item.prompt.size();
+}
+
+void Router::collect_finished() {
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    const std::uint64_t id = it->first;
+    const InFlight& f = it->second;
+    if (!replicas_[f.replica]->finished(id)) {
+      ++it;
+      continue;
+    }
+    const auto& result = replicas_[f.replica]->result(id);
+    const double latency = now_ - f.arrival_s;
+    tier_latency_.at(f.tier).record(latency);
+    all_latency_.record(latency);
+    ++tier_finished_.at(f.tier);
+    if (latency <= f.deadline_s) ++tier_met_.at(f.tier);
+    // Every request runs to max_new_tokens, so the finished result's size
+    // is exactly the prompt+output load dispatch charged.
+    outstanding_[f.replica] -= result.size();
+    ++stats_.finished;
+    it = in_flight_.erase(it);
+  }
+}
+
+void Router::run(const Workload& workload) {
+  if (ran_) {
+    throw std::logic_error("Router::run: one workload per Router");
+  }
+  ran_ = true;
+
+  tiers_ = workload.tiers;
+  if (tiers_.empty()) tiers_.push_back({"default", 0.0});
+  tier_latency_.clear();
+  for (std::size_t t = 0; t < tiers_.size(); ++t) tier_latency_.emplace_back();
+  tier_offered_.assign(tiers_.size(), 0);
+  tier_finished_.assign(tiers_.size(), 0);
+  tier_met_.assign(tiers_.size(), 0);
+
+  if (cfg_.share_prefix && !workload.shared_prefix.empty()) {
+    // One prefix prefill per replica — the only prefix compute the fleet
+    // ever spends; every sharer aliases these rows copy-on-write.
+    for (auto& r : replicas_) r->register_prefix(workload.shared_prefix);
+    prefix_active_ = true;
+    prefix_len_ = workload.shared_prefix.size();
+    stats_.prefill_tokens += prefix_len_ * replicas_.size();
+    stats_.prefill_baseline_tokens += prefix_len_ * replicas_.size();
+  }
+
+  std::size_t next = 0;
+  while (next < workload.items.size() || !in_flight_.empty()) {
+    while (next < workload.items.size() &&
+           workload.items[next].arrival_s <= now_) {
+      dispatch(workload.items[next++]);
+    }
+    for (auto& r : replicas_) {
+      r->set_virtual_now(now_);
+      r->step();
+    }
+    now_ += cfg_.step_dt;
+    ++stats_.steps;
+    collect_finished();
+  }
+
+  stats_.preemptions = 0;
+  stats_.resumes = 0;
+  for (const auto& r : replicas_) {
+    stats_.preemptions += r->stats().preemptions;
+    stats_.resumes += r->stats().resumes;
+  }
+}
+
+const std::vector<std::int32_t>& Router::result(std::uint64_t item_id) const {
+  auto it = placed_.find(item_id);
+  if (it == placed_.end()) {
+    throw std::out_of_range("Router::result: unknown item id");
+  }
+  return replicas_.at(it->second)->result(item_id);
+}
+
+std::size_t Router::replica_of(std::uint64_t item_id) const {
+  auto it = placed_.find(item_id);
+  if (it == placed_.end()) {
+    throw std::out_of_range("Router::replica_of: unknown item id");
+  }
+  return it->second;
+}
+
+std::vector<RouterTierReport> Router::tier_reports() const {
+  std::vector<RouterTierReport> out;
+  out.reserve(tiers_.size());
+  for (std::size_t t = 0; t < tiers_.size(); ++t) {
+    RouterTierReport rep;
+    rep.name = tiers_[t].name;
+    rep.deadline_s = tiers_[t].deadline_s;
+    rep.offered = tier_offered_[t];
+    rep.finished = tier_finished_[t];
+    rep.met_deadline = tier_met_[t];
+    rep.p50_s = tier_latency_[t].percentile(0.5);
+    rep.p99_s = tier_latency_[t].percentile(0.99);
+    rep.p999_s = tier_latency_[t].percentile(0.999);
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+}  // namespace sh::serve

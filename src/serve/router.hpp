@@ -1,0 +1,165 @@
+// SLO-aware router: open-loop traffic over a fleet of serving replicas.
+//
+// The north-star traffic story is millions of users hitting a fleet, not
+// one scheduler in a loop. A Router owns N Scheduler replicas over ONE
+// StrongholdEngine (they share its mem::DeviceArena — the scarce host
+// budget the working window and every replica's KvArena contend for) and
+// drives a recorded Workload through them on a VIRTUAL clock: each fleet
+// step advances every replica one iteration and the clock by step_dt, and
+// arrivals are dispatched the step their arrival_s comes due (open loop —
+// offered load never waits for completions).
+//
+// Everything the router decides is a pure function of (workload, config):
+// dispatch goes to the replica with the least outstanding work (ties to the
+// lowest index), latencies are measured in virtual seconds, and each
+// request's token stream is a function of the request alone (the scheduler
+// invariant). So the same workload file produces the same admission order,
+// token streams, and latency percentiles at any replica count — which is
+// what makes goodput/p99 CI gates on BENCH_serve.json meaningful.
+//
+// Configuration knobs (applied in the constructor, env over config):
+//   SH_SERVE_REPLICAS  fleet size
+//   SH_SERVE_POLICY    "youngest" | "slo" preemption victim policy
+//   SH_SERVE_STEP_DT   virtual seconds per fleet step
+//   SH_SERVE_PREFIX    "on"/"off" shared-prefix CoW reuse
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace sh::serve {
+
+struct RouterConfig {
+  /// Fleet size; every replica is a Scheduler built from `scheduler`.
+  std::size_t replicas = 1;
+  /// Per-replica scheduler template. arena.budget_bytes is per replica —
+  /// set it explicitly for an even split of the shared device arena (0
+  /// lets each replica claim the full residual, oversubscribing it).
+  SchedulerConfig scheduler{};
+  /// Virtual seconds one fleet step models (also the SLO policy's
+  /// remaining-token price; overrides scheduler.step_dt).
+  double step_dt = 0.01;
+  /// Prefill a workload's shared prefix once per replica and admit sharers
+  /// copy-on-write. Off = prefix-blind (the savings baseline).
+  bool share_prefix = true;
+};
+
+/// Env overlay for RouterConfig (SH_SERVE_* above); unparsable values are
+/// ignored, absent ones keep `base`.
+RouterConfig router_config_from_env(RouterConfig base = {});
+
+/// Per-deadline-tier outcome report, virtual-time percentiles included.
+struct RouterTierReport {
+  std::string name;
+  double deadline_s = 0.0;
+  std::size_t offered = 0;
+  std::size_t finished = 0;
+  std::size_t met_deadline = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+  /// Fraction of offered requests that finished WITHIN deadline — the
+  /// quantity goodput-vs-offered-load curves plot.
+  double goodput() const {
+    return offered == 0
+               ? 0.0
+               : static_cast<double>(met_deadline) /
+                     static_cast<double>(offered);
+  }
+};
+
+struct RouterStats {
+  std::size_t dispatched = 0;
+  std::size_t finished = 0;
+  std::size_t steps = 0;  ///< fleet steps (each advances every replica)
+  std::size_t preemptions = 0;
+  std::size_t resumes = 0;
+  /// Prompt tokens the fleet actually prefilled (per-replica prefix fills
+  /// plus every request's unshared remainder).
+  std::size_t prefill_tokens = 0;
+  /// Prompt tokens a prefix-blind fleet would have prefilled.
+  std::size_t prefill_baseline_tokens = 0;
+};
+
+class Router {
+ public:
+  /// Builds the fleet. Applies router_config_from_env(config) so a
+  /// deployment can resize/retune without recompiling — pass exact values
+  /// in a clean environment for reproducible runs.
+  Router(core::StrongholdEngine& engine, RouterConfig config);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Drives the whole workload to completion on the virtual clock. One
+  /// call per Router (throws std::logic_error on reuse). An engine IoError
+  /// (dead swap tier under fault injection) propagates to the caller; the
+  /// router stays destructible.
+  void run(const Workload& workload);
+
+  /// Finished request's tokens (prompt + generated).
+  const std::vector<std::int32_t>& result(std::uint64_t item_id) const;
+  /// Which replica the item was dispatched to.
+  std::size_t replica_of(std::uint64_t item_id) const;
+
+  RouterStats stats() const { return stats_; }
+  std::vector<RouterTierReport> tier_reports() const;
+  /// Virtual request latency percentile across ALL tiers (q in [0, 1]).
+  double latency_percentile(double q) const {
+    return all_latency_.percentile(q);
+  }
+  double virtual_now() const noexcept { return now_; }
+  /// Actually-prefilled over prefix-blind baseline prompt tokens — the
+  /// shared-prefix compute-savings ratio (1.0 when sharing is off).
+  double prefill_savings() const {
+    return stats_.prefill_tokens == 0
+               ? 1.0
+               : static_cast<double>(stats_.prefill_baseline_tokens) /
+                     static_cast<double>(stats_.prefill_tokens);
+  }
+
+  std::size_t replica_count() const noexcept { return replicas_.size(); }
+  Scheduler& replica(std::size_t i) { return *replicas_.at(i); }
+
+ private:
+  struct InFlight {
+    std::size_t replica = 0;
+    std::size_t tier = 0;
+    double arrival_s = 0.0;
+    double deadline_s = 0.0;
+  };
+
+  void dispatch(const WorkloadItem& item);
+  void collect_finished();
+
+  core::StrongholdEngine& engine_;
+  RouterConfig cfg_;
+  std::vector<std::unique_ptr<Scheduler>> replicas_;
+  /// Outstanding prompt+output tokens per replica — the load the
+  /// least-loaded dispatch rule balances.
+  std::vector<std::size_t> outstanding_;
+  std::vector<DeadlineTier> tiers_;
+  std::deque<obs::Histogram> tier_latency_;  // per tier, virtual seconds
+  obs::Histogram all_latency_;
+  std::vector<std::size_t> tier_offered_;
+  std::vector<std::size_t> tier_finished_;
+  std::vector<std::size_t> tier_met_;
+  std::map<std::uint64_t, InFlight> in_flight_;  // ordered → deterministic
+  std::map<std::uint64_t, std::size_t> placed_;  // item id → replica
+  bool prefix_active_ = false;
+  std::size_t prefix_len_ = 0;
+  bool ran_ = false;
+  double now_ = 0.0;
+  RouterStats stats_;
+};
+
+}  // namespace sh::serve

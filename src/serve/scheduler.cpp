@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -31,6 +32,10 @@ Scheduler::Scheduler(core::StrongholdEngine& engine, SchedulerConfig config)
         out.add("sched.steps", static_cast<double>(stats_.steps));
         out.add("sched.preemptions", static_cast<double>(stats_.preemptions));
         out.add("sched.resumes", static_cast<double>(stats_.resumes));
+        out.add("sched.prompt_tokens_fed",
+                static_cast<double>(stats_.prompt_tokens_fed));
+        out.add("sched.prefix_prefill_tokens",
+                static_cast<double>(stats_.prefix_prefill_tokens));
         out.add("sched.kv_budget_bytes",
                 static_cast<double>(arena_.budget_bytes()), "bytes");
       });
@@ -55,8 +60,10 @@ std::uint64_t Scheduler::submit(Request request) {
         "Scheduler::submit: prompt + new tokens exceed max_seq");
   }
   // The deepest KV reservation this request will ever need (the last sampled
-  // token is returned, never fed back).
-  if (!arena_.fits_budget(total - 1)) {
+  // token is returned, never fed back) — which must coexist with the pinned
+  // prefix slab, or a lone resident could never privatize and run.
+  if (arena_.bytes_for(total - 1) + arena_.stats().prefix_bytes >
+      arena_.budget_bytes()) {
     throw std::invalid_argument(
         "Scheduler::submit: request KV footprint exceeds the arena budget");
   }
@@ -70,11 +77,47 @@ std::uint64_t Scheduler::submit(Request request) {
   s.tokens = request.prompt;
   s.rng = tensor::Rng(request.sampling.seed);
   s.submit_time = serve_.now();
+  if (prefix_id_ != 0 && request.prompt.size() >= prefix_tokens_.size() &&
+      std::equal(prefix_tokens_.begin(), prefix_tokens_.end(),
+                 request.prompt.begin())) {
+    s.prefix_tokens = static_cast<std::int64_t>(prefix_tokens_.size());
+  }
   s.request = std::move(request);
   sequences_.emplace(id, std::move(s));
   queue_.push_back(id);
   ++stats_.submitted;
   return id;
+}
+
+void Scheduler::register_prefix(std::span<const std::int32_t> prefix) {
+  if (prefix_id_ != 0) {
+    throw std::invalid_argument(
+        "Scheduler::register_prefix: prefix already registered");
+  }
+  if (stats_.submitted != 0) {
+    throw std::invalid_argument(
+        "Scheduler::register_prefix: must precede all submits");
+  }
+  if (prefix.empty()) {
+    throw std::invalid_argument("Scheduler::register_prefix: empty prefix");
+  }
+  const auto len = static_cast<std::int64_t>(prefix.size());
+  if (len + 1 > engine_.model().config().max_seq) {
+    throw std::invalid_argument(
+        "Scheduler::register_prefix: prefix leaves no room under max_seq");
+  }
+  prefix_id_ = arena_.register_prefix(len);  // throws when over budget
+  prefix_tokens_.assign(prefix.begin(), prefix.end());
+  // The one-time prefill: every sharer's first prefix.size() KV rows are
+  // exactly these (causal attention — row i depends only on tokens <= i).
+  ServeEngine::SeqInput in;
+  in.ids = prefix;
+  in.pos = 0;
+  in.caches = arena_.prefix_caches(prefix_id_);
+  auto logits = serve_.step({&in, 1});
+  prefix_logits_ = std::move(logits.front());
+  stats_.prefix_prefill_tokens += prefix.size();
+  stats_.prompt_tokens_fed += prefix.size();
 }
 
 std::vector<std::uint64_t> Scheduler::running_by_age() const {
@@ -109,16 +152,41 @@ bool Scheduler::preempt_for_pressure(const std::string& region) {
   // relieved by evicting KV into the window's fixed slab, and a co-located
   // scheduler's pressure must not preempt this scheduler's batch.
   if (region != mem::DeviceArena::kKv || reserving_id_ == 0) return false;
-  // Victim: the youngest OTHER resident sequence. The oldest sequence
-  // therefore always keeps its reservation and the schedule progresses.
-  std::uint64_t victim = reserving_id_;
+  // Victim candidates: OTHER residents holding private slabs — dropping a
+  // prefix alias frees nothing, so aliases are never pressure victims. The
+  // oldest private sequence always keeps its reservation under the Youngest
+  // policy, so the schedule progresses.
+  std::uint64_t victim = 0;
   std::uint64_t victim_order = 0;
-  for (std::uint64_t other : running_) {
-    const Sequence& o = sequences_.at(other);
-    if (other != reserving_id_ && o.admit_order >= victim_order) {
-      victim = other;
-      victim_order = o.admit_order;
+  if (cfg_.preempt_policy == PreemptPolicy::SloHeadroom) {
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::uint64_t other : running_) {
+      if (other == reserving_id_ || arena_.shared(other)) continue;
+      const Sequence& o = sequences_.at(other);
+      const double h = slo_headroom(o);
+      if (victim == 0 || h < worst ||
+          (h == worst && o.admit_order > victim_order)) {
+        victim = other;
+        worst = h;
+        victim_order = o.admit_order;
+      }
     }
+  } else {
+    for (std::uint64_t other : running_) {
+      if (other == reserving_id_ || arena_.shared(other)) continue;
+      const Sequence& o = sequences_.at(other);
+      if (victim == 0 || o.admit_order >= victim_order) {
+        victim = other;
+        victim_order = o.admit_order;
+      }
+    }
+  }
+  if (victim == 0) {
+    // No other private resident. A private reserver self-preempts (growth
+    // pressure spills it to CPU, old behavior); a still-shared reserver
+    // just stays shared and retries next step.
+    if (arena_.shared(reserving_id_)) return false;
+    victim = reserving_id_;
   }
   arena_.preempt(victim);
   Sequence& s = seq(victim);
@@ -126,10 +194,25 @@ bool Scheduler::preempt_for_pressure(const std::string& region) {
   std::erase(running_, victim);
   preempted_.push_back(victim);
   ++stats_.preemptions;
+  stats_.last_victim = victim;
   obs::instant("sched", "preempt:r" + std::to_string(victim));
   // Self-preemption frees bytes but not for the reserving sequence — it
   // must wait preempted, so the pressure counts as a stall.
   return victim != reserving_id_;
+}
+
+double Scheduler::slo_headroom(const Sequence& s) const {
+  if (s.request.deadline_s <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Virtual slack to the deadline after pricing remaining tokens at one
+  // step each, normalized by the deadline so tiers compare fairly.
+  const double remaining =
+      static_cast<double>(s.request.max_new_tokens - s.generated) *
+      cfg_.step_dt;
+  const double slack = (s.request.arrival_s + s.request.deadline_s) -
+                       (virtual_now_ + remaining);
+  return slack / s.request.deadline_s;
 }
 
 void Scheduler::reserve_running() {
@@ -154,37 +237,68 @@ void Scheduler::admit_queued() {
   while (!queue_.empty() && running_.size() < cfg_.max_batch) {
     const std::uint64_t id = queue_.front();
     Sequence& s = seq(id);
-    if (!arena_.try_reserve(id, s.prompt_len())) break;
+    if (s.prefix_tokens > 0) {
+      // Zero-copy admission: alias the prefix slab. reserve_running
+      // privatizes the alias before the first engine feed.
+      arena_.adopt_prefix(id, prefix_id_);
+      s.pos = s.prefix_tokens;
+    } else if (!arena_.try_reserve(id, s.prompt_len())) {
+      break;
+    }
     queue_.pop_front();
     s.status = SeqStatus::Running;
     s.admit_order = next_admit_order_++;
     running_.push_back(id);
+    if (s.prefix_tokens > 0 && s.pos == s.prompt_len()) {
+      // Prompt IS the prefix: the cached prefix logits are bit-identical to
+      // what a solo prefill of this prompt returns — sample token 1 with no
+      // engine pass at all.
+      const std::int32_t token =
+          sample_token(prefix_logits_, s.request.sampling, s.rng);
+      s.tokens.push_back(token);
+      ++s.generated;
+      if (s.generated == s.request.max_new_tokens) {
+        finish(id);
+      } else {
+        s.pending = token;
+      }
+    }
   }
 }
 
 void Scheduler::advance_batch() {
   const std::vector<std::uint64_t> ordered = running_by_age();
-  if (ordered.empty()) return;
-
+  std::vector<std::uint64_t> fed;
   std::vector<ServeEngine::SeqInput> inputs;
+  fed.reserve(ordered.size());
   inputs.reserve(ordered.size());
   for (std::uint64_t id : ordered) {
     Sequence& s = seq(id);
+    // A still-shared sequence (admitted this very step) aliases the
+    // read-only prefix slab; it is fed only after reserve_running
+    // privatizes it.
+    if (arena_.shared(id)) continue;
     ServeEngine::SeqInput in;
     if (s.prefill_pending()) {
-      in.ids = s.request.prompt;
+      // A prefix sharer starts mid-prompt: its shared rows are already in
+      // the (privatized) slab, so only the remainder is fed.
+      in.ids = std::span<const std::int32_t>(s.request.prompt)
+                   .subspan(static_cast<std::size_t>(s.pos));
+      stats_.prompt_tokens_fed += in.ids.size();
     } else {
       in.ids = {&s.pending, 1};
     }
     in.pos = s.pos;
     in.caches = arena_.caches(id);
     inputs.push_back(in);
+    fed.push_back(id);
   }
+  if (fed.empty()) return;
 
   const auto logits = serve_.step(inputs);
 
-  for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const std::uint64_t id = ordered[i];
+  for (std::size_t i = 0; i < fed.size(); ++i) {
+    const std::uint64_t id = fed[i];
     Sequence& s = seq(id);
     s.pos += static_cast<std::int64_t>(inputs[i].ids.size());
     const std::int32_t token =

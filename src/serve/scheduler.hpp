@@ -2,10 +2,13 @@
 //
 // Each step() is one model iteration: preempted sequences resume when KV
 // bytes free up (oldest first), running sequences reserve KV room for their
-// next token — preempting the YOUNGEST other resident sequence under arena
-// pressure — queued requests are admitted FCFS into the spare capacity, and
-// the whole resident batch then advances one layer-streamed pass. Finished
-// sequences retire immediately, releasing their KV for the next admission.
+// next token — preempting another resident under arena pressure (youngest
+// by default, worst SLO headroom under PreemptPolicy::SloHeadroom) — queued
+// requests are admitted FCFS into the spare capacity, and the whole
+// resident batch then advances one layer-streamed pass. Finished sequences
+// retire immediately, releasing their KV for the next admission. A
+// registered shared prefix is prefilled once; sharers are admitted as
+// zero-copy aliases and privatized (CoW) on their first reservation.
 //
 // Invariants:
 //  * A request's token stream equals running it alone through
@@ -19,6 +22,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -28,10 +32,26 @@
 
 namespace sh::serve {
 
+/// Victim selection under KV pressure.
+enum class PreemptPolicy {
+  /// Historical policy: youngest resident other than the reserver. Keeps
+  /// the bit-identical schedules the pre-router tests pin down.
+  Youngest,
+  /// SLO-aware: the resident with the worst deadline headroom (virtual
+  /// slack to its deadline after pricing its remaining tokens at step_dt
+  /// apiece, normalized by the deadline). Ties fall back to youngest, so
+  /// with no deadlines set the policy degenerates to Youngest.
+  SloHeadroom,
+};
+
 struct SchedulerConfig {
   /// Maximum resident (decoding) sequences per step.
   std::size_t max_batch = 16;
   KvArenaConfig arena{};
+  PreemptPolicy preempt_policy = PreemptPolicy::Youngest;
+  /// Virtual seconds one scheduler step is modeled to take — the unit the
+  /// SLO policy prices a sequence's remaining tokens in.
+  double step_dt = 0.01;
 };
 
 struct SchedulerStats {
@@ -41,6 +61,14 @@ struct SchedulerStats {
   /// Scheduling preemption decisions (equals the arena's preemption count).
   std::size_t preemptions = 0;
   std::size_t resumes = 0;
+  /// Prompt tokens actually pushed through the engine (prefix sharers skip
+  /// their shared rows) plus the one-time prefix prefill below.
+  std::size_t prompt_tokens_fed = 0;
+  /// Tokens of the one-time shared-prefix prefill.
+  std::size_t prefix_prefill_tokens = 0;
+  /// Most recent pressure victim (0 = none yet) — lets tests pin down
+  /// which sequence each preemption policy chose.
+  std::uint64_t last_victim = 0;
 };
 
 class Scheduler {
@@ -58,8 +86,22 @@ class Scheduler {
   /// Enqueues a request; returns its id (assigned when request.id == 0).
   /// Rejects (throws std::invalid_argument) requests whose context exceeds
   /// the model's max_seq or whose full KV footprint exceeds the arena
-  /// budget — such a request could never run.
+  /// budget (minus the pinned prefix slab) — such a request could never
+  /// run. Requests whose prompt starts with a registered prefix are marked
+  /// as sharers and admitted as zero-copy aliases of the prefix slab.
   std::uint64_t submit(Request request);
+
+  /// Registers a shared system prompt: pins a refcounted slab in the arena
+  /// and prefills it ONCE through the engine. Must be called before any
+  /// submit; throws std::invalid_argument when the prefix is empty, leaves
+  /// no room for generation under max_seq, or does not fit the KV budget.
+  void register_prefix(std::span<const std::int32_t> prefix);
+  bool has_prefix() const noexcept { return prefix_id_ != 0; }
+
+  /// Sets the virtual clock the SLO preemption policy measures headroom
+  /// against (the router advances it each fleet step).
+  void set_virtual_now(double now) noexcept { virtual_now_ = now; }
+  double virtual_now() const noexcept { return virtual_now_; }
 
   /// Runs one continuous-batching iteration. Returns false when no work
   /// remains (queue empty, nothing resident or preempted).
@@ -90,10 +132,14 @@ class Scheduler {
   void admit_queued();
   void advance_batch();
   void finish(std::uint64_t id);
-  /// Pressure callback body: preempts the youngest resident other than the
-  /// sequence currently reserving (or that sequence itself when it is
-  /// alone). Returns whether bytes were freed FOR the reserving sequence.
+  /// Pressure callback body: preempts one resident other than the sequence
+  /// currently reserving, chosen per cfg_.preempt_policy. Only sequences
+  /// with private slabs are candidates — dropping a prefix alias frees no
+  /// bytes. Returns whether bytes were freed FOR the reserving sequence.
   bool preempt_for_pressure(const std::string& region);
+  /// Normalized virtual slack of a sequence against its deadline; +inf when
+  /// it has none.
+  double slo_headroom(const Sequence& s) const;
 
   core::StrongholdEngine& engine_;
   SchedulerConfig cfg_;
@@ -114,6 +160,13 @@ class Scheduler {
 
   std::uint64_t next_id_ = 1;
   std::uint64_t next_admit_order_ = 0;
+  double virtual_now_ = 0.0;
+  /// Shared-prefix state: arena prefix id, the prefix tokens, and the
+  /// cached logits of the prefix's last position — a sharer whose prompt IS
+  /// the prefix samples its first token from these without an engine pass.
+  std::uint64_t prefix_id_ = 0;
+  std::vector<std::int32_t> prefix_tokens_;
+  std::vector<float> prefix_logits_;
   SchedulerStats stats_;
 };
 

@@ -1,0 +1,325 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/rng.hpp"
+
+namespace sh::serve {
+
+namespace {
+
+/// Bounded-Pareto draw in [lo, hi] via inverse-CDF; u in [0, 1). The mass
+/// concentrates near `lo` with a power-law tail toward `hi` — the classic
+/// "mostly short prompts, occasionally huge ones" serving mix.
+std::int64_t bounded_pareto(double u, std::int64_t lo, std::int64_t hi,
+                            double alpha) {
+  if (hi <= lo) return lo;
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi);
+  const double ratio = std::pow(l / h, alpha);
+  const double x = l / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+  const auto v = static_cast<std::int64_t>(x);
+  return std::clamp(v, lo, hi);
+}
+
+void require(bool ok, WorkloadErrorKind kind, const std::string& what,
+             std::size_t line) {
+  if (!ok) throw WorkloadError(kind, what, line);
+}
+
+/// One whitespace-tokenized line with typed field extraction.
+class LineParser {
+ public:
+  LineParser(const std::string& text, std::size_t line)
+      : in_(text), line_(line) {}
+
+  std::string word(const char* field) {
+    std::string w;
+    require(static_cast<bool>(in_ >> w), WorkloadErrorKind::Parse,
+            std::string("missing field: ") + field, line_);
+    return w;
+  }
+  double number(const char* field) {
+    const std::string w = word(field);
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(w, &used);
+      require(used == w.size(), WorkloadErrorKind::Parse,
+              std::string("non-numeric ") + field + ": " + w, line_);
+      return v;
+    } catch (const std::logic_error&) {
+      throw WorkloadError(WorkloadErrorKind::Parse,
+                          std::string("non-numeric ") + field + ": " + w,
+                          line_);
+    }
+  }
+  std::int64_t integer(const char* field) {
+    const double v = number(field);
+    require(v == std::floor(v), WorkloadErrorKind::Parse,
+            std::string("non-integer ") + field, line_);
+    return static_cast<std::int64_t>(v);
+  }
+  /// Full-range uint64 (RNG seeds exceed double's 53-bit mantissa).
+  std::uint64_t u64(const char* field) {
+    const std::string w = word(field);
+    try {
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(w, &used);
+      require(used == w.size() && w.front() != '-',
+              WorkloadErrorKind::Parse,
+              std::string("non-numeric ") + field + ": " + w, line_);
+      return v;
+    } catch (const std::logic_error&) {
+      throw WorkloadError(WorkloadErrorKind::Parse,
+                          std::string("non-numeric ") + field + ": " + w,
+                          line_);
+    }
+  }
+  void done() {
+    std::string extra;
+    require(!(in_ >> extra), WorkloadErrorKind::Parse,
+            "trailing tokens on line", line_);
+  }
+
+ private:
+  std::istringstream in_;
+  std::size_t line_;
+};
+
+}  // namespace
+
+std::size_t Workload::total_prompt_tokens() const {
+  std::size_t n = 0;
+  for (const WorkloadItem& it : items) n += it.prompt.size();
+  return n;
+}
+
+Workload generate_workload(const WorkloadSpec& spec) {
+  Workload wl;
+  wl.tiers = spec.tiers;
+  if (wl.tiers.empty()) wl.tiers.push_back({"default", 1.0});
+  wl.shared_prefix = spec.shared_prefix;
+
+  std::vector<double> weights = spec.tier_weights;
+  weights.resize(wl.tiers.size(), weights.empty() ? 1.0 : 0.0);
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+  if (weight_sum <= 0.0) {
+    weights.assign(wl.tiers.size(), 1.0);
+    weight_sum = static_cast<double>(wl.tiers.size());
+  }
+
+  tensor::Rng rng(spec.seed);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    WorkloadItem item;
+    item.id = i + 1;
+    // Fixed draw order per request: arrival, tier, share, lengths, tokens.
+    clock += -std::log(1.0 - rng.next_uniform()) /
+             std::max(spec.arrival_rate, 1e-9);
+    item.arrival_s = clock;
+
+    double pick = rng.next_uniform() * weight_sum;
+    item.tier = wl.tiers.size() - 1;
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      if (pick < weights[t]) {
+        item.tier = t;
+        break;
+      }
+      pick -= weights[t];
+    }
+
+    item.shares_prefix = !wl.shared_prefix.empty() &&
+                         rng.next_uniform() < spec.prefix_share;
+
+    const std::int64_t prompt_len = bounded_pareto(
+        rng.next_uniform(), spec.prompt_min, spec.prompt_max,
+        spec.prompt_alpha);
+    item.max_new_tokens = static_cast<std::size_t>(bounded_pareto(
+        rng.next_uniform(), spec.output_min, spec.output_max,
+        spec.output_alpha));
+
+    if (item.shares_prefix) item.prompt = wl.shared_prefix;
+    // Private prompt tokens (all of them when not sharing). A sharer always
+    // gets at least one private token so its prompt diverges from the pure
+    // prefix only by suffix — both cases exercise the CoW path.
+    for (std::int64_t t = 0; t < prompt_len; ++t) {
+      item.prompt.push_back(static_cast<std::int32_t>(
+          1 + rng.next_below(static_cast<std::uint64_t>(spec.vocab - 1))));
+    }
+
+    item.sampling.temperature = spec.temperature;
+    item.sampling.top_k = spec.top_k;
+    item.sampling.top_p = spec.top_p;
+    item.sampling.seed = rng.next_u64();
+    wl.items.push_back(std::move(item));
+  }
+  return wl;
+}
+
+void Workload::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw WorkloadError(WorkloadErrorKind::MissingFile,
+                        "Workload::save: cannot open " + path);
+  }
+  std::fprintf(f, "shwl 1\n");
+  std::fprintf(f, "tiers %zu\n", tiers.size());
+  for (const DeadlineTier& t : tiers) {
+    std::fprintf(f, "tier %s %.17g\n", t.name.c_str(), t.deadline_s);
+  }
+  std::fprintf(f, "prefix %zu", shared_prefix.size());
+  for (std::int32_t tok : shared_prefix) std::fprintf(f, " %d", tok);
+  std::fprintf(f, "\n");
+  std::fprintf(f, "items %zu\n", items.size());
+  for (const WorkloadItem& it : items) {
+    std::fprintf(f, "item %llu %.17g %zu %zu %llu %.9g %d %.9g %d %zu",
+                 static_cast<unsigned long long>(it.id), it.arrival_s,
+                 it.tier, it.max_new_tokens,
+                 static_cast<unsigned long long>(it.sampling.seed),
+                 static_cast<double>(it.sampling.temperature),
+                 it.sampling.top_k, static_cast<double>(it.sampling.top_p),
+                 it.shares_prefix ? 1 : 0, it.prompt.size());
+    for (std::int32_t tok : it.prompt) std::fprintf(f, " %d", tok);
+    std::fprintf(f, "\n");
+  }
+  std::fprintf(f, "end\n");
+  std::fclose(f);
+}
+
+Workload Workload::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw WorkloadError(WorkloadErrorKind::MissingFile,
+                        "Workload::load: cannot open " + path);
+  }
+
+  Workload wl;
+  std::string text;
+  std::size_t line = 0;
+  auto next_line = [&](const char* what) {
+    require(static_cast<bool>(std::getline(in, text)),
+            WorkloadErrorKind::Truncated,
+            std::string("file ends before ") + what, line);
+    ++line;
+  };
+
+  next_line("header");
+  {
+    LineParser p(text, line);
+    require(p.word("magic") == "shwl", WorkloadErrorKind::BadMagic,
+            "not a workload file (bad magic)", line);
+    const std::int64_t version = p.integer("version");
+    require(version == 1, WorkloadErrorKind::BadVersion,
+            "unsupported workload version " + std::to_string(version), line);
+    p.done();
+  }
+
+  next_line("tier count");
+  std::int64_t tier_count = 0;
+  {
+    LineParser p(text, line);
+    require(p.word("keyword") == "tiers", WorkloadErrorKind::Parse,
+            "expected 'tiers'", line);
+    tier_count = p.integer("tier count");
+    require(tier_count >= 1, WorkloadErrorKind::Range,
+            "workload needs at least one tier", line);
+    p.done();
+  }
+  for (std::int64_t t = 0; t < tier_count; ++t) {
+    next_line("tier");
+    LineParser p(text, line);
+    require(p.word("keyword") == "tier", WorkloadErrorKind::Parse,
+            "expected 'tier'", line);
+    DeadlineTier tier;
+    tier.name = p.word("tier name");
+    tier.deadline_s = p.number("tier deadline");
+    require(tier.deadline_s > 0.0, WorkloadErrorKind::Range,
+            "tier deadline must be positive", line);
+    p.done();
+    wl.tiers.push_back(std::move(tier));
+  }
+
+  next_line("prefix");
+  {
+    LineParser p(text, line);
+    require(p.word("keyword") == "prefix", WorkloadErrorKind::Parse,
+            "expected 'prefix'", line);
+    const std::int64_t n = p.integer("prefix length");
+    require(n >= 0, WorkloadErrorKind::Range, "negative prefix length", line);
+    for (std::int64_t t = 0; t < n; ++t) {
+      wl.shared_prefix.push_back(
+          static_cast<std::int32_t>(p.integer("prefix token")));
+    }
+    p.done();
+  }
+
+  next_line("item count");
+  std::int64_t item_count = 0;
+  {
+    LineParser p(text, line);
+    require(p.word("keyword") == "items", WorkloadErrorKind::Parse,
+            "expected 'items'", line);
+    item_count = p.integer("item count");
+    require(item_count >= 0, WorkloadErrorKind::Range,
+            "negative item count", line);
+    p.done();
+  }
+  double prev_arrival = 0.0;
+  for (std::int64_t i = 0; i < item_count; ++i) {
+    next_line("item");
+    LineParser p(text, line);
+    require(p.word("keyword") == "item", WorkloadErrorKind::Parse,
+            "expected 'item'", line);
+    WorkloadItem item;
+    item.id = p.u64("id");
+    item.arrival_s = p.number("arrival");
+    item.tier = static_cast<std::size_t>(p.integer("tier"));
+    item.max_new_tokens = static_cast<std::size_t>(p.integer("max_new"));
+    item.sampling.seed = p.u64("seed");
+    item.sampling.temperature = static_cast<float>(p.number("temperature"));
+    item.sampling.top_k = static_cast<std::int32_t>(p.integer("top_k"));
+    item.sampling.top_p = static_cast<float>(p.number("top_p"));
+    const std::int64_t shares = p.integer("shares_prefix");
+    require(shares == 0 || shares == 1, WorkloadErrorKind::Range,
+            "shares_prefix must be 0 or 1", line);
+    item.shares_prefix = shares == 1;
+    const std::int64_t prompt_len = p.integer("prompt length");
+    require(prompt_len >= 1, WorkloadErrorKind::Range,
+            "prompt must be non-empty", line);
+    for (std::int64_t t = 0; t < prompt_len; ++t) {
+      item.prompt.push_back(
+          static_cast<std::int32_t>(p.integer("prompt token")));
+    }
+    p.done();
+
+    require(item.tier < wl.tiers.size(), WorkloadErrorKind::Range,
+            "item tier index out of range", line);
+    require(item.max_new_tokens >= 1, WorkloadErrorKind::Range,
+            "max_new_tokens must be >= 1", line);
+    require(item.arrival_s >= prev_arrival, WorkloadErrorKind::Range,
+            "arrivals must be non-decreasing", line);
+    if (item.shares_prefix) {
+      require(!wl.shared_prefix.empty() &&
+                  item.prompt.size() >= wl.shared_prefix.size() &&
+                  std::equal(wl.shared_prefix.begin(), wl.shared_prefix.end(),
+                             item.prompt.begin()),
+              WorkloadErrorKind::Range,
+              "shares_prefix set but prompt does not start with the prefix",
+              line);
+    }
+    prev_arrival = item.arrival_s;
+    wl.items.push_back(std::move(item));
+  }
+
+  next_line("end sentinel");
+  require(text == "end", WorkloadErrorKind::Truncated,
+          "missing 'end' sentinel", line);
+  return wl;
+}
+
+}  // namespace sh::serve

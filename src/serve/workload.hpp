@@ -1,0 +1,127 @@
+// Replayable serving workloads: seeded open-loop traffic generation and a
+// record/replay file format.
+//
+// A Workload is the full description of one serving experiment's offered
+// traffic: deadline tiers, an optional shared system-prompt prefix, and a
+// list of requests with virtual arrival times (open loop — arrivals do not
+// wait for completions). Generation is a pure function of the spec: one
+// seeded Rng stream drawn in a fixed per-request order produces Poisson
+// arrivals and heavy-tail (bounded-Pareto) prompt/output lengths, so the
+// same spec always yields the same traffic. The file format round-trips
+// exactly (doubles serialized with %.17g), which is what lets the router
+// determinism tests assert identical admission order and token counts from
+// one recorded file at any replica count.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/sampler.hpp"
+
+namespace sh::serve {
+
+enum class WorkloadErrorKind {
+  MissingFile,  ///< the path cannot be opened
+  BadMagic,     ///< not a workload file
+  BadVersion,   ///< workload file from an unknown format version
+  Truncated,    ///< ends before the "end" sentinel / declared item count
+  Parse,        ///< malformed field (wrong token count, non-numeric value)
+  Range,        ///< structurally valid but semantically impossible value
+};
+
+/// Typed workload-file error; carries the failing line (1-based, 0 when the
+/// error is not attributable to a line).
+class WorkloadError : public std::runtime_error {
+ public:
+  WorkloadError(WorkloadErrorKind kind, const std::string& what,
+                std::size_t line = 0)
+      : std::runtime_error(what), kind_(kind), line_(line) {}
+
+  WorkloadErrorKind kind() const noexcept { return kind_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  WorkloadErrorKind kind_;
+  std::size_t line_;
+};
+
+/// A deadline class: requests of this tier should finish within `deadline_s`
+/// virtual seconds of arrival. The router reports latency percentiles and
+/// goodput per tier, and the SLO-aware preemption policy computes a
+/// sequence's headroom against its tier's deadline.
+struct DeadlineTier {
+  std::string name;
+  double deadline_s = 0.0;
+};
+
+/// One request of the offered traffic.
+struct WorkloadItem {
+  std::uint64_t id = 0;
+  /// Virtual arrival time (seconds on the router's virtual clock).
+  double arrival_s = 0.0;
+  /// Index into Workload::tiers.
+  std::size_t tier = 0;
+  std::vector<std::int32_t> prompt;
+  std::size_t max_new_tokens = 0;
+  SamplingParams sampling{};
+  /// Prompt begins with the workload's shared prefix (precomputed at
+  /// generation so replay never re-derives it).
+  bool shares_prefix = false;
+};
+
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+  std::size_t requests = 32;
+  /// Mean arrival rate of the open-loop Poisson process, requests per
+  /// virtual second.
+  double arrival_rate = 50.0;
+  /// Token id range of synthetic prompts: ids drawn from [1, vocab).
+  std::int64_t vocab = 64;
+  /// Heavy-tail prompt/output length mix (bounded Pareto, shape alpha;
+  /// smaller alpha = heavier tail).
+  std::int64_t prompt_min = 2;
+  std::int64_t prompt_max = 12;
+  double prompt_alpha = 1.2;
+  std::int64_t output_min = 4;
+  std::int64_t output_max = 24;
+  double output_alpha = 1.2;
+  /// Deadline tiers and their selection weights (normalized internally).
+  /// Empty = one "default" tier with a 1s deadline.
+  std::vector<DeadlineTier> tiers{};
+  std::vector<double> tier_weights{};
+  /// Shared system prompt: each request independently starts with it with
+  /// probability `prefix_share` (its private tokens follow). Empty prefix
+  /// disables sharing.
+  std::vector<std::int32_t> shared_prefix{};
+  double prefix_share = 0.0;
+  /// Sampling parameters applied to every request (per-request seeds are
+  /// derived from `seed`).
+  float temperature = 0.0f;
+  std::int32_t top_k = 0;
+  float top_p = 1.0f;
+};
+
+struct Workload {
+  std::vector<DeadlineTier> tiers;
+  std::vector<std::int32_t> shared_prefix;
+  /// Sorted by arrival_s (ties keep id order) — the admission order.
+  std::vector<WorkloadItem> items;
+
+  /// Total prompt tokens a prefix-blind server would prefill — the baseline
+  /// of the shared-prefix compute-savings ratio.
+  std::size_t total_prompt_tokens() const;
+
+  /// Writes the workload in the "shwl" text format (round-trips exactly).
+  void save(const std::string& path) const;
+  /// Parses a file written by save(); throws WorkloadError on anything
+  /// malformed.
+  static Workload load(const std::string& path);
+};
+
+/// Generates the workload described by `spec`. Deterministic: the same spec
+/// yields the same workload on every call.
+Workload generate_workload(const WorkloadSpec& spec);
+
+}  // namespace sh::serve

@@ -1,0 +1,24 @@
+// Victim binary for test_ckpt's KillAndResume chaos tests: trains with
+// periodic checkpoints until the parent SIGKILLs it. A plain executable —
+// not a gtest — so the main suite reports zero skipped tests (the old
+// in-binary victim TEST skipped itself on every normal run).
+#include <cstdio>
+#include <cstdlib>
+
+#include "testing/ckpt_chaos.hpp"
+
+int main() {
+  const char* dir = std::getenv("SH_CKPT_CHILD_DIR");
+  if (dir == nullptr) {
+    std::fprintf(stderr,
+                 "ckpt_chaos_child: SH_CKPT_CHILD_DIR not set; this binary "
+                 "is spawned by test_ckpt's KillAndResume tests\n");
+    return 2;
+  }
+  double throttle = 0.0;
+  if (const char* t = std::getenv("SH_CKPT_CHILD_THROTTLE")) {
+    throttle = std::atof(t);
+  }
+  sh::testing::ckpt_chaos::train_until_killed(dir, throttle);
+  return 0;  // unreachable: the loop above only ends by signal
+}

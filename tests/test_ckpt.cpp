@@ -28,6 +28,7 @@
 #include "data/text_corpus.hpp"
 #include "nn/gpt.hpp"
 #include "storage/fault_plan.hpp"
+#include "testing/ckpt_chaos.hpp"
 #include "testing/util.hpp"
 
 extern char** environ;
@@ -447,15 +448,7 @@ TEST(CkptFaults, ExhaustedBudgetAbortsWithoutCorruptingPreviousGeneration) {
 // last-gasp on tier death.
 // ---------------------------------------------------------------------------
 
-nn::GptConfig tiny_config() {
-  nn::GptConfig cfg;
-  cfg.vocab = 32;
-  cfg.max_seq = 8;
-  cfg.hidden = 16;
-  cfg.heads = 2;
-  cfg.layers = 4;
-  return cfg;
-}
+using sh::testing::ckpt_chaos::tiny_config;
 
 struct TrainRun {
   std::vector<float> losses;
@@ -755,43 +748,17 @@ TEST(EngineLastGasp, MidStepFaultNeverCommitsTornState) {
 
 constexpr int kChaosHorizon = 64;  // reference steps (child is killed early)
 
-core::EngineConfig chaos_config(const std::string& dir,
-                                double ckpt_bytes_per_second) {
-  core::EngineConfig cfg;
-  cfg.window = 2;
-  cfg.ckpt.dir = dir;
-  cfg.ckpt.every_n_steps = 2;
-  cfg.ckpt.keep = 2;
-  cfg.ckpt.bytes_per_second = ckpt_bytes_per_second;
-  return cfg;
-}
+using sh::testing::ckpt_chaos::chaos_config;
 
-/// The victim. Runs only when spawned by the KillAndResume tests (the env
-/// var carries the checkpoint directory); trains "forever" until SIGKILLed.
-TEST(CkptChildProcess, TrainUntilKilled) {
-  const char* dir = std::getenv("SH_CKPT_CHILD_DIR");
-  if (dir == nullptr) {
-    GTEST_SKIP() << "spawned only by the KillAndResume chaos tests";
-  }
-  double throttle = 0.0;
-  if (const char* t = std::getenv("SH_CKPT_CHILD_THROTTLE")) {
-    throttle = std::atof(t);
-  }
-  const auto mcfg = tiny_config();
-  core::EngineConfig ecfg = chaos_config(dir, throttle);
-  data::SyntheticCorpus corpus(mcfg.vocab, 9);
-  ecfg.ckpt_extra_save = [&corpus](Blobs& b) {
-    b.put("data.cursor", corpus.save_state());
-  };
-  nn::GptModel model(mcfg);
-  core::StrongholdEngine engine(model, std::move(ecfg));
-  engine.init_params(42);
-  for (int i = 0; i < 1000000; ++i) {
-    engine.train_step(corpus.next_batch(2, mcfg.max_seq));
-    // Pace the loop so the parent's SIGKILL lands well inside the reference
-    // horizon; numerically a pure no-op.
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
-  }
+/// The victim lives in its own non-gtest binary (ckpt_chaos_child, built
+/// from tests/ckpt_chaos_child.cpp against the same testing/ckpt_chaos.hpp
+/// configs) and sits next to this test binary in the build tree.
+std::string child_binary_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "ckpt_chaos_child";
+  buf[n] = '\0';
+  return (fs::path(buf).parent_path() / "ckpt_chaos_child").string();
 }
 
 class KillAndResume : public ::testing::TestWithParam<double> {};
@@ -806,17 +773,15 @@ TEST_P(KillAndResume, ResumesBitIdenticalAfterSigkill) {
   const TrainRun ref =
       run_engine(mcfg, chaos_config("", 0.0), kChaosHorizon);
 
-  // Spawn the victim (this same test binary, filtered to the child test).
+  // Spawn the victim (the standalone ckpt_chaos_child binary).
   ::setenv("SH_CKPT_CHILD_DIR", dir.c_str(), 1);
   if (throttle > 0.0) {
     ::setenv("SH_CKPT_CHILD_THROTTLE", std::to_string(throttle).c_str(), 1);
   }
-  const char* exe = "/proc/self/exe";
-  const char* argv[] = {"test_ckpt",
-                        "--gtest_filter=CkptChildProcess.TrainUntilKilled",
-                        nullptr};
+  const std::string exe = child_binary_path();
+  const char* argv[] = {"ckpt_chaos_child", nullptr};
   pid_t pid = -1;
-  const int rc = ::posix_spawn(&pid, exe, nullptr, nullptr,
+  const int rc = ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr,
                                const_cast<char* const*>(argv), environ);
   ::unsetenv("SH_CKPT_CHILD_DIR");
   ::unsetenv("SH_CKPT_CHILD_THROTTLE");

@@ -1,0 +1,459 @@
+// serve::Router tests: deterministic replay at any replica count, SLO-aware
+// victim selection, prefix-CoW exactness, and fault-injected chaos serving.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/kv_arena.hpp"
+#include "serve/router.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+#include "storage/fault_plan.hpp"
+
+namespace sh::serve {
+namespace {
+
+nn::GptConfig router_model_config() {
+  nn::GptConfig cfg;
+  cfg.vocab = 32;
+  cfg.max_seq = 16;
+  cfg.hidden = 16;
+  cfg.heads = 2;
+  cfg.layers = 3;
+  return cfg;
+}
+
+WorkloadSpec router_spec() {
+  WorkloadSpec spec;
+  spec.seed = 11;
+  spec.requests = 14;
+  spec.arrival_rate = 60.0;
+  spec.vocab = 32;
+  spec.prompt_min = 1;
+  spec.prompt_max = 4;
+  spec.output_min = 2;
+  spec.output_max = 8;
+  spec.tiers = {{"interactive", 0.4}, {"batch", 4.0}};
+  spec.tier_weights = {2.0, 1.0};
+  spec.shared_prefix = {5, 6, 7};
+  spec.prefix_share = 0.5;
+  return spec;
+}
+
+RouterConfig fleet_config(std::size_t replicas) {
+  RouterConfig cfg;
+  cfg.replicas = replicas;
+  cfg.step_dt = 0.01;
+  cfg.scheduler.max_batch = 4;
+  cfg.scheduler.arena.chunk_tokens = 4;
+  cfg.scheduler.arena.budget_bytes = 64 * 1024;
+  return cfg;
+}
+
+std::map<std::uint64_t, std::vector<std::int32_t>> run_fleet(
+    core::StrongholdEngine& engine, const Workload& wl, RouterConfig cfg) {
+  Router router(engine, cfg);
+  router.run(wl);
+  std::map<std::uint64_t, std::vector<std::int32_t>> out;
+  for (const WorkloadItem& it : wl.items) out[it.id] = router.result(it.id);
+  return out;
+}
+
+// Tentpole invariant: the same recorded workload produces identical
+// per-request token streams across runs AND across replica counts 1/2/4 —
+// a request's tokens are a function of the request alone, never of fleet
+// shape, batching or preemption.
+TEST(Router, ReplayBitIdenticalAcrossRunsAndReplicaCounts) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(31);
+
+  const std::string path = ::testing::TempDir() + "router_replay.shwl";
+  generate_workload(router_spec()).save(path);
+  const Workload wl = Workload::load(path);
+
+  const auto r1 = run_fleet(engine, wl, fleet_config(1));
+  const auto r1b = run_fleet(engine, wl, fleet_config(1));
+  const auto r2 = run_fleet(engine, wl, fleet_config(2));
+  const auto r4 = run_fleet(engine, wl, fleet_config(4));
+  EXPECT_EQ(r1, r1b) << "same file + same config must replay identically";
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r4);
+
+  // And every stream equals the solo single-request run.
+  for (const WorkloadItem& it : wl.items) {
+    const auto solo = engine.generate_incremental(it.prompt, it.max_new_tokens);
+    EXPECT_EQ(r4.at(it.id), solo) << "item " << it.id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Router, DispatchIsDeterministicAndBalanced) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(31);
+
+  const Workload wl = generate_workload(router_spec());
+  Router a(engine, fleet_config(2));
+  Router b(engine, fleet_config(2));
+  a.run(wl);
+  b.run(wl);
+
+  std::vector<std::size_t> used(2, 0);
+  for (const WorkloadItem& it : wl.items) {
+    EXPECT_EQ(a.replica_of(it.id), b.replica_of(it.id)) << "item " << it.id;
+    ++used[a.replica_of(it.id)];
+  }
+  EXPECT_GT(used[0], 0u);
+  EXPECT_GT(used[1], 0u);
+  EXPECT_EQ(a.stats().dispatched, wl.items.size());
+  EXPECT_EQ(a.stats().finished, wl.items.size());
+  EXPECT_EQ(a.stats().steps, b.stats().steps);
+}
+
+TEST(Router, TierReportsCarryVirtualPercentilesAndGoodput) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(31);
+
+  const Workload wl = generate_workload(router_spec());
+  Router router(engine, fleet_config(2));
+  router.run(wl);
+
+  const auto reports = router.tier_reports();
+  ASSERT_EQ(reports.size(), wl.tiers.size());
+  std::size_t offered = 0;
+  for (const auto& rep : reports) {
+    offered += rep.offered;
+    EXPECT_EQ(rep.finished, rep.offered);
+    EXPECT_LE(rep.met_deadline, rep.finished);
+    if (rep.finished > 0) {
+      EXPECT_GT(rep.p50_s, 0.0);
+      EXPECT_LE(rep.p50_s, rep.p99_s);
+      EXPECT_LE(rep.p99_s, rep.p999_s);
+    }
+    EXPECT_GE(rep.goodput(), 0.0);
+    EXPECT_LE(rep.goodput(), 1.0);
+  }
+  EXPECT_EQ(offered, wl.items.size());
+  EXPECT_GT(router.latency_percentile(0.99), 0.0);
+  // Virtual-time percentiles are a pure function of the workload: a second
+  // identical fleet reports the same numbers (this is what makes the CI
+  // gate on BENCH_serve.json stable).
+  Router again(engine, fleet_config(2));
+  again.run(wl);
+  EXPECT_EQ(router.latency_percentile(0.99), again.latency_percentile(0.99));
+}
+
+// SLO policy unit test: under pressure the SloHeadroom policy evicts the
+// sequence with the WORST normalized deadline headroom (already-doomed
+// traffic is shed), while Youngest keeps evicting the newest admission.
+TEST(Router, SloVictimIsWorstHeadroomNotYoungest) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(13);
+
+  // 384 B/token, chunk 4 -> 1536 B per chunk. Three 1-chunk residents fit
+  // in 5000 B; the first growth to 2 chunks (6144 B total) must preempt.
+  auto make = [&](PreemptPolicy policy) {
+    SchedulerConfig scfg;
+    scfg.max_batch = 3;
+    scfg.arena.chunk_tokens = 4;
+    scfg.arena.budget_bytes = 5000;
+    scfg.preempt_policy = policy;
+    scfg.step_dt = 0.01;
+    return scfg;
+  };
+  auto submit_three = [&](Scheduler& sched) {
+    // A: prompt 4 -> grows on step 2 (it is the reserver, never a victim).
+    Request a;
+    a.id = 1;
+    a.prompt = {1, 2, 3, 4};
+    a.max_new_tokens = 4;
+    a.sampling.seed = 41;
+    // B: mid-age, deadline blown long ago -> worst (negative) headroom.
+    Request b;
+    b.id = 2;
+    b.prompt = {5, 6, 7};
+    b.max_new_tokens = 4;
+    b.sampling.seed = 42;
+    b.arrival_s = 0.0;
+    b.deadline_s = 1.0;
+    // C: youngest, loose deadline -> best headroom.
+    Request c;
+    c.id = 3;
+    c.prompt = {8, 9, 10};
+    c.max_new_tokens = 4;
+    c.sampling.seed = 43;
+    c.arrival_s = 0.0;
+    c.deadline_s = 1000.0;
+    sched.submit(a);
+    sched.submit(b);
+    sched.submit(c);
+  };
+
+  Scheduler youngest(engine, make(PreemptPolicy::Youngest));
+  submit_three(youngest);
+  youngest.set_virtual_now(100.0);
+  youngest.step();  // admit all three at one chunk each
+  youngest.step();  // A grows -> pressure
+  EXPECT_GE(youngest.stats().preemptions, 1u);
+  EXPECT_EQ(youngest.stats().last_victim, 3u) << "youngest evicts C";
+
+  Scheduler slo(engine, make(PreemptPolicy::SloHeadroom));
+  submit_three(slo);
+  slo.set_virtual_now(100.0);
+  slo.step();
+  slo.step();
+  EXPECT_GE(slo.stats().preemptions, 1u);
+  EXPECT_EQ(slo.stats().last_victim, 2u)
+      << "SLO policy evicts the blown-deadline sequence, not the youngest";
+
+  // Policy never changes tokens, only schedules: both runs end bit-equal.
+  youngest.run_to_completion();
+  slo.run_to_completion();
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    EXPECT_EQ(youngest.result(id), slo.result(id)) << "id " << id;
+  }
+}
+
+// Prefix CoW: the shared prefix is prefilled ONCE; sharers alias it and
+// privatize on first divergent write, and every output stays bit-equal to
+// the solo run — including a sharer that is forcibly preempted and resumed.
+TEST(Router, PrefixCowExactUnderPreemptionOfASharingSequence) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(19);
+
+  const std::vector<std::int32_t> prefix = {5, 6, 7, 8};  // one 4-token chunk
+  SchedulerConfig scfg;
+  scfg.max_batch = 3;
+  scfg.arena.chunk_tokens = 4;
+  // prefix slab 1536 + two sharers at 2 chunks each (3072) = 7680 > 6500:
+  // the younger privatized sharer MUST be preempted and later resumed.
+  scfg.arena.budget_bytes = 6500;
+  Scheduler sched(engine, scfg);
+  sched.register_prefix(prefix);
+
+  Request r1;
+  r1.id = 1;
+  r1.prompt = prefix;
+  r1.prompt.push_back(9);
+  r1.max_new_tokens = 8;
+  r1.sampling.seed = 51;
+  Request r2;
+  r2.id = 2;
+  r2.prompt = prefix;
+  r2.prompt.push_back(11);
+  r2.max_new_tokens = 8;
+  r2.sampling.seed = 52;
+  Request r3;  // prompt IS the prefix: first token comes from cached logits
+  r3.id = 3;
+  r3.prompt = prefix;
+  r3.max_new_tokens = 5;
+  r3.sampling.seed = 53;
+  sched.submit(r1);
+  sched.submit(r2);
+  sched.submit(r3);
+  sched.run_to_completion();
+
+  const auto& arena = sched.arena_stats();
+  EXPECT_EQ(arena.prefixes, 1u);
+  EXPECT_EQ(arena.prefix_adoptions, 3u);
+  EXPECT_GE(arena.prefix_privatizations, 3u);
+  EXPECT_GE(arena.preemptions, 1u) << "budget never forced a sharer preempt";
+  EXPECT_GE(arena.resumes, 1u);
+
+  // Prefill compute: 4 prefix tokens once + one private token each for
+  // r1/r2 + none for r3 — instead of 4+5+5 for a prefix-blind scheduler.
+  EXPECT_EQ(sched.stats().prefix_prefill_tokens, 4u);
+  EXPECT_EQ(sched.stats().prompt_tokens_fed, 6u);
+
+  for (const Request& r : {r1, r2, r3}) {
+    const auto solo = engine.generate_incremental(r.prompt, r.max_new_tokens);
+    EXPECT_EQ(sched.result(r.id), solo) << "request " << r.id;
+  }
+}
+
+// Arena-level alias lifecycle: preempting a still-shared sequence saves no
+// rows, frees no bytes, and resume re-adopts the pinned prefix slab.
+TEST(Router, KvArenaAliasPreemptResumeAndRefcounts) {
+  const auto mcfg = router_model_config();
+  KvArenaConfig cfg;
+  cfg.chunk_tokens = 4;
+  cfg.budget_bytes = 1 << 16;
+  KvArena arena(mcfg, cfg);
+
+  const std::uint64_t pid = arena.register_prefix(4);
+  const std::size_t pinned = arena.stats().bytes_in_use;
+  EXPECT_EQ(arena.stats().prefix_bytes, pinned);
+  EXPECT_EQ(arena.prefix_caches(pid).size(), 3u);
+
+  arena.adopt_prefix(7, pid);
+  EXPECT_TRUE(arena.shared(7));
+  EXPECT_TRUE(arena.resident(7));
+  EXPECT_EQ(arena.stats().bytes_in_use, pinned) << "aliases charge nothing";
+  EXPECT_EQ(arena.caches(7).data(), arena.prefix_caches(pid).data())
+      << "a shared sequence reads the prefix slab itself";
+
+  arena.preempt(7);
+  EXPECT_FALSE(arena.shared(7));
+  EXPECT_TRUE(arena.preempted(7));
+  EXPECT_EQ(arena.stats().bytes_in_use, pinned);
+  EXPECT_TRUE(arena.try_resume(7, 4)) << "alias resume is free";
+  EXPECT_TRUE(arena.shared(7));
+
+  // Privatization: first write-bearing reservation copies the prefix rows.
+  for (nn::KvCache& c : arena.prefix_caches(pid)) {
+    c.length = 4;
+    for (std::int64_t i = 0; i < c.k.numel(); ++i) {
+      c.k.at(i) = static_cast<float>(i) * 0.5f;
+    }
+  }
+  ASSERT_TRUE(arena.try_reserve(7, 5));
+  EXPECT_FALSE(arena.shared(7));
+  EXPECT_GT(arena.stats().bytes_in_use, pinned);
+  EXPECT_EQ(arena.stats().prefix_privatizations, 1u);
+  EXPECT_NE(arena.caches(7).data(), arena.prefix_caches(pid).data());
+  EXPECT_EQ(arena.caches(7)[0].length, 4);
+  EXPECT_EQ(arena.caches(7)[1].k.at(1), arena.prefix_caches(pid)[1].k.at(1));
+
+  arena.release(7);
+  EXPECT_EQ(arena.stats().bytes_in_use, pinned)
+      << "the prefix slab stays pinned after all sharers are gone";
+}
+
+// Fleet-level savings: with every request sharing the system prompt the
+// fleet prefills >= 1.5x fewer prompt tokens, and the outputs are
+// bit-identical to a prefix-blind fleet (SH_SERVE_PREFIX=off baseline).
+TEST(Router, SharedPrefixSavesPrefillComputeWithIdenticalOutputs) {
+  const auto mcfg = router_model_config();
+  nn::GptModel model(mcfg);
+  core::EngineConfig ecfg;
+  ecfg.window = 2;
+  core::StrongholdEngine engine(model, ecfg);
+  engine.init_params(29);
+
+  auto spec = router_spec();
+  spec.requests = 12;
+  spec.shared_prefix = {3, 4, 5, 6, 7, 8};
+  spec.prefix_share = 1.0;  // every request carries the system prompt
+  spec.prompt_min = 1;
+  spec.prompt_max = 2;
+  spec.output_min = 2;
+  spec.output_max = 6;
+  const Workload wl = generate_workload(spec);
+
+  auto cfg = fleet_config(2);
+  Router sharing(engine, cfg);
+  sharing.run(wl);
+
+  auto blind_cfg = cfg;
+  blind_cfg.share_prefix = false;
+  Router blind(engine, blind_cfg);
+  blind.run(wl);
+
+  for (const WorkloadItem& it : wl.items) {
+    EXPECT_EQ(sharing.result(it.id), blind.result(it.id)) << "item " << it.id;
+  }
+  EXPECT_EQ(blind.prefill_savings(), 1.0);
+  EXPECT_GE(sharing.prefill_savings(), 1.5)
+      << "shared-prefix serving must prefill at least 1.5x fewer tokens";
+}
+
+// Chaos: a fleet on a swap-backed engine under bounded SH_FAULT_* transient
+// faults completes every request bit-identical to the healthy run (faults
+// cost latency, never tokens); a dead tier surfaces a typed storage::IoError
+// without wedging the router.
+TEST(Router, ChaosFaultedFleetBitIdenticalAndDeadTierRaisesIoError) {
+  const auto mcfg = router_model_config();
+  auto spec = router_spec();
+  spec.requests = 6;
+  const Workload wl = generate_workload(spec);
+
+  core::EngineConfig base;
+  base.window = 1;
+  base.cpu_capacity_bytes = 24 * 1024;  // push most layers onto "NVMe"
+  const auto cfg = fleet_config(2);
+
+  std::map<std::uint64_t, std::vector<std::int32_t>> healthy;
+  {
+    nn::GptModel model(mcfg);
+    auto ecfg = base;
+    ecfg.swap_path = ::testing::TempDir() + "router_swap_healthy.bin";
+    core::StrongholdEngine engine(model, ecfg);
+    EXPECT_GT(engine.stats().swap_backed_layers, 0u);
+    engine.init_params(37);
+    healthy = run_fleet(engine, wl, cfg);
+  }
+
+  {
+    // Transient faults via the SH_FAULT_* env surface (bounded: every op
+    // recovers within the retry budget).
+    ::setenv("SH_FAULT_RATE", "0.9", 1);
+    ::setenv("SH_FAULT_SEED", "2026", 1);
+    ::setenv("SH_FAULT_LATENCY_SPIKE_S", "1e-5", 1);
+    ::setenv("SH_FAULT_MAX_FAULTS_PER_OP", "2", 1);
+    ::setenv("SH_FAULT_MAX_ATTEMPTS", "4", 1);
+    ::setenv("SH_FAULT_BACKOFF_S", "1e-6", 1);
+    nn::GptModel model(mcfg);
+    auto ecfg = base;
+    ecfg.swap_path = ::testing::TempDir() + "router_swap_faulted.bin";
+    core::StrongholdEngine engine(model, ecfg);
+    ::unsetenv("SH_FAULT_RATE");
+    ::unsetenv("SH_FAULT_SEED");
+    ::unsetenv("SH_FAULT_LATENCY_SPIKE_S");
+    ::unsetenv("SH_FAULT_MAX_FAULTS_PER_OP");
+    ::unsetenv("SH_FAULT_MAX_ATTEMPTS");
+    ::unsetenv("SH_FAULT_BACKOFF_S");
+    engine.init_params(37);
+    const auto faulted = run_fleet(engine, wl, cfg);
+    EXPECT_GT(engine.stats().swap_faults_injected, 0u) << "faults never fired";
+    EXPECT_EQ(engine.stats().swap_io_errors, 0u);
+    EXPECT_EQ(faulted, healthy) << "transient faults must never change tokens";
+  }
+
+  {
+    // Dead tier: every read EIOs forever; the router must surface the typed
+    // error and still tear down cleanly.
+    nn::GptModel model(mcfg);
+    auto ecfg = base;
+    ecfg.swap_path = ::testing::TempDir() + "router_swap_dead.bin";
+    ecfg.swap_faults.rate = 1.0;
+    ecfg.swap_faults.latency_weight = 0.0;
+    ecfg.swap_faults.short_weight = 0.0;
+    ecfg.swap_faults.fault_writes = false;  // init_params can seed the tier
+    ecfg.swap_faults.max_faults_per_op =
+        std::numeric_limits<std::size_t>::max();
+    ecfg.swap_faults.max_attempts = 3;
+    ecfg.swap_faults.backoff_initial_s = 1e-6;
+    core::StrongholdEngine engine(model, ecfg);
+    engine.init_params(37);
+    Router router(engine, cfg);
+    EXPECT_THROW(router.run(wl), storage::IoError);
+  }  // router + engine destructors must not hang or rethrow
+}
+
+}  // namespace
+}  // namespace sh::serve

@@ -1,0 +1,222 @@
+// serve::Workload tests: seeded generation, record→replay round-trip, and
+// typed malformed-file errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace sh::serve {
+namespace {
+
+WorkloadSpec demo_spec() {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.requests = 64;
+  spec.arrival_rate = 40.0;
+  spec.vocab = 32;
+  spec.prompt_min = 2;
+  spec.prompt_max = 9;
+  spec.output_min = 2;
+  spec.output_max = 6;
+  spec.tiers = {{"interactive", 0.5}, {"batch", 5.0}};
+  spec.tier_weights = {3.0, 1.0};
+  spec.shared_prefix = {5, 6, 7};
+  spec.prefix_share = 0.5;
+  return spec;
+}
+
+bool same_item(const WorkloadItem& a, const WorkloadItem& b) {
+  return a.id == b.id && a.arrival_s == b.arrival_s && a.tier == b.tier &&
+         a.prompt == b.prompt && a.max_new_tokens == b.max_new_tokens &&
+         a.sampling.seed == b.sampling.seed &&
+         a.sampling.temperature == b.sampling.temperature &&
+         a.sampling.top_k == b.sampling.top_k &&
+         a.sampling.top_p == b.sampling.top_p &&
+         a.shares_prefix == b.shares_prefix;
+}
+
+void expect_same_workload(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.tiers.size(), b.tiers.size());
+  for (std::size_t t = 0; t < a.tiers.size(); ++t) {
+    EXPECT_EQ(a.tiers[t].name, b.tiers[t].name);
+    EXPECT_EQ(a.tiers[t].deadline_s, b.tiers[t].deadline_s);
+  }
+  EXPECT_EQ(a.shared_prefix, b.shared_prefix);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_TRUE(same_item(a.items[i], b.items[i])) << "item " << i;
+  }
+}
+
+TEST(Workload, GenerationIsDeterministicAndSeedSensitive) {
+  const auto spec = demo_spec();
+  const Workload a = generate_workload(spec);
+  const Workload b = generate_workload(spec);
+  expect_same_workload(a, b);
+
+  auto other = spec;
+  other.seed = 8;
+  const Workload c = generate_workload(other);
+  ASSERT_EQ(a.items.size(), c.items.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    any_diff = any_diff || !same_item(a.items[i], c.items[i]);
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical traffic";
+}
+
+TEST(Workload, RecordReplayRoundTripsExactly) {
+  const std::string path = ::testing::TempDir() + "wl_roundtrip.shwl";
+  const Workload a = generate_workload(demo_spec());
+  a.save(path);
+  const Workload b = Workload::load(path);
+  expect_same_workload(a, b);
+  // Replay of the replay: byte-exact stability, not just value equality.
+  const std::string path2 = ::testing::TempDir() + "wl_roundtrip2.shwl";
+  b.save(path2);
+  std::ifstream f1(path), f2(path2);
+  const std::string s1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string s2((std::istreambuf_iterator<char>(f2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(s1, s2);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(Workload, DistributionSanityBounds) {
+  auto spec = demo_spec();
+  spec.requests = 2000;
+  const Workload wl = generate_workload(spec);
+  ASSERT_EQ(wl.items.size(), spec.requests);
+
+  double prev = 0.0;
+  std::size_t sharers = 0;
+  std::vector<std::size_t> tier_counts(wl.tiers.size(), 0);
+  double prompt_sum = 0.0;
+  std::size_t prompt_at_max = 0;
+  for (const WorkloadItem& it : wl.items) {
+    EXPECT_GE(it.arrival_s, prev);
+    prev = it.arrival_s;
+    ++tier_counts.at(it.tier);
+    const auto base = it.shares_prefix ? wl.shared_prefix.size() : 0u;
+    const auto own = static_cast<std::int64_t>(it.prompt.size() - base);
+    EXPECT_GE(own, spec.prompt_min);
+    EXPECT_LE(own, spec.prompt_max);
+    EXPECT_GE(static_cast<std::int64_t>(it.max_new_tokens), spec.output_min);
+    EXPECT_LE(static_cast<std::int64_t>(it.max_new_tokens), spec.output_max);
+    for (std::int32_t tok : it.prompt) {
+      EXPECT_GE(tok, 1);
+      EXPECT_LT(tok, spec.vocab);
+    }
+    if (it.shares_prefix) {
+      ++sharers;
+      ASSERT_GE(it.prompt.size(), wl.shared_prefix.size());
+      EXPECT_TRUE(std::equal(wl.shared_prefix.begin(), wl.shared_prefix.end(),
+                             it.prompt.begin()));
+    }
+    prompt_sum += static_cast<double>(own);
+    prompt_at_max += own >= spec.prompt_max - 1;
+  }
+
+  // Poisson arrivals: mean inter-arrival ~ 1/rate (law of large numbers at
+  // n=2000; the draw is seeded, so this is a fixed number, not a flake).
+  const double mean_gap = prev / static_cast<double>(spec.requests);
+  EXPECT_GT(mean_gap, 0.8 / spec.arrival_rate);
+  EXPECT_LT(mean_gap, 1.25 / spec.arrival_rate);
+
+  // Heavy tail: mass concentrates near prompt_min yet the max is reached.
+  const double mean_prompt = prompt_sum / static_cast<double>(spec.requests);
+  EXPECT_LT(mean_prompt,
+            0.5 * static_cast<double>(spec.prompt_min + spec.prompt_max));
+  EXPECT_GT(prompt_at_max, 0u) << "tail never reached prompt_max";
+
+  // Tier weights 3:1 — both present, the heavy tier dominates.
+  EXPECT_GT(tier_counts[0], tier_counts[1]);
+  EXPECT_GT(tier_counts[1], spec.requests / 10);
+
+  // prefix_share = 0.5 of 2000.
+  EXPECT_GT(sharers, spec.requests / 3);
+  EXPECT_LT(sharers, 2 * spec.requests / 3);
+}
+
+class WorkloadFileError : public ::testing::Test {
+ protected:
+  std::string write_file(const std::string& body) {
+    const std::string path =
+        ::testing::TempDir() + "wl_bad_" + std::to_string(n_++) + ".shwl";
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+  WorkloadErrorKind kind_of(const std::string& path, std::size_t* line = nullptr) {
+    try {
+      (void)Workload::load(path);
+    } catch (const WorkloadError& e) {
+      if (line != nullptr) *line = e.line();
+      return e.kind();
+    }
+    ADD_FAILURE() << "load did not throw for " << path;
+    return WorkloadErrorKind::Parse;
+  }
+  int n_ = 0;
+};
+
+TEST_F(WorkloadFileError, TypedErrorsForEveryFailureClass) {
+  EXPECT_EQ(kind_of(::testing::TempDir() + "wl_no_such_file.shwl"),
+            WorkloadErrorKind::MissingFile);
+  EXPECT_EQ(kind_of(write_file("nope 1\n")), WorkloadErrorKind::BadMagic);
+  EXPECT_EQ(kind_of(write_file("shwl 9\n")), WorkloadErrorKind::BadVersion);
+
+  // Truncations: mid-header, mid-items, and a missing end sentinel.
+  EXPECT_EQ(kind_of(write_file("")), WorkloadErrorKind::Truncated);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 0\n"
+                               "items 2\nitem 1 0.0 0 1 9 0 0 1 0 1 3\n")),
+            WorkloadErrorKind::Truncated);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 0\n"
+                               "items 0\n")),
+            WorkloadErrorKind::Truncated);
+
+  // Parse errors carry the failing line.
+  std::size_t line = 0;
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers one\n"), &line),
+            WorkloadErrorKind::Parse);
+  EXPECT_EQ(line, 2u);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a fast\n")),
+            WorkloadErrorKind::Parse);
+  EXPECT_EQ(kind_of(write_file("shwl 1 extra\n")), WorkloadErrorKind::Parse);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 0\n"
+                               "items 1\n"
+                               "item 1 0.0 0 1 9 0 0 1 0 1 3 77\nend\n")),
+            WorkloadErrorKind::Parse)
+      << "trailing prompt tokens must be rejected";
+
+  // Range errors: semantically impossible values in a well-formed file.
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a -1.0\n")),
+            WorkloadErrorKind::Range);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 0\n"
+                               "items 1\n"
+                               "item 1 0.0 5 1 9 0 0 1 0 1 3\nend\n"),
+                    &line),
+            WorkloadErrorKind::Range)
+      << "tier index out of range";
+  EXPECT_EQ(line, 6u);
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 0\n"
+                               "items 2\n"
+                               "item 1 5.0 0 1 9 0 0 1 0 1 3\n"
+                               "item 2 4.0 0 1 9 0 0 1 0 1 3\nend\n")),
+            WorkloadErrorKind::Range)
+      << "decreasing arrivals must be rejected";
+  EXPECT_EQ(kind_of(write_file("shwl 1\ntiers 1\ntier a 1.0\nprefix 2 5 6\n"
+                               "items 1\n"
+                               "item 1 0.0 0 1 9 0 0 1 1 2 9 9\nend\n")),
+            WorkloadErrorKind::Range)
+      << "shares_prefix with a prompt that does not start with the prefix";
+}
+
+}  // namespace
+}  // namespace sh::serve
